@@ -1,0 +1,100 @@
+// Synthetic workload builders shared by the performance benchmarks.
+
+#ifndef VIEWAUTH_BENCH_BENCH_UTIL_H_
+#define VIEWAUTH_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <random>
+#include <string>
+
+#include "authz/authorizer.h"
+#include "calculus/conjunctive_query.h"
+#include "common/logging.h"
+#include "meta/view_store.h"
+#include "parser/parser.h"
+#include "storage/relation.h"
+
+namespace viewauth {
+namespace bench_util {
+
+// A synthetic workload: relations R0..R{k-1}(KEY int key, A, B, C int)
+// with `rows` tuples each, plus `views_per_relation` permitted range
+// views per relation and one two-relation join view per adjacent pair,
+// all granted to user "u".
+struct Workload {
+  DatabaseInstance db;
+  std::unique_ptr<ViewCatalog> catalog;
+  std::unique_ptr<Authorizer> authorizer;
+
+  ConjunctiveQuery Query(const std::string& text) const {
+    auto stmt = ParseStatement(text);
+    VIEWAUTH_CHECK(stmt.ok()) << stmt.status().ToString();
+    auto query = ConjunctiveQuery::FromRetrieve(
+        db.schema(), std::get<RetrieveStmt>(*stmt));
+    VIEWAUTH_CHECK(query.ok()) << query.status().ToString();
+    return std::move(query).value();
+  }
+};
+
+inline std::unique_ptr<Workload> MakeWorkload(int relations, int rows,
+                                              int views_per_relation,
+                                              bool join_views = false,
+                                              unsigned seed = 42) {
+  auto w = std::make_unique<Workload>();
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int64_t> val(0, 999);
+
+  for (int r = 0; r < relations; ++r) {
+    std::string name = "R" + std::to_string(r);
+    auto schema = RelationSchema::Make(name,
+                                       {{"KEY", ValueType::kInt64},
+                                        {"A", ValueType::kInt64},
+                                        {"B", ValueType::kInt64},
+                                        {"C", ValueType::kInt64}},
+                                       {0});
+    VIEWAUTH_CHECK(schema.ok());
+    VIEWAUTH_CHECK(w->db.CreateRelation(std::move(*schema)).ok());
+    for (int i = 0; i < rows; ++i) {
+      VIEWAUTH_CHECK(w->db.Insert(name, Tuple({Value::Int64(i),
+                                               Value::Int64(val(rng)),
+                                               Value::Int64(val(rng)),
+                                               Value::Int64(val(rng))}))
+                         .ok());
+    }
+  }
+
+  w->catalog = std::make_unique<ViewCatalog>(&w->db.schema());
+  auto define = [&w](const std::string& name, const std::string& text) {
+    auto stmt = ParseStatement(text);
+    VIEWAUTH_CHECK(stmt.ok()) << stmt.status().ToString();
+    VIEWAUTH_CHECK(w->catalog->DefineView(std::get<ViewStmt>(*stmt)).ok());
+    VIEWAUTH_CHECK(w->catalog->Permit(name, "u").ok());
+  };
+
+  for (int r = 0; r < relations; ++r) {
+    std::string rel = "R" + std::to_string(r);
+    for (int v = 0; v < views_per_relation; ++v) {
+      // Staggered ranges over A so that masks differ per view.
+      int64_t lo = 50 * v;
+      std::string name = "V" + std::to_string(r) + "_" + std::to_string(v);
+      define(name, "view " + name + " (" + rel + ".KEY, " + rel + ".A, " +
+                       rel + ".B) where " + rel +
+                       ".A >= " + std::to_string(lo));
+    }
+    if (join_views && r + 1 < relations) {
+      std::string next = "R" + std::to_string(r + 1);
+      std::string name = "J" + std::to_string(r);
+      define(name, "view " + name + " (" + rel + ".KEY, " + rel + ".A, " +
+                       next + ".B) where " + rel + ".KEY = " + next +
+                       ".KEY and " + rel + ".A >= 100");
+    }
+  }
+
+  w->authorizer = std::make_unique<Authorizer>(&w->db, w->catalog.get());
+  return w;
+}
+
+}  // namespace bench_util
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_BENCH_BENCH_UTIL_H_

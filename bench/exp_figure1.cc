@@ -1,0 +1,110 @@
+// EXP-F1: reproduces the paper's Figure 1 — the example database extended
+// with access permissions. Prints every relation/meta-relation pair, the
+// COMPARISON and PERMISSION relations, and checks each stored meta-tuple
+// against the figure.
+
+#include <iostream>
+
+#include "bench/exp_util.h"
+#include "common/str_util.h"
+#include "engine/table_printer.h"
+
+using namespace viewauth;
+using testing_util::PaperDatabase;
+
+namespace {
+
+// The figure's meta-tuples, view by view and relation by relation.
+struct ExpectedTuple {
+  const char* view;
+  const char* relation;
+  const char* cells;  // cells joined with '|'
+};
+
+constexpr ExpectedTuple kFigure1[] = {
+    {"SAE", "EMPLOYEE", "*||*"},
+    {"ELP", "EMPLOYEE", "x1*|*|"},
+    {"EST", "EMPLOYEE", "*|x4*|"},
+    {"EST", "EMPLOYEE", "*|x4*|"},
+    {"PSA", "PROJECT", "*|Acme*|*"},
+    {"ELP", "PROJECT", "x2*||x3*"},
+    {"ELP", "ASSIGNMENT", "x1*|x2*"},
+};
+
+}  // namespace
+
+int main() {
+  exp::Checker checker("EXP-F1: Figure 1 (database extended with permissions)");
+  PaperDatabase fixture;
+  const ViewCatalog& catalog = fixture.catalog();
+  auto namer = [&catalog](VarId v) { return catalog.VarName(v); };
+
+  // Print each R / R' pair the way the figure shows them.
+  for (const char* relation : {"EMPLOYEE", "PROJECT", "ASSIGNMENT"}) {
+    TablePrintOptions opts;
+    opts.caption = relation;
+    opts.sorted = false;
+    std::cout << PrintRelation(**fixture.db().GetRelation(relation), opts);
+    std::cout << relation << "' (meta-tuples):\n";
+    for (const std::string& view_name : catalog.view_names()) {
+      const ViewDefinition& def = *catalog.GetView(view_name).value();
+      for (size_t i = 0; i < def.tuples.size(); ++i) {
+        if (def.tuple_relations[i] != relation) continue;
+        std::cout << "  " << view_name << " "
+                  << def.tuples[i].ToString(namer) << "\n";
+      }
+    }
+    std::cout << "\n";
+  }
+  TablePrintOptions opts;
+  opts.sorted = false;
+  opts.caption = "COMPARISON";
+  std::cout << PrintRelation(catalog.MaterializeComparison(), opts) << "\n";
+  opts.caption = "PERMISSION";
+  std::cout << PrintRelation(catalog.MaterializePermission(), opts) << "\n";
+
+  // Checks: every expected meta-tuple appears (with multiplicity).
+  std::multiset<std::string> actual;
+  for (const std::string& view_name : catalog.view_names()) {
+    const ViewDefinition& def = *catalog.GetView(view_name).value();
+    for (size_t i = 0; i < def.tuples.size(); ++i) {
+      std::string row = view_name;
+      row += "@";
+      row += def.tuple_relations[i];
+      row += ":";
+      std::vector<std::string> cells;
+      for (const MetaCell& cell : def.tuples[i].cells()) {
+        cells.push_back(cell.ToString(namer));
+      }
+      row += Join(cells, "|");
+      actual.insert(std::move(row));
+    }
+  }
+  std::multiset<std::string> expected;
+  for (const ExpectedTuple& t : kFigure1) {
+    expected.insert(std::string(t.view) + "@" + t.relation + ":" + t.cells);
+  }
+  checker.CheckEq("meta-tuple count", actual.size(), expected.size());
+  checker.Check("meta-tuples match Figure 1 exactly", actual == expected);
+
+  // COMPARISON = {(ELP, x3, >=, 250000)}.
+  Relation comparison = catalog.MaterializeComparison();
+  checker.CheckEq("COMPARISON row count", comparison.size(), 1);
+  checker.Check(
+      "COMPARISON holds (ELP, x3, >=, 250000)",
+      comparison.Contains(Tuple({Value::String("ELP"), Value::String("x3"),
+                                 Value::String(">="),
+                                 Value::String("250000")})));
+
+  // PERMISSION: the figure's five grants.
+  Relation permission = catalog.MaterializePermission();
+  checker.CheckEq("PERMISSION row count", permission.size(), 5);
+  for (auto [user, view] :
+       {std::pair{"Brown", "SAE"}, {"Brown", "PSA"}, {"Brown", "EST"},
+        {"Klein", "ELP"}, {"Klein", "EST"}}) {
+    checker.Check(std::string("grant (") + user + ", " + view + ")",
+                  permission.Contains(Tuple(
+                      {Value::String(user), Value::String(view)})));
+  }
+  return checker.Finish();
+}

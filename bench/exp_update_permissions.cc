@@ -1,0 +1,72 @@
+// EXP-X2: the paper's conclusion (1), implemented: update permissions.
+// Insert-mode views are whole-row windows the user may create rows in;
+// delete-mode views bound what a user may remove, with partial requests
+// reduced exactly like retrievals (withheld rows survive).
+
+#include <iostream>
+
+#include "bench/exp_util.h"
+#include "engine/engine.h"
+
+using namespace viewauth;
+
+int main() {
+  exp::Checker checker("EXP-X2: update permissions (conclusion (1))");
+  Engine engine;
+  auto setup = engine.ExecuteScript(R"(
+    relation PROJECT (NUMBER string key, SPONSOR string, BUDGET int)
+    insert into PROJECT values (p1, Acme, 100000)
+    insert into PROJECT values (p2, Acme, 400000)
+    insert into PROJECT values (p3, Apex, 250000)
+
+    view ACME_FULL (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+      where PROJECT.SPONSOR = Acme
+    view SMALL (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+      where PROJECT.BUDGET < 200000
+
+    permit ACME_FULL to editor for insert
+    permit SMALL to editor for delete
+  )");
+  if (!setup.ok()) {
+    std::cerr << setup.status() << "\n";
+    return 1;
+  }
+
+  // Inserts inside / outside the editor's Acme window.
+  auto inside = engine.Execute(
+      "insert into PROJECT values (p9, Acme, 900000) as editor");
+  std::cout << "insert (p9, Acme, 900000) as editor: "
+            << (inside.ok() ? "accepted" : inside.status().ToString())
+            << "\n";
+  checker.Check("insert inside the window accepted", inside.ok());
+
+  auto outside = engine.Execute(
+      "insert into PROJECT values (p8, Apex, 900000) as editor");
+  std::cout << "insert (p8, Apex, 900000) as editor: "
+            << (outside.ok() ? "accepted?!" : outside.status().ToString())
+            << "\n";
+  checker.Check("insert outside the window denied",
+                outside.status().IsPermissionDenied());
+
+  // A broad delete is reduced to the permitted window (partial effect,
+  // like the retrieval model's partial delivery).
+  auto removed = engine.Execute(
+      "delete from PROJECT where PROJECT.BUDGET >= 100000 as editor");
+  if (!removed.ok()) {
+    std::cerr << removed.status() << "\n";
+    return 1;
+  }
+  std::cout << "delete BUDGET >= 100000 as editor: " << *removed << "\n";
+  checker.CheckEq("delete reduced to the SMALL window", *removed,
+                  std::string("deleted 1 row(s) (3 withheld by "
+                              "permissions)"));
+  checker.CheckEq("remaining rows",
+                  (*engine.db().GetRelation("PROJECT"))->size(), 3);
+
+  // Modes are independent: the editor cannot retrieve anything.
+  auto read = engine.Execute("retrieve (PROJECT.NUMBER) as editor");
+  checker.Check("insert/delete grants do not imply retrieval",
+                read.ok() &&
+                    read->find("permission denied") != std::string::npos);
+  return checker.Finish();
+}

@@ -1,0 +1,87 @@
+// Hospital records: a domain scenario exercising the Section 4.2
+// selection refinement on range predicates.
+//
+// A research assistant is permitted to see diagnoses of elderly patients
+// (AGE >= 65) in the cardiology ward. Queries with different age ranges
+// show the four cases of the refinement: the permitted view's predicate
+// is tightened, retained, cleared, or the request is denied.
+//
+// Build & run:   cmake --build build && ./build/examples/hospital_records
+
+#include <iostream>
+
+#include "engine/engine.h"
+
+int main() {
+  viewauth::Engine engine;
+
+  auto setup = engine.ExecuteScript(R"(
+    relation PATIENT (ID int key, NAME string, WARD string, AGE int)
+    relation RECORD (PATIENT_ID int key, DIAGNOSIS string, COST int)
+
+    insert into PATIENT values (1, Adams, cardiology, 71)
+    insert into PATIENT values (2, Baker, cardiology, 58)
+    insert into PATIENT values (3, Chen, cardiology, 83)
+    insert into PATIENT values (4, Diaz, oncology, 77)
+    insert into PATIENT values (5, Evans, cardiology, 66)
+
+    insert into RECORD values (1, arrhythmia, 5200)
+    insert into RECORD values (2, hypertension, 1100)
+    insert into RECORD values (3, infarction, 20400)
+    insert into RECORD values (4, lymphoma, 48100)
+    insert into RECORD values (5, angina, 3600)
+
+    view ELDERLY_CARDIO (PATIENT.ID, PATIENT.NAME, PATIENT.AGE,
+                         RECORD.DIAGNOSIS)
+      where PATIENT.ID = RECORD.PATIENT_ID
+      and PATIENT.WARD = cardiology
+      and PATIENT.AGE >= 65
+
+    permit ELDERLY_CARDIO to assistant
+  )");
+  if (!setup.ok()) {
+    std::cerr << setup.status() << "\n";
+    return 1;
+  }
+
+  // All queries state the ward: the permitted view restricts WARD, and a
+  // mask may only be expressed with requested/queried attributes
+  // (paper conclusion (3)), so a query silent about WARD cannot inherit
+  // the view. Each query exercises one case of the Section 4.2 selection
+  // refinement on the AGE predicate.
+  const char* queries[] = {
+      // Query range inside the permitted range (lambda implies mu): the
+      // age restriction is cleared; the permit carries no residual bound.
+      "retrieve (PATIENT.NAME, RECORD.DIAGNOSIS) "
+      "where PATIENT.ID = RECORD.PATIENT_ID and PATIENT.WARD = cardiology "
+      "and PATIENT.AGE >= 80 as assistant",
+      // Permitted range inside the query range (mu implies lambda): the
+      // view is retained unmodified; the permit says AGE >= 65.
+      "retrieve (PATIENT.NAME, PATIENT.AGE, RECORD.DIAGNOSIS) "
+      "where PATIENT.ID = RECORD.PATIENT_ID and PATIENT.WARD = cardiology "
+      "and PATIENT.AGE >= 50 as assistant",
+      // Overlapping ranges (conjoin): the mask tightens to [65, 70).
+      "retrieve (PATIENT.NAME, PATIENT.AGE, RECORD.DIAGNOSIS) "
+      "where PATIENT.ID = RECORD.PATIENT_ID and PATIENT.WARD = cardiology "
+      "and PATIENT.AGE >= 50 and PATIENT.AGE < 70 as assistant",
+      // Disjoint ranges (contradiction): nothing within the permission.
+      "retrieve (PATIENT.NAME, RECORD.DIAGNOSIS) "
+      "where PATIENT.ID = RECORD.PATIENT_ID and PATIENT.WARD = cardiology "
+      "and PATIENT.AGE < 60 as assistant",
+      // Asking for COST as well: the view does not cover it, so the cost
+      // column comes back masked while the permitted columns flow.
+      "retrieve (PATIENT.NAME, RECORD.DIAGNOSIS, RECORD.COST) "
+      "where PATIENT.ID = RECORD.PATIENT_ID and PATIENT.WARD = cardiology "
+      "and PATIENT.AGE >= 65 as assistant",
+  };
+  for (const char* text : queries) {
+    std::cout << "> " << text << "\n";
+    auto output = engine.Execute(text);
+    if (!output.ok()) {
+      std::cout << output.status() << "\n\n";
+      continue;
+    }
+    std::cout << *output << "\n";
+  }
+  return 0;
+}

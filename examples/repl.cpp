@@ -1,0 +1,143 @@
+// Interactive REPL over the viewauth engine: type statements, see masked
+// results. Starts with the paper's Figure 1 database loaded.
+//
+// Usage:   ./build/examples/repl
+//   > user Brown                        -- switch the session user
+//   > retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+//   > permit SAE to Klein               -- administration works too
+//   > dump                              -- print the persistence script
+//   > options                           -- show refinement switches
+//   > set extended_masks on
+//   > quit
+
+#include <iostream>
+#include <string>
+
+#include "common/str_util.h"
+#include "engine/engine.h"
+
+using namespace viewauth;
+
+namespace {
+
+void PrintHelp() {
+  std::cout << "commands:\n"
+               "  <statement>            relation/insert/view/permit/deny/"
+               "retrieve/\n"
+               "                         delete/modify/drop/member/"
+               "unmember\n"
+               "  user <name>            switch session user (now used for "
+               "retrieves)\n"
+               "  dump                   print a script reproducing the "
+               "current state\n"
+               "  audit                  show the last 20 audit entries\n"
+               "  options                show authorization options\n"
+               "  set <option> on|off    toggle four_case, padding, "
+               "self_joins,\n"
+               "                         subsumption, extended_masks\n"
+               "  help, quit\n";
+}
+
+void PrintOptions(const AuthorizationOptions& options) {
+  auto onoff = [](bool b) { return b ? "on" : "off"; };
+  std::cout << "four_case=" << onoff(options.four_case)
+            << " padding=" << onoff(options.padding)
+            << " self_joins=" << onoff(options.self_joins)
+            << " subsumption=" << onoff(options.subsumption)
+            << " extended_masks=" << onoff(options.extended_masks) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  Engine engine;
+  auto setup = engine.ExecuteScript(R"(
+    relation EMPLOYEE (NAME string key, TITLE string, SALARY int)
+    relation PROJECT (NUMBER string key, SPONSOR string, BUDGET int)
+    relation ASSIGNMENT (E_NAME string key, P_NO string key)
+    insert into EMPLOYEE values (Jones, manager, 26000)
+    insert into EMPLOYEE values (Smith, technician, 22000)
+    insert into EMPLOYEE values (Brown, engineer, 32000)
+    insert into PROJECT values (bq-45, Acme, 300000)
+    insert into PROJECT values (sv-72, Apex, 450000)
+    insert into PROJECT values (vg-13, Summit, 150000)
+    insert into ASSIGNMENT values (Jones, bq-45)
+    insert into ASSIGNMENT values (Smith, bq-45)
+    insert into ASSIGNMENT values (Jones, sv-72)
+    insert into ASSIGNMENT values (Brown, sv-72)
+    insert into ASSIGNMENT values (Smith, vg-13)
+    insert into ASSIGNMENT values (Brown, vg-13)
+    view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+    view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+      where PROJECT.SPONSOR = Acme
+    view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE, PROJECT.NUMBER, PROJECT.BUDGET)
+      where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+      and PROJECT.NUMBER = ASSIGNMENT.P_NO
+      and PROJECT.BUDGET >= 250000
+    view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, EMPLOYEE:1.TITLE)
+      where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE
+    permit SAE to Brown
+    permit PSA to Brown
+    permit EST to Brown
+    permit ELP to Klein
+    permit EST to Klein
+  )");
+  if (!setup.ok()) {
+    std::cerr << setup.status() << "\n";
+    return 1;
+  }
+  std::cout << "viewauth repl — the paper's database is loaded "
+               "(users: Brown, Klein).\nType 'help' for commands.\n";
+  engine.SetSessionUser("Brown");
+
+  std::string line;
+  std::cout << engine.session_user() << "> " << std::flush;
+  while (std::getline(std::cin, line)) {
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty()) {
+      std::cout << engine.session_user() << "> " << std::flush;
+      continue;
+    }
+    if (trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed == "help") {
+      PrintHelp();
+    } else if (trimmed == "options") {
+      PrintOptions(engine.options());
+    } else if (trimmed == "dump") {
+      auto dump = engine.DumpScript();
+      std::cout << (dump.ok() ? *dump : dump.status().ToString()) << "\n";
+    } else if (trimmed == "audit") {
+      std::cout << engine.audit_log().ToString(20);
+    } else if (StartsWith(trimmed, "explain ")) {
+      auto trace = engine.ExplainRetrieve(std::string(trimmed.substr(8)));
+      std::cout << (trace.ok() ? *trace : trace.status().ToString()) << "\n";
+    } else if (StartsWith(trimmed, "user ")) {
+      engine.SetSessionUser(std::string(StripWhitespace(trimmed.substr(5))));
+    } else if (StartsWith(trimmed, "set ")) {
+      std::vector<std::string> parts =
+          Split(std::string(trimmed.substr(4)), ' ');
+      if (parts.size() == 2) {
+        bool on = parts[1] == "on";
+        AuthorizationOptions& o = engine.options();
+        if (parts[0] == "four_case") o.four_case = on;
+        else if (parts[0] == "padding") o.padding = on;
+        else if (parts[0] == "self_joins") o.self_joins = on;
+        else if (parts[0] == "subsumption") o.subsumption = on;
+        else if (parts[0] == "extended_masks") o.extended_masks = on;
+        else std::cout << "unknown option '" << parts[0] << "'\n";
+        PrintOptions(o);
+      } else {
+        std::cout << "usage: set <option> on|off\n";
+      }
+    } else {
+      auto out = engine.Execute(line);
+      if (out.ok()) {
+        if (!out->empty()) std::cout << *out << "\n";
+      } else {
+        std::cout << out.status() << "\n";
+      }
+    }
+    std::cout << engine.session_user() << "> " << std::flush;
+  }
+  return 0;
+}

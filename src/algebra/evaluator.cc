@@ -1,0 +1,98 @@
+#include "algebra/evaluator.h"
+
+#include <vector>
+
+namespace viewauth {
+
+namespace {
+
+// Evaluates a node into a bag of tuples (dedup happens at relation
+// construction: the operators here preserve set semantics level by level).
+Result<std::vector<Tuple>> EvalNode(const PlanNode& node,
+                                    const DatabaseInstance& db,
+                                    EvalStats* stats) {
+  switch (node.kind) {
+    case PlanNodeKind::kScan: {
+      VIEWAUTH_ASSIGN_OR_RETURN(const Relation* rel,
+                                db.GetRelation(node.relation));
+      if (stats != nullptr) stats->rows_scanned += rel->size();
+      return rel->rows();
+    }
+    case PlanNodeKind::kProduct: {
+      VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Tuple> left,
+                                EvalNode(*node.left, db, stats));
+      VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Tuple> right,
+                                EvalNode(*node.right, db, stats));
+      std::vector<Tuple> out;
+      out.reserve(left.size() * right.size());
+      for (const Tuple& l : left) {
+        for (const Tuple& r : right) {
+          out.push_back(Tuple::Concat(l, r));
+        }
+      }
+      if (stats != nullptr) {
+        stats->intermediate_rows += static_cast<long long>(out.size());
+      }
+      return out;
+    }
+    case PlanNodeKind::kSelection: {
+      VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                                EvalNode(*node.child, db, stats));
+      std::vector<Tuple> out;
+      for (Tuple& t : input) {
+        if (node.predicate.Matches(t)) out.push_back(std::move(t));
+      }
+      if (stats != nullptr) {
+        stats->intermediate_rows += static_cast<long long>(out.size());
+      }
+      return out;
+    }
+    case PlanNodeKind::kProjection: {
+      VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                                EvalNode(*node.child, db, stats));
+      std::vector<Tuple> out;
+      out.reserve(input.size());
+      for (const Tuple& t : input) {
+        out.push_back(t.Project(node.columns));
+      }
+      if (stats != nullptr) {
+        stats->intermediate_rows += static_cast<long long>(out.size());
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled plan node kind");
+}
+
+}  // namespace
+
+Result<Relation> EvaluatePlan(const PlanNode& plan, const DatabaseInstance& db,
+                              const RelationSchema& output_schema,
+                              EvalStats* stats) {
+  VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                            EvalNode(plan, db, stats));
+  Relation result(output_schema);
+  for (Tuple& t : rows) {
+    if (t.arity() != output_schema.arity()) {
+      return Status::Internal("plan output arity " +
+                              std::to_string(t.arity()) +
+                              " does not match schema arity " +
+                              std::to_string(output_schema.arity()));
+    }
+    result.InsertUnchecked(std::move(t));
+  }
+  if (stats != nullptr) stats->output_rows = result.size();
+  return result;
+}
+
+Result<Relation> EvaluateCanonical(const ConjunctiveQuery& query,
+                                   const DatabaseInstance& db,
+                                   const std::string& result_name,
+                                   EvalStats* stats) {
+  std::unique_ptr<PlanNode> plan = BuildCanonicalPlan(query);
+  VIEWAUTH_ASSIGN_OR_RETURN(RelationSchema schema,
+                            query.OutputSchema(result_name));
+  return EvaluatePlan(*plan, db, schema, stats);
+}
+
+}  // namespace viewauth

@@ -1,0 +1,43 @@
+// Evaluators for relational algebra plans over a DatabaseInstance.
+//
+// EvaluatePlan executes a plan tree literally (materializing every
+// intermediate result) — the canonical strategy the paper prescribes for
+// meta-relations, also usable on data. EvaluateOptimized (optimizer.h)
+// provides the pushed-down / hash-join strategy for the data side.
+
+#ifndef VIEWAUTH_ALGEBRA_EVALUATOR_H_
+#define VIEWAUTH_ALGEBRA_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace viewauth {
+
+// Counters exposed for benchmarking and plan comparison.
+struct EvalStats {
+  long long rows_scanned = 0;
+  long long intermediate_rows = 0;  // rows produced by non-root operators
+  long long output_rows = 0;
+};
+
+// Executes `plan` against `db`. The resulting relation has the schema
+// `output_schema` (which must match the plan's output arity). `stats` may
+// be null.
+Result<Relation> EvaluatePlan(const PlanNode& plan, const DatabaseInstance& db,
+                              const RelationSchema& output_schema,
+                              EvalStats* stats = nullptr);
+
+// Convenience: canonical plan of `query`, evaluated; the output schema is
+// derived from the query's targets and named `result_name`.
+Result<Relation> EvaluateCanonical(const ConjunctiveQuery& query,
+                                   const DatabaseInstance& db,
+                                   const std::string& result_name = "ANSWER",
+                                   EvalStats* stats = nullptr);
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_ALGEBRA_EVALUATOR_H_

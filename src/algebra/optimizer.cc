@@ -1,0 +1,304 @@
+#include "algebra/optimizer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace viewauth {
+
+namespace {
+
+// A condition classified by the atoms it touches.
+struct PendingCondition {
+  CalculusCondition cond;
+  std::set<int> atoms;  // atom indices referenced
+};
+
+// Hash of the join-key values of a tuple.
+struct KeyHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace
+
+Result<Relation> EvaluateOptimized(const ConjunctiveQuery& query,
+                                   const DatabaseInstance& db,
+                                   const std::string& result_name,
+                                   EvalStats* stats) {
+  const int num_atoms = static_cast<int>(query.atoms().size());
+
+  // --- Phase 1: per-atom scans with pushed-down single-atom conditions.
+  std::vector<PendingCondition> pending;
+  std::vector<ConjunctivePredicate> local(num_atoms);
+  for (const CalculusCondition& cond : query.conditions()) {
+    std::set<int> atoms{cond.lhs.atom};
+    if (cond.rhs_is_column) atoms.insert(cond.rhs_column.atom);
+    if (atoms.size() == 1) {
+      const int atom = *atoms.begin();
+      if (cond.rhs_is_column) {
+        local[atom].Add(SelectionAtom::ColumnColumn(cond.lhs.attr, cond.op,
+                                                    cond.rhs_column.attr));
+      } else {
+        local[atom].Add(
+            SelectionAtom::ColumnConst(cond.lhs.attr, cond.op, cond.rhs_const));
+      }
+    } else {
+      pending.push_back(PendingCondition{cond, std::move(atoms)});
+    }
+  }
+
+  std::vector<std::vector<Tuple>> inputs(num_atoms);
+  for (int i = 0; i < num_atoms; ++i) {
+    VIEWAUTH_ASSIGN_OR_RETURN(const Relation* rel,
+                              db.GetRelation(query.atoms()[i].relation));
+    // Index probe: an equality-with-constant local predicate whose
+    // constant type matches the column's declared type exactly can use
+    // the relation's lazy hash index instead of scanning. (Double
+    // columns are excluded: they may store int64 values that compare
+    // equal but hash under a different strict type.)
+    int probe_column = -1;
+    Value probe_value;
+    for (const SelectionAtom& atom : local[i].atoms()) {
+      if (atom.rhs_is_column || atom.op != Comparator::kEq) continue;
+      ValueType column_type =
+          query.atom_schema(i).attribute(atom.lhs_column).type;
+      const bool exact =
+          (column_type == ValueType::kInt64 && atom.rhs_const.is_int64()) ||
+          (column_type == ValueType::kString && atom.rhs_const.is_string());
+      if (exact) {
+        probe_column = atom.lhs_column;
+        probe_value = atom.rhs_const;
+        break;
+      }
+    }
+    // Otherwise, a one-sided range predicate can binary-search the
+    // ordered index (same exact-type restriction).
+    int range_column = -1;
+    Comparator range_op = Comparator::kEq;
+    Value range_value;
+    if (probe_column < 0) {
+      for (const SelectionAtom& atom : local[i].atoms()) {
+        if (atom.rhs_is_column) continue;
+        if (atom.op != Comparator::kGe && atom.op != Comparator::kGt &&
+            atom.op != Comparator::kLe && atom.op != Comparator::kLt) {
+          continue;
+        }
+        ValueType column_type =
+            query.atom_schema(i).attribute(atom.lhs_column).type;
+        const bool exact =
+            (column_type == ValueType::kInt64 &&
+             atom.rhs_const.is_int64()) ||
+            (column_type == ValueType::kString &&
+             atom.rhs_const.is_string());
+        if (exact) {
+          range_column = atom.lhs_column;
+          range_op = atom.op;
+          range_value = atom.rhs_const;
+          break;
+        }
+      }
+    }
+
+    if (probe_column >= 0) {
+      const Relation::ColumnIndex& index = rel->IndexOn(probe_column);
+      auto [lo, hi] = index.equal_range(probe_value);
+      for (auto it = lo; it != hi; ++it) {
+        const Tuple& row = rel->rows()[static_cast<size_t>(it->second)];
+        if (stats != nullptr) ++stats->rows_scanned;
+        if (local[i].Matches(row)) inputs[i].push_back(row);
+      }
+    } else if (range_column >= 0) {
+      const Relation::OrderedIndex& index =
+          rel->OrderedIndexOn(range_column);
+      auto value_less = [](const std::pair<Value, int>& entry,
+                           const Value& probe) {
+        return entry.first < probe;
+      };
+      auto probe_less = [](const Value& probe,
+                           const std::pair<Value, int>& entry) {
+        return probe < entry.first;
+      };
+      Relation::OrderedIndex::const_iterator begin = index.begin();
+      Relation::OrderedIndex::const_iterator end = index.end();
+      switch (range_op) {
+        case Comparator::kGe:
+          begin = std::lower_bound(index.begin(), index.end(), range_value,
+                                   value_less);
+          break;
+        case Comparator::kGt:
+          begin = std::upper_bound(index.begin(), index.end(), range_value,
+                                   probe_less);
+          break;
+        case Comparator::kLe:
+          end = std::upper_bound(index.begin(), index.end(), range_value,
+                                 probe_less);
+          break;
+        case Comparator::kLt:
+          end = std::lower_bound(index.begin(), index.end(), range_value,
+                                 value_less);
+          break;
+        default:
+          break;
+      }
+      for (auto it = begin; it != end; ++it) {
+        const Tuple& row = rel->rows()[static_cast<size_t>(it->second)];
+        if (stats != nullptr) ++stats->rows_scanned;
+        if (local[i].Matches(row)) inputs[i].push_back(row);
+      }
+    } else {
+      if (stats != nullptr) stats->rows_scanned += rel->size();
+      for (const Tuple& row : rel->rows()) {
+        if (local[i].Matches(row)) inputs[i].push_back(row);
+      }
+    }
+  }
+
+  // --- Phase 2: greedy join order. `position` maps each joined atom to
+  // the offset of its columns in the current intermediate tuples.
+  std::vector<Tuple> current;
+  std::map<int, int> position;  // atom -> column offset
+  std::set<int> joined;
+  int width = 0;
+
+  auto flat = [&](const ColumnRef& ref) {
+    return position.at(ref.atom) + ref.attr;
+  };
+
+  // Conditions become applicable once all their atoms are joined.
+  auto apply_ready_conditions = [&]() {
+    for (auto it = pending.begin(); it != pending.end();) {
+      bool ready = std::all_of(it->atoms.begin(), it->atoms.end(),
+                               [&](int a) { return joined.contains(a); });
+      if (!ready) {
+        ++it;
+        continue;
+      }
+      const CalculusCondition& c = it->cond;
+      SelectionAtom atom =
+          c.rhs_is_column
+              ? SelectionAtom::ColumnColumn(flat(c.lhs), c.op,
+                                            flat(c.rhs_column))
+              : SelectionAtom::ColumnConst(flat(c.lhs), c.op, c.rhs_const);
+      std::vector<Tuple> filtered;
+      filtered.reserve(current.size());
+      for (Tuple& t : current) {
+        if (atom.Matches(t)) filtered.push_back(std::move(t));
+      }
+      current = std::move(filtered);
+      it = pending.erase(it);
+    }
+  };
+
+  // Start with the smallest input.
+  int first = 0;
+  for (int i = 1; i < num_atoms; ++i) {
+    if (inputs[i].size() < inputs[first].size()) first = i;
+  }
+  current = std::move(inputs[first]);
+  position[first] = 0;
+  joined.insert(first);
+  width = query.atom_schema(first).arity();
+  apply_ready_conditions();
+
+  while (static_cast<int>(joined.size()) < num_atoms) {
+    // Prefer an unjoined atom connected by an equality condition; break
+    // ties by input size.
+    int next = -1;
+    bool next_connected = false;
+    for (int i = 0; i < num_atoms; ++i) {
+      if (joined.contains(i)) continue;
+      bool connected = false;
+      for (const PendingCondition& pc : pending) {
+        if (pc.cond.op != Comparator::kEq || !pc.cond.rhs_is_column) continue;
+        if (!pc.atoms.contains(i)) continue;
+        bool others_joined =
+            std::all_of(pc.atoms.begin(), pc.atoms.end(), [&](int a) {
+              return a == i || joined.contains(a);
+            });
+        if (others_joined) {
+          connected = true;
+          break;
+        }
+      }
+      if (next == -1 || (connected && !next_connected) ||
+          (connected == next_connected &&
+           inputs[i].size() < inputs[next].size())) {
+        next = i;
+        next_connected = connected;
+      }
+    }
+
+    // Collect the equality join keys between `current` and atom `next`.
+    std::vector<std::pair<int, int>> keys;  // (current column, next attr)
+    for (const PendingCondition& pc : pending) {
+      if (pc.cond.op != Comparator::kEq || !pc.cond.rhs_is_column) continue;
+      const CalculusCondition& c = pc.cond;
+      if (c.lhs.atom == next && joined.contains(c.rhs_column.atom)) {
+        keys.emplace_back(flat(c.rhs_column), c.lhs.attr);
+      } else if (c.rhs_column.atom == next && joined.contains(c.lhs.atom)) {
+        keys.emplace_back(flat(c.lhs), c.rhs_column.attr);
+      }
+    }
+
+    std::vector<Tuple> joined_rows;
+    if (!keys.empty()) {
+      // Hash join: build on the new atom, probe with current rows.
+      std::unordered_multimap<Tuple, const Tuple*, KeyHash> table;
+      std::vector<int> build_cols;
+      build_cols.reserve(keys.size());
+      for (const auto& [cur_col, next_attr] : keys) {
+        (void)cur_col;
+        build_cols.push_back(next_attr);
+      }
+      for (const Tuple& row : inputs[next]) {
+        table.emplace(row.Project(build_cols), &row);
+      }
+      std::vector<int> probe_cols;
+      probe_cols.reserve(keys.size());
+      for (const auto& [cur_col, next_attr] : keys) {
+        (void)next_attr;
+        probe_cols.push_back(cur_col);
+      }
+      for (const Tuple& row : current) {
+        Tuple probe_key = row.Project(probe_cols);
+        auto [lo, hi] = table.equal_range(probe_key);
+        for (auto it = lo; it != hi; ++it) {
+          joined_rows.push_back(Tuple::Concat(row, *it->second));
+        }
+      }
+    } else {
+      // No connecting equality: cartesian product.
+      joined_rows.reserve(current.size() * inputs[next].size());
+      for (const Tuple& l : current) {
+        for (const Tuple& r : inputs[next]) {
+          joined_rows.push_back(Tuple::Concat(l, r));
+        }
+      }
+    }
+    if (stats != nullptr) {
+      stats->intermediate_rows += static_cast<long long>(joined_rows.size());
+    }
+    current = std::move(joined_rows);
+    position[next] = width;
+    width += query.atom_schema(next).arity();
+    joined.insert(next);
+    apply_ready_conditions();
+  }
+
+  // --- Phase 3: final projection (deduplicated by the result relation).
+  std::vector<int> out_cols;
+  out_cols.reserve(query.targets().size());
+  for (const ColumnRef& ref : query.targets()) out_cols.push_back(flat(ref));
+
+  VIEWAUTH_ASSIGN_OR_RETURN(RelationSchema schema,
+                            query.OutputSchema(result_name));
+  Relation result(schema);
+  for (const Tuple& t : current) {
+    result.InsertUnchecked(t.Project(out_cols));
+  }
+  if (stats != nullptr) stats->output_rows = result.size();
+  return result;
+}
+
+}  // namespace viewauth

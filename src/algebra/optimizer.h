@@ -1,0 +1,33 @@
+// Optimized evaluation of conjunctive queries: selection pushdown onto
+// scans, greedy join ordering, and hash joins on equality conditions.
+//
+// The paper notes (end of Section 4.1) that the simple
+// products-then-selections-then-projections strategy it prescribes for
+// meta-relations "is not necessarily optimal. [...] For the actual
+// relations, where optimality is essential, a different strategy may be
+// implemented." This is that different strategy. It produces exactly the
+// same answer relation as the canonical evaluator (tests assert this),
+// which is what makes the commutative diagram of Figure 2 safe: the mask
+// derived from the canonical meta-plan applies to the answer regardless
+// of how the answer was computed.
+
+#ifndef VIEWAUTH_ALGEBRA_OPTIMIZER_H_
+#define VIEWAUTH_ALGEBRA_OPTIMIZER_H_
+
+#include <string>
+
+#include "algebra/evaluator.h"
+#include "calculus/conjunctive_query.h"
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace viewauth {
+
+Result<Relation> EvaluateOptimized(const ConjunctiveQuery& query,
+                                   const DatabaseInstance& db,
+                                   const std::string& result_name = "ANSWER",
+                                   EvalStats* stats = nullptr);
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_ALGEBRA_OPTIMIZER_H_

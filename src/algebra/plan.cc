@@ -1,0 +1,106 @@
+#include "algebra/plan.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace viewauth {
+
+std::unique_ptr<PlanNode> PlanNode::Scan(std::string relation_name) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNodeKind::kScan;
+  node->relation = std::move(relation_name);
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Product(std::unique_ptr<PlanNode> l,
+                                            std::unique_ptr<PlanNode> r) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNodeKind::kProduct;
+  node->left = std::move(l);
+  node->right = std::move(r);
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Selection(std::unique_ptr<PlanNode> input,
+                                              ConjunctivePredicate pred) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNodeKind::kSelection;
+  node->child = std::move(input);
+  node->predicate = std::move(pred);
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Projection(std::unique_ptr<PlanNode> input,
+                                               std::vector<int> cols) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNodeKind::kProjection;
+  node->child = std::move(input);
+  node->columns = std::move(cols);
+  return node;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::ostringstream out;
+  switch (kind) {
+    case PlanNodeKind::kScan:
+      out << pad << "Scan(" << relation << ")";
+      break;
+    case PlanNodeKind::kProduct:
+      out << pad << "Product\n"
+          << left->ToString(indent + 1) << "\n"
+          << right->ToString(indent + 1);
+      break;
+    case PlanNodeKind::kSelection:
+      out << pad << "Selection(" << predicate.ToString({}) << ")\n"
+          << child->ToString(indent + 1);
+      break;
+    case PlanNodeKind::kProjection: {
+      std::vector<std::string> cols;
+      cols.reserve(columns.size());
+      for (int c : columns) cols.push_back("#" + std::to_string(c));
+      out << pad << "Projection(" << Join(cols, ", ") << ")\n"
+          << child->ToString(indent + 1);
+      break;
+    }
+  }
+  return out.str();
+}
+
+std::unique_ptr<PlanNode> BuildCanonicalPlan(const ConjunctiveQuery& query) {
+  // Left-deep product over all atoms.
+  std::unique_ptr<PlanNode> plan;
+  for (const MembershipAtom& atom : query.atoms()) {
+    auto scan = PlanNode::Scan(atom.relation);
+    plan = plan == nullptr
+               ? std::move(scan)
+               : PlanNode::Product(std::move(plan), std::move(scan));
+  }
+
+  // One selection with every condition over flat product columns.
+  ConjunctivePredicate predicate;
+  for (const CalculusCondition& cond : query.conditions()) {
+    if (cond.rhs_is_column) {
+      predicate.Add(SelectionAtom::ColumnColumn(query.FlatIndex(cond.lhs),
+                                                cond.op,
+                                                query.FlatIndex(cond.rhs_column)));
+    } else {
+      predicate.Add(SelectionAtom::ColumnConst(query.FlatIndex(cond.lhs),
+                                               cond.op, cond.rhs_const));
+    }
+  }
+  if (!predicate.IsTrivial()) {
+    plan = PlanNode::Selection(std::move(plan), std::move(predicate));
+  }
+
+  // Final projection onto target columns.
+  std::vector<int> columns;
+  columns.reserve(query.targets().size());
+  for (const ColumnRef& ref : query.targets()) {
+    columns.push_back(query.FlatIndex(ref));
+  }
+  return PlanNode::Projection(std::move(plan), std::move(columns));
+}
+
+}  // namespace viewauth

@@ -1,0 +1,760 @@
+#include "authz/authorizer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "algebra/optimizer.h"
+#include "common/str_util.h"
+#include "meta/self_join.h"
+
+namespace viewauth {
+
+std::string InferredPermit::ToString() const {
+  std::string out = "permit (" + Join(columns, ", ") + ")";
+  if (!where.empty()) out += " where " + where;
+  return out;
+}
+
+Result<MetaRelation> Authorizer::PrunedMetaRelation(
+    std::string_view user, const ConjunctiveQuery& query, int atom,
+    const AuthorizationOptions& options) const {
+  if (atom < 0 || atom >= static_cast<int>(query.atoms().size())) {
+    return Status::InvalidArgument("atom index out of range");
+  }
+  const std::string& relation = query.atoms()[atom].relation;
+  const RelationSchema& schema = query.atom_schema(atom);
+
+  std::set<std::string> query_relations;
+  for (const MembershipAtom& a : query.atoms()) {
+    query_relations.insert(a.relation);
+  }
+
+  // Cache lookup: the result depends only on the user, the target
+  // relation, the set of query relations (the pruning scope), the
+  // self-join settings, and the catalog version.
+  std::string cache_key;
+  if (options.use_meta_cache) {
+    cache_key = std::string(user) + "|" + relation + "|";
+    for (const std::string& r : query_relations) {
+      cache_key += r;
+      cache_key += ",";
+    }
+    cache_key += "|sj=";
+    cache_key += options.self_joins
+                     ? std::to_string(options.self_join_rounds)
+                     : "0";
+    cache_key += "|v=" + std::to_string(catalog_->catalog_version());
+    if (const MetaRelation* cached =
+            catalog_->CachedMetaRelation(cache_key)) {
+      return *cached;
+    }
+  }
+
+  MetaRelation out(schema.attributes());
+  for (const ViewDefinition* view : catalog_->PermittedViews(user)) {
+    // The paper's pruning: keep only views "defined in these relations in
+    // their entirety" — every relation the view mentions must appear in
+    // the query.
+    bool covered = std::all_of(
+        view->relations.begin(), view->relations.end(),
+        [&](const std::string& r) { return query_relations.contains(r); });
+    if (!covered) continue;
+    for (size_t i = 0; i < view->tuples.size(); ++i) {
+      if (view->tuple_relations[i] == relation) {
+        out.Add(view->tuples[i]);
+      }
+    }
+  }
+  if (options.self_joins) {
+    out = WithSelfJoins(out, schema, options.self_join_rounds);
+  }
+  if (options.use_meta_cache) {
+    catalog_->StoreCachedMetaRelation(std::move(cache_key), out);
+  }
+  return out;
+}
+
+std::string MaskTrace::ToString() const {
+  std::ostringstream out;
+  out << "authorization trace:\n";
+  for (const OperandStage& stage : operands) {
+    out << "  " << stage.relation << "': " << stage.view_tuples
+        << " stored tuple(s)";
+    if (stage.with_self_joins != stage.view_tuples) {
+      out << " -> " << stage.with_self_joins << " with self-joins";
+    }
+    out << "\n";
+  }
+  out << "  products: " << after_products << " combined tuple(s), "
+      << after_dangling_prune << " after pruning\n";
+  for (const SelectionStage& stage : selections) {
+    out << "  select " << stage.predicate << ": " << stage.before
+        << " -> " << stage.after << "\n";
+  }
+  out << "  projection: " << after_projection << " tuple(s)\n"
+      << "  final mask: " << final_mask << " tuple(s)\n";
+  return out.str();
+}
+
+Result<MaskTrace> Authorizer::Explain(std::string_view user,
+                                      const ConjunctiveQuery& query,
+                                      const AuthorizationOptions& options)
+    const {
+  MaskTrace trace;
+  VIEWAUTH_RETURN_NOT_OK(
+      DeriveMask(user, query, options, nullptr, &trace).status());
+  return trace;
+}
+
+Result<MetaRelation> Authorizer::DeriveWideMask(
+    std::string_view user, const ConjunctiveQuery& query,
+    const AuthorizationOptions& options, MetaRelation* product_stage,
+    MaskTrace* trace) const {
+  MetaOpOptions op_options;
+  op_options.padding = options.padding;
+  op_options.four_case = options.four_case;
+
+  // Per-relation meta-relations are identical for repeated occurrences;
+  // compute once per relation name.
+  std::map<std::string, MetaRelation> per_relation;
+  for (size_t a = 0; a < query.atoms().size(); ++a) {
+    const std::string& rel = query.atoms()[a].relation;
+    if (per_relation.contains(rel)) continue;
+    if (trace != nullptr) {
+      AuthorizationOptions bare = options;
+      bare.self_joins = false;
+      bare.use_meta_cache = false;
+      VIEWAUTH_ASSIGN_OR_RETURN(
+          MetaRelation stored,
+          PrunedMetaRelation(user, query, static_cast<int>(a), bare));
+      trace->operands.push_back(
+          MaskTrace::OperandStage{rel, stored.size(), 0});
+    }
+    VIEWAUTH_ASSIGN_OR_RETURN(
+        MetaRelation meta,
+        PrunedMetaRelation(user, query, static_cast<int>(a), options));
+    if (trace != nullptr) {
+      trace->operands.back().with_self_joins = meta.size();
+    }
+    per_relation.emplace(rel, std::move(meta));
+  }
+
+  // S' step 1: all products first (the paper's canonical strategy).
+  // Intermediate duplicate elimination keeps the padded products from
+  // stacking combinatorially, and hopeless tuples — those missing an
+  // atom of a relation that no remaining operand ranges over — are
+  // pruned early rather than multiplied.
+  const std::map<AtomId, ViewCatalog::AtomInfo>& atom_info =
+      catalog_->atom_info();
+  auto prune_hopeless = [&](MetaRelation rel, size_t next_atom_index) {
+    std::map<std::string, int> remaining;
+    for (size_t a = next_atom_index; a < query.atoms().size(); ++a) {
+      ++remaining[query.atoms()[a].relation];
+    }
+    MetaRelation out(rel.columns());
+    for (MetaTuple& tuple : rel.tuples()) {
+      // Any operand tuple carries at most one atom of a given view (the
+      // self-join refinement never pairs a view with itself), so needing
+      // more atoms of one view over relation X than there are X slots
+      // left is hopeless.
+      std::set<AtomId> missing;
+      for (VarId var : tuple.CellVars()) {
+        auto it = tuple.var_atoms().find(var);
+        if (it == tuple.var_atoms().end()) continue;
+        for (AtomId atom : it->second) {
+          if (!tuple.origin_atoms().contains(atom)) missing.insert(atom);
+        }
+      }
+      std::map<std::pair<std::string, std::string>, int> needed;
+      for (AtomId atom : missing) {
+        auto info = atom_info.find(atom);
+        if (info != atom_info.end()) {
+          ++needed[{info->second.view, info->second.relation}];
+        }
+      }
+      bool hopeless = false;
+      for (const auto& [view_relation, count] : needed) {
+        auto rem = remaining.find(view_relation.second);
+        if (rem == remaining.end() || rem->second < count) {
+          hopeless = true;
+          break;
+        }
+      }
+      if (!hopeless) out.Add(std::move(tuple));
+    }
+    return out;
+  };
+
+  MetaRelation current;
+  for (size_t a = 0; a < query.atoms().size(); ++a) {
+    const MetaRelation& operand = per_relation.at(query.atoms()[a].relation);
+    if (a == 0) {
+      current = operand;
+    } else {
+      current = RemoveDuplicates(MetaProduct(current, operand, op_options));
+    }
+    if (options.prune_dangling) {
+      current = prune_hopeless(std::move(current), a + 1);
+    }
+  }
+
+  if (trace != nullptr) trace->after_products = current.size();
+
+  // Prune combined tuples that reference meta-tuples outside the result,
+  // and tuples that project nothing (padding residue): no later operator
+  // ever adds a projected column, so they can never contribute to the
+  // mask.
+  if (options.prune_dangling) {
+    current = PruneDanglingTuples(current);
+  }
+  {
+    MetaRelation projecting(current.columns());
+    for (MetaTuple& tuple : current.tuples()) {
+      bool any_star = false;
+      for (const MetaCell& cell : tuple.cells()) {
+        if (cell.projected) {
+          any_star = true;
+          break;
+        }
+      }
+      if (any_star) projecting.Add(std::move(tuple));
+    }
+    current = std::move(projecting);
+  }
+  current = RemoveDuplicates(current);
+  if (trace != nullptr) trace->after_dangling_prune = current.size();
+  if (product_stage != nullptr) *product_stage = current;
+
+  // S' step 2: selections.
+  std::vector<std::string> product_names = query.ProductColumnNames();
+  for (const CalculusCondition& cond : query.conditions()) {
+    MetaSelection sel =
+        cond.rhs_is_column
+            ? MetaSelection::ColumnColumn(query.FlatIndex(cond.lhs), cond.op,
+                                          query.FlatIndex(cond.rhs_column))
+            : MetaSelection::ColumnConst(query.FlatIndex(cond.lhs), cond.op,
+                                         cond.rhs_const);
+    const int before = current.size();
+    current = MetaSelect(current, sel, op_options,
+                         catalog_->synthetic_allocator());
+    if (trace != nullptr) {
+      std::string predicate =
+          product_names[static_cast<size_t>(query.FlatIndex(cond.lhs))];
+      predicate += " ";
+      predicate += ComparatorToString(cond.op);
+      predicate += " ";
+      predicate += cond.rhs_is_column
+                       ? product_names[static_cast<size_t>(
+                             query.FlatIndex(cond.rhs_column))]
+                       : cond.rhs_const.ToDisplayString(false);
+      trace->selections.push_back(MaskTrace::SelectionStage{
+          std::move(predicate), before, current.size()});
+    }
+  }
+
+  // Four-case post-pass: a conjunction of query predicates may jointly
+  // imply a tuple's restriction even when no single predicate does
+  // (the paper's case "between 400,000 and 500,000" against the view
+  // "between 300,000 and 600,000"). Express the query's full selection
+  // over column terms and clear implied cells.
+  if (options.four_case) {
+    auto column_term = [](int col) -> TermId { return -(col + 1); };
+    ConstraintSet lambda;
+    {
+      int col = 0;
+      for (size_t a = 0; a < query.atoms().size(); ++a) {
+        const RelationSchema& rel = query.atom_schema(static_cast<int>(a));
+        for (int i = 0; i < rel.arity(); ++i, ++col) {
+          lambda.DeclareTermType(column_term(col), rel.attribute(i).type);
+        }
+      }
+    }
+    for (const CalculusCondition& cond : query.conditions()) {
+      if (cond.rhs_is_column) {
+        lambda.AddTermTerm(column_term(query.FlatIndex(cond.lhs)), cond.op,
+                           column_term(query.FlatIndex(cond.rhs_column)));
+      } else {
+        lambda.AddTermConst(column_term(query.FlatIndex(cond.lhs)), cond.op,
+                            cond.rhs_const);
+      }
+    }
+    ClearImpliedRestrictions(&current, lambda, column_term);
+  }
+
+  return current;
+}
+
+Result<MetaRelation> Authorizer::DeriveMask(
+    std::string_view user, const ConjunctiveQuery& query,
+    const AuthorizationOptions& options, MetaRelation* product_stage,
+    MaskTrace* trace) const {
+  VIEWAUTH_ASSIGN_OR_RETURN(
+      MetaRelation current,
+      DeriveWideMask(user, query, options, product_stage, trace));
+
+  // S' step 3: the final projection onto the requested columns.
+  std::vector<int> keep;
+  keep.reserve(query.targets().size());
+  for (const ColumnRef& target : query.targets()) {
+    keep.push_back(query.FlatIndex(target));
+  }
+  current = MetaProject(current, keep);
+  if (trace != nullptr) trace->after_projection = current.size();
+
+  // Rename the mask's columns to the answer's column names.
+  std::vector<std::string> names = query.OutputColumnNames();
+  std::vector<ValueType> types = query.OutputColumnTypes();
+  std::vector<Attribute> columns;
+  columns.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    columns.push_back(Attribute{names[i], types[i]});
+  }
+  MetaRelation mask(std::move(columns));
+  for (MetaTuple& tuple : current.tuples()) {
+    mask.Add(std::move(tuple));
+  }
+
+  // Products are done: provenance no longer matters, so tuples that
+  // differ only in their origins collapse.
+  mask = RemoveDuplicates(mask, /*respect_provenance=*/false);
+  if (options.subsumption) mask = RemoveSubsumed(mask);
+  if (trace != nullptr) trace->final_mask = mask.size();
+  return mask;
+}
+
+bool Authorizer::RowSatisfies(const MetaTuple& tuple, const Tuple& row) {
+  // Constant cells: direct comparison.
+  for (int i = 0; i < tuple.arity(); ++i) {
+    const MetaCell& cell = tuple.cells()[i];
+    if (cell.kind == CellKind::kConst &&
+        !row.at(i).Satisfies(Comparator::kEq, cell.constant)) {
+      return false;
+    }
+  }
+  std::set<VarId> vars = tuple.CellVars();
+  if (vars.empty() && tuple.constraints().atom_count() == 0) return true;
+
+  // Bind every cell variable to the row's value; a variable spanning
+  // several cells requires equal values.
+  std::map<TermId, Value> assignment;
+  for (int i = 0; i < tuple.arity(); ++i) {
+    const MetaCell& cell = tuple.cells()[i];
+    if (cell.kind != CellKind::kVar) continue;
+    if (row.at(i).is_null()) return false;
+    auto [it, inserted] = assignment.emplace(cell.var, row.at(i));
+    if (!inserted && !it->second.Satisfies(Comparator::kEq, row.at(i))) {
+      return false;
+    }
+  }
+
+  // Fast path: when every constrained term has a cell binding, the atoms
+  // evaluate directly — no solver involved.
+  bool total = true;
+  for (TermId term : tuple.constraints().MentionedTerms()) {
+    if (!assignment.contains(term)) {
+      total = false;
+      break;
+    }
+  }
+  if (total) return tuple.constraints().Satisfied(assignment);
+
+  // Store-only (existential) variables remain: delegate to the solver.
+  ConstraintSet check = tuple.constraints();
+  for (const auto& [var, value] : assignment) {
+    check.AddTermConst(var, Comparator::kEq, value);
+  }
+  return check.IsSatisfiable();
+}
+
+Relation Authorizer::ApplyMask(const Relation& answer,
+                               const MetaRelation& mask,
+                               bool drop_fully_masked_rows) {
+  Relation out(answer.schema());
+  if (mask.empty()) return out;
+
+  // Precompute each tuple's projected columns.
+  std::vector<std::vector<int>> projected(mask.tuples().size());
+  for (size_t t = 0; t < mask.tuples().size(); ++t) {
+    const MetaTuple& tuple = mask.tuples()[t];
+    for (int i = 0; i < tuple.arity(); ++i) {
+      if (tuple.cells()[i].projected) projected[t].push_back(i);
+    }
+  }
+
+  // Each mask tuple is a separate permitted view of the answer; its rows
+  // are delivered with exactly its projected columns. Portions from
+  // different mask tuples are NOT merged cell-wise into one row: showing
+  // tuple-1's columns and tuple-2's columns side by side would reveal
+  // their association, which is derivable from the permitted views only
+  // when a (self-)joined mask tuple grants the combination explicitly.
+  for (const Tuple& row : answer.rows()) {
+    bool any = false;
+    for (size_t t = 0; t < mask.tuples().size(); ++t) {
+      if (projected[t].empty()) continue;
+      if (!RowSatisfies(mask.tuples()[t], row)) continue;
+      any = true;
+      std::vector<bool> permitted(static_cast<size_t>(row.arity()), false);
+      for (int col : projected[t]) {
+        permitted[static_cast<size_t>(col)] = true;
+      }
+      std::vector<Value> values;
+      values.reserve(static_cast<size_t>(row.arity()));
+      for (int i = 0; i < row.arity(); ++i) {
+        values.push_back(permitted[static_cast<size_t>(i)] ? row.at(i)
+                                                           : Value::Null());
+      }
+      out.InsertUnchecked(Tuple(std::move(values)));
+    }
+    if (!any && !drop_fully_masked_rows) {
+      out.InsertUnchecked(
+          Tuple(std::vector<Value>(static_cast<size_t>(row.arity()))));
+    }
+  }
+  return out;
+}
+
+Relation Authorizer::ApplyWideMask(const Relation& wide_answer,
+                                   const MetaRelation& wide_mask,
+                                   const std::vector<int>& target_columns,
+                                   const RelationSchema& answer_schema,
+                                   bool drop_fully_masked_rows) {
+  Relation out(answer_schema);
+  const int width = static_cast<int>(target_columns.size());
+
+  // Per tuple: which answer positions it grants.
+  std::vector<std::vector<bool>> grants(wide_mask.tuples().size());
+  std::vector<bool> tuple_relevant(wide_mask.tuples().size(), false);
+  for (size_t t = 0; t < wide_mask.tuples().size(); ++t) {
+    const MetaTuple& tuple = wide_mask.tuples()[t];
+    grants[t].assign(static_cast<size_t>(width), false);
+    for (int i = 0; i < width; ++i) {
+      if (tuple.cells()[target_columns[static_cast<size_t>(i)]].projected) {
+        grants[t][static_cast<size_t>(i)] = true;
+        tuple_relevant[t] = true;
+      }
+    }
+  }
+
+  for (const Tuple& wide_row : wide_answer.rows()) {
+    bool any = false;
+    for (size_t t = 0; t < wide_mask.tuples().size(); ++t) {
+      if (!tuple_relevant[t]) continue;
+      if (!RowSatisfies(wide_mask.tuples()[t], wide_row)) continue;
+      any = true;
+      std::vector<Value> values;
+      values.reserve(static_cast<size_t>(width));
+      for (int i = 0; i < width; ++i) {
+        values.push_back(grants[t][static_cast<size_t>(i)]
+                             ? wide_row.at(
+                                   target_columns[static_cast<size_t>(i)])
+                             : Value::Null());
+      }
+      out.InsertUnchecked(Tuple(std::move(values)));
+    }
+    if (!any && !drop_fully_masked_rows) {
+      out.InsertUnchecked(
+          Tuple(std::vector<Value>(static_cast<size_t>(width))));
+    }
+  }
+  return out;
+}
+
+std::vector<InferredPermit> Authorizer::DescribeWideMask(
+    const MetaRelation& wide_mask, const ConjunctiveQuery& query) const {
+  // Display names: requested columns use the answer's names; additional
+  // attributes use qualified product names.
+  std::vector<std::string> product_names = query.ProductColumnNames();
+  std::vector<std::string> answer_names = query.OutputColumnNames();
+  std::map<int, std::string> display;
+  for (int c = 0; c < query.TotalColumns(); ++c) {
+    display[c] = product_names[static_cast<size_t>(c)];
+  }
+  std::set<int> requested;
+  for (size_t i = 0; i < query.targets().size(); ++i) {
+    int flat = query.FlatIndex(query.targets()[i]);
+    requested.insert(flat);
+    display[flat] = answer_names[i];
+  }
+
+  std::vector<InferredPermit> permits;
+  std::set<std::string> seen;
+  for (const MetaTuple& tuple : wide_mask.tuples()) {
+    InferredPermit permit;
+    for (int i = 0; i < tuple.arity(); ++i) {
+      if (tuple.cells()[i].projected && requested.contains(i)) {
+        permit.columns.push_back(display[i]);
+      }
+    }
+    if (permit.columns.empty()) continue;
+
+    std::vector<std::string> where_parts;
+    for (int i = 0; i < tuple.arity(); ++i) {
+      const MetaCell& cell = tuple.cells()[i];
+      if (cell.kind == CellKind::kConst) {
+        where_parts.push_back(display[i] + " = " +
+                              cell.constant.ToDisplayString(false));
+      }
+    }
+    std::map<VarId, std::vector<int>> var_cols;
+    for (int i = 0; i < tuple.arity(); ++i) {
+      const MetaCell& cell = tuple.cells()[i];
+      if (cell.kind == CellKind::kVar) var_cols[cell.var].push_back(i);
+    }
+    for (const auto& [var, cols] : var_cols) {
+      (void)var;
+      for (size_t k = 1; k < cols.size(); ++k) {
+        where_parts.push_back(display[cols[0]] + " = " +
+                              display[cols[k]]);
+      }
+    }
+    std::set<VarId> vars = tuple.CellVars();
+    std::vector<TermId> terms(vars.begin(), vars.end());
+    auto namer = [&](TermId term) -> std::string {
+      auto it = var_cols.find(term);
+      if (it != var_cols.end()) return display[it->second[0]];
+      return catalog_->VarName(term);
+    };
+    for (const ConstraintAtom& atom :
+         tuple.constraints().ExportAtoms(terms)) {
+      where_parts.push_back(atom.ToString(namer));
+    }
+    std::sort(where_parts.begin(), where_parts.end());
+    where_parts.erase(std::unique(where_parts.begin(), where_parts.end()),
+                      where_parts.end());
+    permit.where = Join(where_parts, " and ");
+
+    std::string rendered = permit.ToString();
+    if (seen.insert(rendered).second) {
+      permits.push_back(std::move(permit));
+    }
+  }
+  return permits;
+}
+
+std::vector<InferredPermit> Authorizer::DescribeMask(
+    const MetaRelation& mask) const {
+  std::vector<InferredPermit> permits;
+  std::set<std::string> seen;
+  for (const MetaTuple& tuple : mask.tuples()) {
+    InferredPermit permit;
+    for (int i = 0; i < tuple.arity(); ++i) {
+      if (tuple.cells()[i].projected) {
+        permit.columns.push_back(mask.columns()[i].name);
+      }
+    }
+    if (permit.columns.empty()) continue;
+
+    std::vector<std::string> where_parts;
+    // Constant cells.
+    for (int i = 0; i < tuple.arity(); ++i) {
+      const MetaCell& cell = tuple.cells()[i];
+      if (cell.kind == CellKind::kConst) {
+        where_parts.push_back(mask.columns()[i].name + " = " +
+                              cell.constant.ToDisplayString(false));
+      }
+    }
+    // Shared variables: column equalities.
+    std::map<VarId, std::vector<int>> var_cols;
+    for (int i = 0; i < tuple.arity(); ++i) {
+      const MetaCell& cell = tuple.cells()[i];
+      if (cell.kind == CellKind::kVar) var_cols[cell.var].push_back(i);
+    }
+    for (const auto& [var, cols] : var_cols) {
+      (void)var;
+      for (size_t k = 1; k < cols.size(); ++k) {
+        where_parts.push_back(mask.columns()[cols[0]].name + " = " +
+                              mask.columns()[cols[k]].name);
+      }
+    }
+    // Comparative constraints on cell variables, rendered with column
+    // names.
+    std::set<VarId> vars = tuple.CellVars();
+    std::vector<TermId> terms(vars.begin(), vars.end());
+    auto namer = [&](TermId term) -> std::string {
+      auto it = var_cols.find(term);
+      if (it != var_cols.end()) return mask.columns()[it->second[0]].name;
+      return catalog_->VarName(term);
+    };
+    for (const ConstraintAtom& atom : tuple.constraints().ExportAtoms(terms)) {
+      where_parts.push_back(atom.ToString(namer));
+    }
+
+    std::sort(where_parts.begin(), where_parts.end());
+    where_parts.erase(std::unique(where_parts.begin(), where_parts.end()),
+                      where_parts.end());
+    permit.where = Join(where_parts, " and ");
+
+    std::string rendered = permit.ToString();
+    if (seen.insert(rendered).second) {
+      permits.push_back(std::move(permit));
+    }
+  }
+  return permits;
+}
+
+Result<AuthorizationResult> Authorizer::RetrieveExtended(
+    std::string_view user, const ConjunctiveQuery& query,
+    const AuthorizationOptions& options) const {
+  AuthorizationResult result;
+  VIEWAUTH_ASSIGN_OR_RETURN(MetaRelation wide,
+                            DeriveWideMask(user, query, options));
+  wide = RemoveDuplicates(wide, /*respect_provenance=*/false);
+  if (options.subsumption) wide = RemoveSubsumed(wide);
+  // Qualified column names for the wide mask's display.
+  {
+    std::vector<std::string> names = query.ProductColumnNames();
+    std::vector<Attribute> columns;
+    columns.reserve(names.size());
+    int col = 0;
+    for (size_t a = 0; a < query.atoms().size(); ++a) {
+      const RelationSchema& rel = query.atom_schema(static_cast<int>(a));
+      for (int i = 0; i < rel.arity(); ++i, ++col) {
+        columns.push_back(Attribute{names[static_cast<size_t>(col)],
+                                    rel.attribute(i).type});
+      }
+    }
+    MetaRelation renamed(std::move(columns));
+    for (MetaTuple& tuple : wide.tuples()) renamed.Add(std::move(tuple));
+    wide = std::move(renamed);
+  }
+  result.mask = wide;
+
+  // Evaluate the answer *before* the final projection so that mask
+  // predicates over non-requested attributes can be tested per row.
+  ConjunctiveQuery wide_query = query.WithAllColumnsProjected();
+  Relation wide_answer;
+  if (options.use_optimized_data_plan) {
+    VIEWAUTH_ASSIGN_OR_RETURN(
+        wide_answer,
+        EvaluateOptimized(wide_query, *db_, "WIDE", &result.data_stats));
+  } else {
+    VIEWAUTH_ASSIGN_OR_RETURN(
+        wide_answer,
+        EvaluateCanonical(wide_query, *db_, "WIDE", &result.data_stats));
+  }
+
+  std::vector<int> target_columns;
+  target_columns.reserve(query.targets().size());
+  for (const ColumnRef& target : query.targets()) {
+    target_columns.push_back(query.FlatIndex(target));
+  }
+  VIEWAUTH_ASSIGN_OR_RETURN(RelationSchema answer_schema,
+                            query.OutputSchema("ANSWER"));
+  result.raw_answer = Relation(answer_schema);
+  for (const Tuple& row : wide_answer.rows()) {
+    result.raw_answer.InsertUnchecked(row.Project(target_columns));
+  }
+  result.data_stats.output_rows = result.raw_answer.size();
+
+  // Denied when no tuple grants any requested column.
+  std::set<int> requested(target_columns.begin(), target_columns.end());
+  bool anything = false;
+  for (const MetaTuple& tuple : wide.tuples()) {
+    for (int col : requested) {
+      if (tuple.cells()[col].projected) {
+        anything = true;
+        break;
+      }
+    }
+    if (anything) break;
+  }
+  if (!anything) {
+    result.denied = true;
+    result.answer = Relation(answer_schema);
+    return result;
+  }
+
+  // Full access: a tuple with every requested column projected and no
+  // restriction at all.
+  for (const MetaTuple& tuple : wide.tuples()) {
+    bool clean = tuple.constraints().atom_count() == 0;
+    for (const MetaCell& cell : tuple.cells()) {
+      if (!cell.is_blank()) clean = false;
+    }
+    if (!clean) continue;
+    bool covers = true;
+    for (int col : requested) {
+      if (!tuple.cells()[col].projected) covers = false;
+    }
+    if (covers) {
+      result.full_access = true;
+      break;
+    }
+  }
+  if (result.full_access) {
+    result.answer = result.raw_answer;
+    return result;
+  }
+
+  result.answer = ApplyWideMask(wide_answer, wide, target_columns,
+                                answer_schema,
+                                options.drop_fully_masked_rows);
+  result.permits = DescribeWideMask(wide, query);
+  return result;
+}
+
+Result<AuthorizationResult> Authorizer::Retrieve(
+    std::string_view user, const ConjunctiveQuery& query,
+    const AuthorizationOptions& options) const {
+  if (options.extended_masks) {
+    return RetrieveExtended(user, query, options);
+  }
+  AuthorizationResult result;
+  VIEWAUTH_ASSIGN_OR_RETURN(result.mask, DeriveMask(user, query, options));
+  if (options.use_optimized_data_plan) {
+    VIEWAUTH_ASSIGN_OR_RETURN(
+        result.raw_answer,
+        EvaluateOptimized(query, *db_, "ANSWER", &result.data_stats));
+  } else {
+    VIEWAUTH_ASSIGN_OR_RETURN(
+        result.raw_answer,
+        EvaluateCanonical(query, *db_, "ANSWER", &result.data_stats));
+  }
+
+  // Denied when no mask tuple projects any column: nothing at all may be
+  // delivered (an empty mask is the common case; a mask of tuples with
+  // no starred cells is equivalent).
+  bool anything_projected = false;
+  for (const MetaTuple& tuple : result.mask.tuples()) {
+    for (const MetaCell& cell : tuple.cells()) {
+      if (cell.projected) {
+        anything_projected = true;
+        break;
+      }
+    }
+    if (anything_projected) break;
+  }
+  if (!anything_projected) {
+    result.denied = true;
+    result.answer = Relation(result.raw_answer.schema());
+    return result;
+  }
+
+  // Full access: some mask tuple projects every column with no selection.
+  for (const MetaTuple& tuple : result.mask.tuples()) {
+    bool all_projected = true;
+    for (const MetaCell& cell : tuple.cells()) {
+      if (!cell.is_blank() || !cell.projected) {
+        all_projected = false;
+        break;
+      }
+    }
+    if (all_projected && tuple.constraints().atom_count() == 0) {
+      result.full_access = true;
+      break;
+    }
+  }
+
+  if (result.full_access) {
+    result.answer = result.raw_answer;
+    return result;  // delivered without accompanying permit statements
+  }
+
+  result.answer = ApplyMask(result.raw_answer, result.mask,
+                            options.drop_fully_masked_rows);
+  result.permits = DescribeMask(result.mask);
+  return result;
+}
+
+}  // namespace viewauth

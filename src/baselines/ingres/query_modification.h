@@ -1,0 +1,77 @@
+// INGRES query-modification baseline (Stonebraker & Wong, ACM 1974), the
+// second comparison point in the paper's introduction.
+//
+// Characteristics reproduced here:
+//   * permissions attach to a *single relation*: a permitted column set
+//     plus a qualification over that relation's own attributes (no
+//     multi-relation permitted views — the paper's first criticism);
+//   * query modification conjoins the permission qualification onto the
+//     user's query, so over-reaching row requests shrink gracefully;
+//   * the column check is all-or-nothing per relation: if the query
+//     addresses any attribute outside the permitted column set, the whole
+//     query is rejected rather than column-reduced — the row/column
+//     asymmetry the paper criticizes;
+//   * several permissions on one relation disjoin: the modified query is
+//     evaluated once per applicable permission combination and the
+//     results are unioned.
+
+#ifndef VIEWAUTH_BASELINES_INGRES_QUERY_MODIFICATION_H_
+#define VIEWAUTH_BASELINES_INGRES_QUERY_MODIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "calculus/conjunctive_query.h"
+#include "common/result.h"
+#include "parser/ast.h"
+#include "schema/schema.h"
+#include "storage/relation.h"
+
+namespace viewauth {
+namespace ingres {
+
+// One protection entry: `user` may access `columns` of `relation` on rows
+// satisfying `qualification` (conditions over that relation only,
+// occurrence 1).
+struct Permission {
+  std::string user;
+  std::string relation;
+  std::vector<std::string> columns;
+  std::vector<Condition> qualification;
+};
+
+class IngresAuthorizer {
+ public:
+  explicit IngresAuthorizer(const DatabaseSchema* schema)
+      : schema_(schema) {}
+
+  // Validates and stores a permission. The qualification must reference
+  // only the permission's relation, and only its permitted columns or
+  // constants (INGRES qualifications range over the protected relation).
+  Status AddPermission(Permission permission);
+
+  // Query modification. Returns the modified conjunctive queries (one per
+  // combination of applicable permissions; results must be unioned), or
+  // PermissionDenied when some relation occurrence addresses attributes
+  // outside every permission's column set.
+  Result<std::vector<ConjunctiveQuery>> Modify(
+      const std::string& user, const std::vector<AttributeRef>& targets,
+      const std::vector<Condition>& conditions) const;
+
+  // Convenience: modify + evaluate + union.
+  Result<Relation> Retrieve(const std::string& user,
+                            const std::vector<AttributeRef>& targets,
+                            const std::vector<Condition>& conditions,
+                            const DatabaseInstance& db) const;
+
+  const std::vector<Permission>& permissions() const { return permissions_; }
+
+ private:
+  const DatabaseSchema* schema_;
+  std::vector<Permission> permissions_;
+};
+
+}  // namespace ingres
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_BASELINES_INGRES_QUERY_MODIFICATION_H_

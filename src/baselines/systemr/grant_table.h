@@ -1,0 +1,117 @@
+// System R authorization baseline (Griffiths & Wade, TODS 1976), the
+// first comparison point in the paper's introduction.
+//
+// Characteristics reproduced here:
+//   * privileges are granted per object (base relation or view), with an
+//     optional GRANT OPTION enabling re-granting;
+//   * revocation is recursive with timestamp semantics: a grant survives
+//     only while it is supported by a chain of earlier grants (with grant
+//     option) leading back to the object's owner;
+//   * views are *access windows*: a user with access to view V but not to
+//     the underlying relations can query V only by name. A query that
+//     addresses an underlying relation directly is rejected outright —
+//     the all-or-nothing behaviour Motro's model removes.
+
+#ifndef VIEWAUTH_BASELINES_SYSTEMR_GRANT_TABLE_H_
+#define VIEWAUTH_BASELINES_SYSTEMR_GRANT_TABLE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "calculus/conjunctive_query.h"
+#include "common/result.h"
+#include "schema/schema.h"
+
+namespace viewauth {
+namespace systemr {
+
+enum class Privilege { kRead = 0, kInsert = 1, kDelete = 2, kUpdate = 3 };
+
+std::string_view PrivilegeToString(Privilege privilege);
+
+struct GrantRecord {
+  long long timestamp = 0;
+  std::string grantor;
+  std::string grantee;
+  std::string object;
+  Privilege privilege = Privilege::kRead;
+  bool grant_option = false;
+
+  bool operator==(const GrantRecord& other) const = default;
+};
+
+class SystemRAuthorizer {
+ public:
+  explicit SystemRAuthorizer(const DatabaseSchema* schema)
+      : schema_(schema) {}
+
+  // Registers a base relation with its owner. The owner holds every
+  // privilege with grant option, implicitly, from timestamp 0.
+  Status RegisterTable(std::string table, std::string owner);
+
+  // Registers a view owned by `owner`, defined by `definition`. The owner
+  // receives READ on the view iff they hold READ on every underlying
+  // table, with grant option iff they hold all of those with grant
+  // option (the System R "derived authorization" rule).
+  Status RegisterView(std::string view, std::string owner,
+                      ConjunctiveQuery definition);
+
+  // GRANT `privilege` ON `object` TO `grantee` [WITH GRANT OPTION],
+  // issued by `grantor`. Fails unless the grantor holds the privilege
+  // with grant option at this time.
+  Status Grant(const std::string& grantor, const std::string& grantee,
+               const std::string& object, Privilege privilege,
+               bool grant_option);
+
+  // REVOKE: removes the grantor's grants of (object, privilege) to
+  // grantee, then recursively invalidates grants that are no longer
+  // supported by a timestamp-increasing chain from the owner.
+  Status Revoke(const std::string& revoker, const std::string& grantee,
+                const std::string& object, Privilege privilege);
+
+  // Does `user` currently hold `privilege` on `object`?
+  bool HasPrivilege(const std::string& user, const std::string& object,
+                    Privilege privilege,
+                    bool require_grant_option = false) const;
+
+  // System R query check: every membership atom's relation must be
+  // readable by the user. All-or-nothing: no partial results.
+  Status CheckQuery(const std::string& user,
+                    const ConjunctiveQuery& query) const;
+
+  // Querying a view *by name*: allowed iff the user holds READ on the
+  // view object; returns the view's definition for execution against the
+  // base relations (query rewriting).
+  Result<const ConjunctiveQuery*> OpenView(const std::string& user,
+                                           const std::string& view) const;
+
+  // Currently valid grants, for inspection and tests.
+  const std::vector<GrantRecord>& grants() const { return grants_; }
+  const std::map<std::string, std::string>& owners() const { return owners_; }
+
+ private:
+  // Recomputes the set of supported grants after a revocation, per the
+  // Griffiths-Wade semantics.
+  void PruneUnsupportedGrants();
+
+  // True if `user` holds (object, privilege[, grant option]) at
+  // `before_timestamp` through ownership or a supported chain, considering
+  // only grants with timestamp < before_timestamp.
+  bool HeldAt(const std::string& user, const std::string& object,
+              Privilege privilege, bool require_grant_option,
+              long long before_timestamp) const;
+
+  const DatabaseSchema* schema_;
+  std::map<std::string, std::string> owners_;  // object -> owner
+  std::map<std::string, ConjunctiveQuery> view_definitions_;
+  std::vector<GrantRecord> grants_;
+  long long clock_ = 1;
+};
+
+}  // namespace systemr
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_BASELINES_SYSTEMR_GRANT_TABLE_H_

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+namespace viewauth {
+namespace internal_logging {
+
+namespace {
+LogLevel g_log_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_log_level; }
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  enabled_ = static_cast<int>(level) >= static_cast<int>(g_log_level);
+  if (enabled_) {
+    stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  }
+}
+
+LogMessage::LogMessage(const char* file, int line, bool fatal)
+    : level_(LogLevel::kError), fatal_(fatal) {
+  stream_ << "[FATAL " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_ || fatal_) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (fatal_) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace viewauth

@@ -1,0 +1,64 @@
+// Minimal logging and check macros for viewauth.
+//
+// VIEWAUTH_CHECK aborts on violated invariants (programming errors, never
+// user errors — those are reported via Status). VIEWAUTH_DCHECK compiles
+// out in NDEBUG builds.
+
+#ifndef VIEWAUTH_COMMON_LOGGING_H_
+#define VIEWAUTH_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace viewauth {
+namespace internal_logging {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Minimum level that is actually emitted; default kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  // Fatal messages abort in the destructor.
+  LogMessage(const char* file, int line, bool fatal);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_ = false;
+  bool enabled_ = true;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace viewauth
+
+#define VIEWAUTH_LOG(level)                                       \
+  ::viewauth::internal_logging::LogMessage(                       \
+      ::viewauth::internal_logging::LogLevel::k##level, __FILE__, \
+      __LINE__)                                                   \
+      .stream()
+
+#define VIEWAUTH_CHECK(condition)                                      \
+  if (!(condition))                                                    \
+  ::viewauth::internal_logging::LogMessage(__FILE__, __LINE__, true)   \
+          .stream()                                                    \
+      << "Check failed: " #condition " "
+
+#ifdef NDEBUG
+#define VIEWAUTH_DCHECK(condition) \
+  if (false) VIEWAUTH_CHECK(condition)
+#else
+#define VIEWAUTH_DCHECK(condition) VIEWAUTH_CHECK(condition)
+#endif
+
+#endif  // VIEWAUTH_COMMON_LOGGING_H_

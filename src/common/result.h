@@ -1,0 +1,85 @@
+// Result<T>: a value-or-Status type, the viewauth analogue of
+// arrow::Result. Functions that produce a value but can fail return
+// Result<T>; callers either check ok() explicitly or use
+// VIEWAUTH_ASSIGN_OR_RETURN to propagate errors.
+
+#ifndef VIEWAUTH_COMMON_RESULT_H_
+#define VIEWAUTH_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace viewauth {
+
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so `return value;` and `return status;` both
+  // work inside functions returning Result<T>.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!this->status().ok() && "Result constructed from OK Status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  // Returns the carried status; OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  // Value access. Must only be called when ok().
+  const T& value() const& {
+    assert(ok() && "Result::value() called on error Result");
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok() && "Result::value() called on error Result");
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() called on error Result");
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `alternative` if this Result holds an error.
+  T ValueOr(T alternative) const& { return ok() ? value() : alternative; }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace viewauth
+
+#define VIEWAUTH_CONCAT_IMPL_(x, y) x##y
+#define VIEWAUTH_CONCAT_(x, y) VIEWAUTH_CONCAT_IMPL_(x, y)
+
+// VIEWAUTH_ASSIGN_OR_RETURN(lhs, expr): evaluates `expr` (a Result<T>),
+// returns its Status on failure, otherwise assigns the value to `lhs`.
+// `lhs` may include a declaration, e.g.
+//   VIEWAUTH_ASSIGN_OR_RETURN(auto plan, BuildPlan(query));
+#define VIEWAUTH_ASSIGN_OR_RETURN(lhs, expr)                              \
+  VIEWAUTH_ASSIGN_OR_RETURN_IMPL_(                                        \
+      VIEWAUTH_CONCAT_(_viewauth_result_, __LINE__), lhs, expr)
+
+#define VIEWAUTH_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#endif  // VIEWAUTH_COMMON_RESULT_H_

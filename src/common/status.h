@@ -1,0 +1,131 @@
+// Status: the error-reporting type used throughout viewauth.
+//
+// viewauth follows the Arrow/RocksDB idiom of returning a Status (or a
+// Result<T>, see result.h) from every operation that can fail, instead of
+// throwing exceptions. A Status is cheap to copy in the OK case (a single
+// null pointer) and carries a code plus a human-readable message otherwise.
+
+#ifndef VIEWAUTH_COMMON_STATUS_H_
+#define VIEWAUTH_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace viewauth {
+
+// Broad classification of failures. Codes are coarse by design: callers
+// branch on the code, humans read the message.
+enum class StatusCode {
+  kOk = 0,
+  // The request is malformed: bad syntax, unknown names, arity mismatch.
+  kInvalidArgument = 1,
+  // A referenced object (relation, view, user, attribute) does not exist.
+  kNotFound = 2,
+  // An object with the same name already exists.
+  kAlreadyExists = 3,
+  // The user lacks permission for the requested access.
+  kPermissionDenied = 4,
+  // The operation is valid but not supported by this implementation.
+  kNotImplemented = 5,
+  // An internal invariant was violated; indicates a bug in viewauth.
+  kInternal = 6,
+  // Schema-level inconsistency (type mismatch, key violation).
+  kSchemaMismatch = 7,
+};
+
+// Returns a stable human-readable name, e.g. "Invalid argument".
+std::string_view StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status SchemaMismatch(std::string msg) {
+    return Status(StatusCode::kSchemaMismatch, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  // Empty for OK statuses.
+  const std::string& message() const {
+    static const std::string* const kEmpty = new std::string();
+    return state_ == nullptr ? *kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsPermissionDenied() const {
+    return code() == StatusCode::kPermissionDenied;
+  }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsSchemaMismatch() const {
+    return code() == StatusCode::kSchemaMismatch;
+  }
+
+  // "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null iff OK. Shared so that Status is cheap to copy.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace viewauth
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if it is not OK.
+#define VIEWAUTH_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::viewauth::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+#endif  // VIEWAUTH_COMMON_STATUS_H_

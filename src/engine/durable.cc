@@ -1,0 +1,87 @@
+#include "engine/durable.h"
+
+#include <sstream>
+
+#include "parser/parser.h"
+
+namespace viewauth {
+
+namespace {
+
+bool IsMutating(const Statement& stmt) {
+  return !std::holds_alternative<RetrieveStmt>(stmt);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
+    const std::string& path) {
+  auto engine = std::make_unique<Engine>();
+
+  // Replay an existing log, if any.
+  {
+    std::ifstream in(path);
+    if (in.good()) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const std::string contents = buffer.str();
+      if (!contents.empty()) {
+        auto replay = engine->ExecuteScript(contents);
+        if (!replay.ok()) {
+          return Status::Internal("statement log '" + path +
+                                  "' does not replay cleanly: " +
+                                  replay.status().ToString());
+        }
+      }
+    }
+  }
+
+  std::unique_ptr<DurableEngine> durable(
+      new DurableEngine(path, std::move(engine)));
+  durable->log_.open(path, std::ios::app);
+  if (!durable->log_.good()) {
+    return Status::Internal("cannot open statement log '" + path +
+                            "' for writing");
+  }
+  return durable;
+}
+
+Status DurableEngine::AppendToLog(const std::string& line) {
+  log_ << line << "\n";
+  log_.flush();
+  if (!log_.good()) {
+    return Status::Internal("write to statement log '" + path_ +
+                            "' failed");
+  }
+  return Status::OK();
+}
+
+Result<std::string> DurableEngine::Execute(
+    const std::string& statement_text) {
+  VIEWAUTH_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement_text));
+  VIEWAUTH_ASSIGN_OR_RETURN(std::string output,
+                            engine_->ExecuteParsed(stmt));
+  if (IsMutating(stmt)) {
+    VIEWAUTH_RETURN_NOT_OK(AppendToLog(StatementToString(stmt)));
+  }
+  return output;
+}
+
+Status DurableEngine::Compact() {
+  VIEWAUTH_ASSIGN_OR_RETURN(std::string script, engine_->DumpScript());
+  log_.close();
+  std::ofstream rewritten(path_, std::ios::trunc);
+  rewritten << script;
+  rewritten.flush();
+  if (!rewritten.good()) {
+    return Status::Internal("compaction of '" + path_ + "' failed");
+  }
+  rewritten.close();
+  log_.open(path_, std::ios::app);
+  if (!log_.good()) {
+    return Status::Internal("cannot reopen statement log '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace viewauth

@@ -1,0 +1,55 @@
+// DurableEngine: an Engine whose state survives restarts.
+//
+// Every successfully executed *mutating* statement (relation / insert /
+// view / permit / deny / delete / modify) is appended, in its normalized
+// rendering, to a plain-text statement log. Opening the same path replays
+// the log through a fresh engine, reproducing the state. Retrieves are
+// not logged (they do not change state; the audit log covers them).
+//
+// The format is deliberately the surface language itself: the log is
+// human-readable, diffable, and exactly what Engine::DumpScript would
+// emit for the same state modulo statement order.
+
+#ifndef VIEWAUTH_ENGINE_DURABLE_H_
+#define VIEWAUTH_ENGINE_DURABLE_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "engine/engine.h"
+
+namespace viewauth {
+
+class DurableEngine {
+ public:
+  // Opens (creating if absent) the statement log at `path`, replaying any
+  // existing contents. Fails if the existing log does not replay cleanly.
+  static Result<std::unique_ptr<DurableEngine>> Open(const std::string& path);
+
+  // Executes one statement; successful mutating statements are appended
+  // to the log and flushed before the result is returned.
+  Result<std::string> Execute(const std::string& statement_text);
+
+  // Rewrites the log as the compact DumpScript of the current state
+  // (compaction: dropped rows and revoked grants disappear).
+  Status Compact();
+
+  Engine& engine() { return *engine_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  DurableEngine(std::string path, std::unique_ptr<Engine> engine)
+      : path_(std::move(path)), engine_(std::move(engine)) {}
+
+  Status AppendToLog(const std::string& line);
+
+  std::string path_;
+  std::unique_ptr<Engine> engine_;
+  std::ofstream log_;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_ENGINE_DURABLE_H_

@@ -1,0 +1,99 @@
+// The database front-end promised by the paper's conclusion (Section 6):
+// "The user will define access authorization with permit statements, and
+// the system will insert automatically the appropriate meta-tuples into
+// the meta-relations. In response to a retrieve statement, the user will
+// receive a derived relation, whose structure corresponds to the request
+// but whose tuples include only permitted values, and a set of inferred
+// permit statements describing the portion delivered."
+//
+// Engine owns the database instance, the view catalog and the authorizer,
+// and executes surface-language statements, returning rendered output.
+// Meta-relations and meta-tuple notation stay completely transparent.
+
+#ifndef VIEWAUTH_ENGINE_ENGINE_H_
+#define VIEWAUTH_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "authz/audit_log.h"
+#include "authz/authorizer.h"
+#include "common/result.h"
+#include "meta/view_store.h"
+#include "parser/ast.h"
+#include "storage/relation.h"
+
+namespace viewauth {
+
+class Engine {
+ public:
+  Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // The ambient user on whose behalf retrieve statements run when they
+  // carry no `as USER` clause. DDL / view / permit statements are
+  // administrator actions and are not gated (the paper scopes
+  // administration out).
+  void SetSessionUser(std::string user) { session_user_ = std::move(user); }
+  const std::string& session_user() const { return session_user_; }
+
+  AuthorizationOptions& options() { return options_; }
+
+  // Executes one statement (parsing it first) and returns displayable
+  // output: confirmations for DDL/DML, a rendered masked relation plus
+  // inferred permit statements for retrieves.
+  Result<std::string> Execute(const std::string& statement_text);
+  Result<std::string> ExecuteParsed(const Statement& statement);
+
+  // Executes a whole script, concatenating the statements' outputs.
+  Result<std::string> ExecuteScript(const std::string& script_text);
+
+  // Explains the authorization of a retrieve statement: parses it and
+  // returns the stage-by-stage mask-derivation trace (no data touched).
+  Result<std::string> ExplainRetrieve(const std::string& retrieve_text);
+
+  // Serializes the complete engine state — schema, data, views, grants —
+  // as a statement script; feeding it to a fresh engine's ExecuteScript
+  // restores an equivalent state.
+  Result<std::string> DumpScript() const;
+
+  // Structured access to the most recent retrieve's result.
+  const AuthorizationResult* last_result() const {
+    return last_result_ ? &*last_result_ : nullptr;
+  }
+
+  DatabaseInstance& db() { return db_; }
+  const DatabaseInstance& db() const { return db_; }
+  ViewCatalog& catalog() { return *catalog_; }
+  const Authorizer& authorizer() const { return *authorizer_; }
+  // Every user-attributed decision (retrieves, guarded updates) lands in
+  // the audit log; administrative statements do not.
+  const AuditLog& audit_log() const { return audit_log_; }
+  AuditLog& audit_log() { return audit_log_; }
+
+ private:
+  Result<std::string> ExecuteRelation(const RelationStmt& stmt);
+  Result<std::string> ExecuteInsert(const InsertStmt& stmt);
+  Result<std::string> ExecuteView(const ViewStmt& stmt);
+  Result<std::string> ExecutePermit(const PermitStmt& stmt);
+  Result<std::string> ExecuteDeny(const DenyStmt& stmt);
+  Result<std::string> ExecuteRetrieve(const RetrieveStmt& stmt);
+  Result<std::string> ExecuteDelete(const DeleteStmt& stmt);
+  Result<std::string> ExecuteModify(const ModifyStmt& stmt);
+  Result<std::string> ExecuteDrop(const DropStmt& stmt);
+  Result<std::string> ExecuteMember(const MemberStmt& stmt);
+
+  DatabaseInstance db_;
+  std::unique_ptr<ViewCatalog> catalog_;
+  std::unique_ptr<Authorizer> authorizer_;
+  AuthorizationOptions options_;
+  std::string session_user_ = "admin";
+  std::optional<AuthorizationResult> last_result_;
+  AuditLog audit_log_;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_ENGINE_ENGINE_H_

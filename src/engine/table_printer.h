@@ -1,0 +1,36 @@
+// ASCII table rendering for relations and query results, in the style of
+// the paper's figures (withheld cells print as "-", integers may use
+// thousands separators).
+
+#ifndef VIEWAUTH_ENGINE_TABLE_PRINTER_H_
+#define VIEWAUTH_ENGINE_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace viewauth {
+
+struct TablePrintOptions {
+  bool thousands_separators = true;
+  // How withheld (NULL) cells render.
+  std::string null_text = "-";
+  // Print rows in sorted order for deterministic output.
+  bool sorted = true;
+  // Optional caption printed above the table.
+  std::string caption;
+};
+
+std::string PrintRelation(const Relation& relation,
+                          const TablePrintOptions& options = {});
+
+// Renders any rows-of-strings table with a header, shared by the meta
+// displays.
+std::string PrintTable(const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows,
+                       const std::string& caption = "");
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_ENGINE_TABLE_PRINTER_H_

@@ -1,0 +1,119 @@
+// Extended algebraic operators on meta-relations (paper Section 4).
+//
+// MetaProduct, MetaSelect and MetaProject generalize product, selection
+// and projection to relations of view definitions (Definitions 1-3), with
+// the Section 4.2 refinements available behind options:
+//   * padding:   the product also emits (r, blank...) and (blank..., s)
+//                so pre-existing subviews survive projections that remove
+//                one operand entirely;
+//   * four_case: the selection decides, per meta-tuple, whether the query
+//                predicate lambda implies / is implied by / contradicts /
+//                overlaps the tuple predicate mu, and clears, retains,
+//                discards, or conjoins accordingly (backed by the
+//                ConstraintSet decision procedures). With the option off,
+//                the base Definition 2 behaviour (always conjoin) is used.
+//
+// PruneDanglingTuples implements the post-product pruning of tuples that
+// reference meta-tuples outside the result; RemoveDuplicates and
+// RemoveSubsumed implement the "after replications are removed" cleanup.
+
+#ifndef VIEWAUTH_META_OPS_H_
+#define VIEWAUTH_META_OPS_H_
+
+#include <vector>
+
+#include "meta/meta_tuple.h"
+#include "types/value.h"
+
+namespace viewauth {
+
+// Allocates fresh variable ids for synthetic variables introduced by
+// base-mode selections. Ids start high to stay clear of catalog ids.
+class VarAllocator {
+ public:
+  explicit VarAllocator(VarId first = 1000000) : next_(first) {}
+  VarId Next() { return next_++; }
+
+ private:
+  VarId next_;
+};
+
+struct MetaOpOptions {
+  bool padding = true;
+  bool four_case = true;
+};
+
+// One primitive selection predicate over the meta-relation's columns.
+struct MetaSelection {
+  static MetaSelection ColumnConst(int column, Comparator op, Value value) {
+    MetaSelection sel;
+    sel.lhs_column = column;
+    sel.op = op;
+    sel.rhs_is_column = false;
+    sel.rhs_const = std::move(value);
+    return sel;
+  }
+  static MetaSelection ColumnColumn(int lhs, Comparator op, int rhs) {
+    MetaSelection sel;
+    sel.lhs_column = lhs;
+    sel.op = op;
+    sel.rhs_is_column = true;
+    sel.rhs_column = rhs;
+    return sel;
+  }
+
+  int lhs_column = 0;
+  Comparator op = Comparator::kEq;
+  bool rhs_is_column = false;
+  int rhs_column = 0;
+  Value rhs_const;
+};
+
+// Definition 1 (+ padding refinement): the product of two meta-relations.
+MetaRelation MetaProduct(const MetaRelation& left, const MetaRelation& right,
+                         const MetaOpOptions& options);
+
+// Definition 2 (+ four-case refinement): selection by one primitive
+// predicate. Tuples whose relevant cells are not projected are dropped
+// (the paper's precondition), as are tuples whose predicate becomes
+// unsatisfiable. `alloc` supplies fresh variables for base-mode conjoins
+// onto blank cells.
+MetaRelation MetaSelect(const MetaRelation& input, const MetaSelection& sel,
+                        const MetaOpOptions& options, VarAllocator* alloc);
+
+// Definition 3 (generalized to keep-lists): projection onto `keep`
+// columns, in order. Tuples restricting a removed column are dropped.
+MetaRelation MetaProject(const MetaRelation& input,
+                         const std::vector<int>& keep);
+
+// Post-pass of the four-case refinement. Selections are applied one
+// primitive predicate at a time, so a *conjunction* of query predicates
+// that jointly implies a tuple's restriction (the paper's case 3:
+// view 300k-600k, query 400k-500k) is only detectable afterwards. This
+// pass clears every variable or constant cell whose restriction is
+// implied by `lambda`, the query's full selection conjunction expressed
+// over column terms (`column_term(col)` maps a column index to its term
+// id in `lambda`). Cleared cells survive later projections.
+void ClearImpliedRestrictions(MetaRelation* rel, const ConstraintSet& lambda,
+                              const std::function<TermId(int)>& column_term);
+
+// Post-product pruning of tuples with dangling variable references.
+MetaRelation PruneDanglingTuples(const MetaRelation& input);
+
+// Structural duplicate elimination (alpha-equivalent tuples collapse).
+// `respect_provenance` must stay true while products may still follow;
+// on the final mask it can be false, collapsing tuples that differ only
+// in which view atoms produced them.
+MetaRelation RemoveDuplicates(const MetaRelation& input,
+                              bool respect_provenance = true);
+
+// Conservative subsumption: drops a tuple whose permitted cells are a
+// subset of another tuple's. Two rules are applied:
+//   (1) same cells and constraints, smaller projection set;
+//   (2) an unrestricted tuple (all cells blank, no constraints) absorbs
+//       any tuple projecting a subset of its starred columns.
+MetaRelation RemoveSubsumed(const MetaRelation& input);
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_META_OPS_H_

@@ -1,0 +1,38 @@
+// Self-join inference (paper Section 4.2, third refinement, and the
+// mechanism behind Example 3).
+//
+// Two meta-tuples r, s of *different* views stored in the same
+// meta-relation whose projections both include the relation's key define
+// subviews that join losslessly on that key. Their join is itself a
+// permitted subview: cell-wise, constraints conjoin (a blank absorbs the
+// other side; a constant against a variable pins the variable) and a cell
+// is projected when either side projects it. The paper's example: SAE
+// (*, _, *) joined with EST (*, x4*, _) yields (*, x4*, *), which is what
+// lets Brown see salaries of same-title pairs.
+
+#ifndef VIEWAUTH_META_SELF_JOIN_H_
+#define VIEWAUTH_META_SELF_JOIN_H_
+
+#include <vector>
+
+#include "meta/meta_tuple.h"
+#include "schema/schema.h"
+
+namespace viewauth {
+
+// Returns `input` extended with every pairwise self-join of its tuples
+// (deduplicated). `schema` supplies the key; relations without a declared
+// key yield no self-joins. `rounds` > 1 also joins joined tuples with the
+// originals, covering three-or-more-view combinations.
+MetaRelation WithSelfJoins(const MetaRelation& input,
+                           const RelationSchema& schema, int rounds = 1);
+
+// The pairwise join of two meta-tuples over the same relation, or
+// nothing when the tuples belong to overlapping view sets, either misses
+// a key column in its projection, or their selections contradict.
+std::optional<MetaTuple> SelfJoinPair(const MetaTuple& r, const MetaTuple& s,
+                                      const RelationSchema& schema);
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_META_SELF_JOIN_H_

@@ -1,0 +1,204 @@
+// ViewCatalog: compilation and storage of access permissions
+// (paper Section 3).
+//
+// Each view (a conjunctive query) is compiled into meta-tuples — one per
+// membership atom — using the paper's rules:
+//   * equality subformulas are substituted away (variables merged,
+//     constants propagated);
+//   * projection variables (the a's) star every cell of their class;
+//   * variables that occur only once and carry no comparative constraint
+//     become blanks;
+//   * comparative subformulas become COMPARISON entries, held as a
+//     ConstraintSet on the view's variables.
+//
+// The catalog also stores the PERMISSION relation (user -> view grants)
+// and can materialize the extended database of Figure 1: for each base
+// relation R, the meta-relation R' as an actual Relation whose rows are
+// the printable meta-tuples, plus COMPARISON and PERMISSION relations.
+
+#ifndef VIEWAUTH_META_VIEW_STORE_H_
+#define VIEWAUTH_META_VIEW_STORE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "calculus/conjunctive_query.h"
+#include "common/result.h"
+#include "meta/meta_tuple.h"
+#include "meta/ops.h"
+#include "parser/ast.h"
+#include "schema/schema.h"
+#include "storage/relation.h"
+
+namespace viewauth {
+
+// Access modes for grants. The paper's model covers retrieval; insert
+// and delete implement its conclusion (1) ("we see no difficulty in
+// extending it to incorporate update permissions"): an update-mode view
+// is a window of rows the user may create or remove.
+enum class AccessMode { kRetrieve = 0, kInsert = 1, kDelete = 2, kModify = 3 };
+
+std::string_view AccessModeToString(AccessMode mode);
+
+// One stored COMPARISON row (kept in source form for display; the
+// operational form lives in the tuples' ConstraintSets).
+struct ComparisonEntry {
+  std::string view;
+  VarId lhs = -1;
+  Comparator op = Comparator::kGe;
+  bool rhs_is_var = false;
+  VarId rhs_var = -1;
+  Value rhs_const;
+};
+
+// A compiled view definition.
+struct ViewDefinition {
+  std::string name;
+  ConjunctiveQuery query;
+  // One meta-tuple per membership atom, aligned with query.atoms().
+  std::vector<MetaTuple> tuples;
+  // Relation name of each tuple (== query.atoms()[i].relation).
+  std::vector<std::string> tuple_relations;
+  // Distinct relation names the view is defined over.
+  std::set<std::string> relations;
+  // This view's variables, in display order.
+  std::vector<VarId> vars;
+  // Source-form comparative subformulas.
+  std::vector<ComparisonEntry> comparisons;
+};
+
+class ViewCatalog {
+ public:
+  explicit ViewCatalog(const DatabaseSchema* schema) : schema_(schema) {}
+
+  ViewCatalog(const ViewCatalog&) = delete;
+  ViewCatalog& operator=(const ViewCatalog&) = delete;
+
+  // Compiles and registers a view. Fails on name clashes, schema errors,
+  // or views that provably define the empty relation. A view statement
+  // with `or` branches (paper conclusion (2)) compiles every branch as a
+  // separate conjunctive definition under the same grant name; granting
+  // the view grants all branches. Note the semantics: the user is
+  // entitled to each branch as a view of its own (the same entitlement
+  // as granting the branches individually), which is strictly more than
+  // an opaque union.
+  Status DefineView(const ViewStmt& stmt);
+  Status DefineView(std::string name, const ConjunctiveQuery& query);
+  Status DropView(std::string_view name);
+
+  // PERMISSION maintenance. Permitting requires the view to exist;
+  // denying removes an existing grant.
+  Status Permit(std::string_view view, std::string_view user,
+                AccessMode mode = AccessMode::kRetrieve);
+  Status Deny(std::string_view view, std::string_view user,
+              AccessMode mode = AccessMode::kRetrieve);
+
+  bool HasView(std::string_view name) const;
+  // For disjunctive views, returns the first branch; use GetViewBranches
+  // for all of them.
+  Result<const ViewDefinition*> GetView(std::string_view name) const;
+  Result<std::vector<const ViewDefinition*>> GetViewBranches(
+      std::string_view name) const;
+  const std::vector<std::string>& view_names() const { return view_order_; }
+
+  // The views granted to `user` for `mode`, in grant order.
+  std::vector<const ViewDefinition*> PermittedViews(
+      std::string_view user, AccessMode mode = AccessMode::kRetrieve) const;
+  bool IsPermitted(std::string_view user, std::string_view view,
+                   AccessMode mode = AccessMode::kRetrieve) const;
+
+  // Display name of a variable ("x1", "x2", ... in catalog allocation
+  // order; synthetic mid-pipeline variables render as "w<k>").
+  std::string VarName(VarId var) const;
+
+  VarAllocator* synthetic_allocator() { return &synthetic_alloc_; }
+
+  // Which view and relation each membership atom (by global AtomId)
+  // belongs to. Used for early pruning of meta-products: a combined tuple
+  // missing more atoms of view V over relation X than there are X
+  // operands remaining is hopeless (one operand tuple carries at most one
+  // atom of any given view, since self-joins never pair a view with
+  // itself).
+  struct AtomInfo {
+    std::string view;
+    std::string relation;
+  };
+  const std::map<AtomId, AtomInfo>& atom_info() const { return atom_info_; }
+
+  // --- Figure 1 materialization -------------------------------------
+  // The meta-relation R' of `relation_name` as a printable Relation with
+  // scheme (VIEW, <attrs...>), all string-typed; cells use the paper's
+  // notation (blank, "x1*", "Acme*", "*").
+  Result<Relation> MaterializeMetaRelation(
+      std::string_view relation_name) const;
+  // COMPARISON = (VIEW, X, COMPARE, Y).
+  Relation MaterializeComparison() const;
+  // PERMISSION = (USER, VIEW).
+  Relation MaterializePermission() const;
+
+  const DatabaseSchema& schema() const { return *schema_; }
+
+  struct Grant {
+    std::string user;
+    std::string view;
+    AccessMode mode;
+
+    bool operator==(const Grant&) const = default;
+  };
+  // Every grant, in grant order (used by persistence and audits).
+  const std::vector<Grant>& grants() const { return permissions_; }
+
+  // --- Group membership -------------------------------------------------
+  // Views may be permitted to groups; a user holds a grant when it names
+  // the user directly or a group the user belongs to. Groups are flat
+  // (no nesting).
+  Status AddMember(std::string_view user, std::string_view group);
+  Status RemoveMember(std::string_view user, std::string_view group);
+  bool IsMember(std::string_view user, std::string_view group) const;
+  const std::map<std::string, std::set<std::string>, std::less<>>&
+  group_members() const {
+    return group_members_;
+  }
+
+  // --- Self-join cache ------------------------------------------------
+  // The paper: "self-joins need not be generated for every query; once
+  // generated, they should be stored with the original view definitions,
+  // until these definitions are modified." The authorizer caches its
+  // pruned-and-self-joined per-relation meta-relations here; any view or
+  // permission mutation invalidates every entry.
+  const MetaRelation* CachedMetaRelation(const std::string& key) const;
+  void StoreCachedMetaRelation(std::string key, MetaRelation value) const;
+  // Bumped on every mutation; part of cache keys built by callers.
+  long long catalog_version() const { return catalog_version_; }
+
+ private:
+  // Compiles one conjunctive definition without registering it.
+  Result<ViewDefinition> CompileView(const std::string& display_name,
+                                     const ConjunctiveQuery& query);
+  void CommitView(std::string storage_key, ViewDefinition def);
+
+  const DatabaseSchema* schema_;
+  // Storage keys: the view name for conjunctive views, "name@i" for the
+  // branches of disjunctive views.
+  std::map<std::string, ViewDefinition, std::less<>> views_;
+  // Grant name -> storage keys of its branches.
+  std::map<std::string, std::vector<std::string>, std::less<>> groups_;
+  std::vector<std::string> view_order_;
+  // Grants in grant order.
+  std::vector<Grant> permissions_;
+  VarId next_var_ = 1;
+  AtomId next_atom_ = 1;
+  std::map<AtomId, AtomInfo> atom_info_;
+  VarAllocator synthetic_alloc_{1000000};
+  // Group name -> members.
+  std::map<std::string, std::set<std::string>, std::less<>> group_members_;
+  long long catalog_version_ = 0;
+  // Cache of derived per-relation meta-relations; see CachedMetaRelation.
+  mutable std::map<std::string, MetaRelation> derived_cache_;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_META_VIEW_STORE_H_

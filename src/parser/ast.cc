@@ -1,0 +1,170 @@
+#include "parser/ast.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace viewauth {
+
+std::string AttributeRef::ToString() const {
+  std::string out = relation;
+  if (occurrence != 1) {
+    out += ":" + std::to_string(occurrence);
+  }
+  out += "." + attribute;
+  return out;
+}
+
+std::string ConditionOperand::ToString() const {
+  if (is_attribute) return attribute.ToString();
+  return constant.ToDisplayString(/*commas=*/false);
+}
+
+std::string Condition::ToString() const {
+  std::ostringstream out;
+  out << lhs.ToString() << " " << ComparatorToString(op) << " "
+      << rhs.ToString();
+  return out.str();
+}
+
+std::string RelationStmt::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attributes.size());
+  for (const AttributeDecl& attr : attributes) {
+    std::string part = attr.name + " ";
+    part += ValueTypeToString(attr.type);
+    if (attr.is_key) part += " key";
+    parts.push_back(std::move(part));
+  }
+  return "relation " + name + " (" + Join(parts, ", ") + ")";
+}
+
+std::string InsertStmt::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (const Value& v : values) {
+    parts.push_back(v.ToDisplayString(/*commas=*/false));
+  }
+  std::string out =
+      "insert into " + relation + " values (" + Join(parts, ", ") + ")";
+  if (!as_user.empty()) out += " as " + as_user;
+  return out;
+}
+
+std::string_view GrantModeToString(GrantMode mode) {
+  switch (mode) {
+    case GrantMode::kRetrieve:
+      return "retrieve";
+    case GrantMode::kInsert:
+      return "insert";
+    case GrantMode::kDelete:
+      return "delete";
+    case GrantMode::kModify:
+      return "modify";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string TargetsAndConditions(const std::vector<AttributeRef>& targets,
+                                 const std::vector<Condition>& conditions) {
+  std::vector<std::string> target_parts;
+  target_parts.reserve(targets.size());
+  for (const AttributeRef& ref : targets) target_parts.push_back(ref.ToString());
+  std::string out = "(" + Join(target_parts, ", ") + ")";
+  if (!conditions.empty()) {
+    std::vector<std::string> cond_parts;
+    cond_parts.reserve(conditions.size());
+    for (const Condition& c : conditions) cond_parts.push_back(c.ToString());
+    out += " where " + Join(cond_parts, " and ");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ViewStmt::ToString() const {
+  std::string out = "view " + name + " " +
+                    TargetsAndConditions(targets, conditions);
+  for (const std::vector<Condition>& branch : or_branches) {
+    std::vector<std::string> parts;
+    parts.reserve(branch.size());
+    for (const Condition& c : branch) parts.push_back(c.ToString());
+    out += " or " + Join(parts, " and ");
+  }
+  return out;
+}
+
+std::string PermitStmt::ToString() const {
+  std::string out = "permit " + view + " to " + user;
+  if (mode != GrantMode::kRetrieve) {
+    out += " for " + std::string(GrantModeToString(mode));
+  }
+  return out;
+}
+
+std::string DenyStmt::ToString() const {
+  std::string out = "deny " + view + " to " + user;
+  if (mode != GrantMode::kRetrieve) {
+    out += " for " + std::string(GrantModeToString(mode));
+  }
+  return out;
+}
+
+std::string DeleteStmt::ToString() const {
+  std::string out = "delete from " + relation;
+  if (!conditions.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(conditions.size());
+    for (const Condition& c : conditions) parts.push_back(c.ToString());
+    out += " where " + Join(parts, " and ");
+  }
+  if (!as_user.empty()) out += " as " + as_user;
+  return out;
+}
+
+std::string RetrieveStmt::ToString() const {
+  std::string out = "retrieve " + TargetsAndConditions(targets, conditions);
+  for (const std::vector<Condition>& branch : or_branches) {
+    std::vector<std::string> parts;
+    parts.reserve(branch.size());
+    for (const Condition& c : branch) parts.push_back(c.ToString());
+    out += " or " + Join(parts, " and ");
+  }
+  if (!as_user.empty()) out += " as " + as_user;
+  return out;
+}
+
+std::string ModifyStmt::ToString() const {
+  std::vector<std::string> sets;
+  sets.reserve(assignments.size());
+  for (const Assignment& a : assignments) {
+    sets.push_back(a.attribute + " = " +
+                   a.value.ToDisplayString(/*commas=*/false));
+  }
+  std::string out = "modify " + relation + " set " + Join(sets, ", ");
+  if (!conditions.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(conditions.size());
+    for (const Condition& c : conditions) parts.push_back(c.ToString());
+    out += " where " + Join(parts, " and ");
+  }
+  if (!as_user.empty()) out += " as " + as_user;
+  return out;
+}
+
+std::string DropStmt::ToString() const {
+  return std::string("drop ") + (is_view ? "view " : "relation ") + name;
+}
+
+std::string MemberStmt::ToString() const {
+  return std::string(remove ? "unmember " : "member ") + user + " of " +
+         group;
+}
+
+std::string StatementToString(const Statement& stmt) {
+  return std::visit([](const auto& s) { return s.ToString(); }, stmt);
+}
+
+}  // namespace viewauth

@@ -1,0 +1,187 @@
+// Abstract syntax for the viewauth surface language.
+//
+// Statements:
+//   relation R (A type [key], ...)             -- DDL
+//   insert into R values (v, ...)              -- DML
+//   view V (R.A, S:2.B, ...) [where cond and ...]
+//   permit V to USER
+//   deny V to USER                             -- revokes a permit
+//   retrieve (R.A, ...) [where cond and ...] [as USER]
+//
+// Conditions are primitive comparisons between qualified attribute
+// references and constants. `R:i` denotes the i'th occurrence of R when a
+// view or query mentions the same relation several times (paper Sec. 2).
+
+#ifndef VIEWAUTH_PARSER_AST_H_
+#define VIEWAUTH_PARSER_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "types/value.h"
+
+namespace viewauth {
+
+// A qualified attribute reference `RELATION[:occurrence].ATTRIBUTE`.
+struct AttributeRef {
+  std::string relation;
+  int occurrence = 1;  // 1-based
+  std::string attribute;
+
+  bool operator==(const AttributeRef& other) const {
+    return relation == other.relation && occurrence == other.occurrence &&
+           attribute == other.attribute;
+  }
+  // "EMPLOYEE.NAME" or "EMPLOYEE:2.NAME".
+  std::string ToString() const;
+};
+
+// The right-hand side of a condition: an attribute or a constant.
+struct ConditionOperand {
+  bool is_attribute = false;
+  AttributeRef attribute;  // valid when is_attribute
+  Value constant;          // valid otherwise
+
+  static ConditionOperand Attr(AttributeRef ref) {
+    ConditionOperand op;
+    op.is_attribute = true;
+    op.attribute = std::move(ref);
+    return op;
+  }
+  static ConditionOperand Const(Value value) {
+    ConditionOperand op;
+    op.constant = std::move(value);
+    return op;
+  }
+  std::string ToString() const;
+};
+
+// One conjunct of a where clause.
+struct Condition {
+  AttributeRef lhs;
+  Comparator op = Comparator::kEq;
+  ConditionOperand rhs;
+
+  std::string ToString() const;
+};
+
+struct RelationStmt {
+  struct AttributeDecl {
+    std::string name;
+    ValueType type = ValueType::kString;
+    bool is_key = false;
+  };
+  std::string name;
+  std::vector<AttributeDecl> attributes;
+
+  std::string ToString() const;
+};
+
+struct InsertStmt {
+  std::string relation;
+  std::vector<Value> values;
+  // Optional `as USER`: the insert is then subject to insert-mode
+  // permissions; without it the statement is an administrative load.
+  std::string as_user;
+
+  std::string ToString() const;
+};
+
+struct ViewStmt {
+  std::string name;
+  std::vector<AttributeRef> targets;
+  // The first (or only) conjunctive branch of the where clause.
+  std::vector<Condition> conditions;
+  // Additional branches: `where c1 and c2 or c3 and c4` parses as two
+  // branches {c1,c2} and {c3,c4} (the paper's conclusion (2): views with
+  // disjunctions). Empty for purely conjunctive views.
+  std::vector<std::vector<Condition>> or_branches;
+
+  std::string ToString() const;
+};
+
+// The access mode of a grant:
+// `permit V to U [for insert|delete|modify]`.
+enum class GrantMode { kRetrieve = 0, kInsert = 1, kDelete = 2, kModify = 3 };
+
+std::string_view GrantModeToString(GrantMode mode);
+
+struct PermitStmt {
+  std::string view;
+  std::string user;
+  GrantMode mode = GrantMode::kRetrieve;
+
+  std::string ToString() const;
+};
+
+struct DenyStmt {
+  std::string view;
+  std::string user;
+  GrantMode mode = GrantMode::kRetrieve;
+
+  std::string ToString() const;
+};
+
+// delete from R [where cond and ...] [as USER]
+struct DeleteStmt {
+  std::string relation;
+  std::vector<Condition> conditions;
+  std::string as_user;
+
+  std::string ToString() const;
+};
+
+// modify R set A = v [, B = w ...] [where cond and ...] [as USER]
+struct ModifyStmt {
+  struct Assignment {
+    std::string attribute;
+    Value value;
+  };
+  std::string relation;
+  std::vector<Assignment> assignments;
+  std::vector<Condition> conditions;
+  std::string as_user;
+
+  std::string ToString() const;
+};
+
+struct RetrieveStmt {
+  std::vector<AttributeRef> targets;
+  std::vector<Condition> conditions;
+  // Additional `or` branches (paper conclusion (2) also covers queries):
+  // the answer is the union of the branches' answers, each authorized
+  // independently.
+  std::vector<std::vector<Condition>> or_branches;
+  // Optional `as USER` clause; empty means the ambient session user.
+  std::string as_user;
+
+  std::string ToString() const;
+};
+
+// member U of G   |   unmember U of G
+struct MemberStmt {
+  bool remove = false;
+  std::string user;
+  std::string group;
+
+  std::string ToString() const;
+};
+
+// drop relation R   |   drop view V
+struct DropStmt {
+  bool is_view = false;
+  std::string name;
+
+  std::string ToString() const;
+};
+
+using Statement = std::variant<RelationStmt, InsertStmt, ViewStmt, PermitStmt,
+                               DenyStmt, RetrieveStmt, DeleteStmt,
+                               ModifyStmt, DropStmt, MemberStmt>;
+
+std::string StatementToString(const Statement& stmt);
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_PARSER_AST_H_

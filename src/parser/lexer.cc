@@ -1,0 +1,278 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace viewauth {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      VIEWAUTH_ASSIGN_OR_RETURN(Token token, Next(tokens));
+      tokens.push_back(std::move(token));
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.line = line_;
+    end.column = column_;
+    tokens.push_back(std::move(end));
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && Peek(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at line " +
+                                   std::to_string(line_) + ", column " +
+                                   std::to_string(column_));
+  }
+
+  Result<Token> Next(const std::vector<Token>& so_far) {
+    Token token;
+    token.line = line_;
+    token.column = column_;
+    char c = Peek();
+
+    if (IsIdentStart(c)) return LexIdentifier(std::move(token));
+    if (IsDigit(c)) return LexNumber(std::move(token), /*negative=*/false);
+    if (c == '-' && IsDigit(Peek(1)) && !PreviousIsValue(so_far)) {
+      Advance();
+      return LexNumber(std::move(token), /*negative=*/true);
+    }
+    if (c == '\'') return LexString(std::move(token));
+
+    Advance();
+    switch (c) {
+      case ',':
+        token.kind = TokenKind::kComma;
+        return token;
+      case '(':
+        token.kind = TokenKind::kLParen;
+        return token;
+      case ')':
+        token.kind = TokenKind::kRParen;
+        return token;
+      case '.':
+        token.kind = TokenKind::kDot;
+        return token;
+      case ':':
+        token.kind = TokenKind::kColon;
+        return token;
+      case ';':
+        token.kind = TokenKind::kSemicolon;
+        return token;
+      case '=':
+        token.kind = TokenKind::kComparator;
+        token.text = "=";
+        return token;
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          token.kind = TokenKind::kComparator;
+          token.text = "!=";
+          return token;
+        }
+        return Error("unexpected '!'");
+      case '<':
+        token.kind = TokenKind::kComparator;
+        if (Peek() == '=') {
+          Advance();
+          token.text = "<=";
+        } else if (Peek() == '>') {
+          Advance();
+          token.text = "!=";
+        } else {
+          token.text = "<";
+        }
+        return token;
+      case '>':
+        token.kind = TokenKind::kComparator;
+        if (Peek() == '=') {
+          Advance();
+          token.text = ">=";
+        } else {
+          token.text = ">";
+        }
+        return token;
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  // True if the most recent token could end a value expression, in which
+  // case a following '-' cannot start a negative literal.
+  static bool PreviousIsValue(const std::vector<Token>& so_far) {
+    if (so_far.empty()) return false;
+    switch (so_far.back().kind) {
+      case TokenKind::kIdentifier:
+      case TokenKind::kInteger:
+      case TokenKind::kDouble:
+      case TokenKind::kString:
+      case TokenKind::kRParen:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<Token> LexIdentifier(Token token) {
+    std::string text;
+    text.push_back(Advance());
+    while (!AtEnd()) {
+      char c = Peek();
+      if (IsIdentChar(c)) {
+        text.push_back(Advance());
+      } else if (c == '-' && IsIdentChar(Peek(1))) {
+        // Interior dash: part of identifiers like "bq-45".
+        text.push_back(Advance());
+      } else {
+        break;
+      }
+    }
+    token.kind = TokenKind::kIdentifier;
+    token.text = std::move(text);
+    return token;
+  }
+
+  Result<Token> LexNumber(Token token, bool negative) {
+    std::string digits;
+    bool is_double = false;
+    while (!AtEnd() && IsDigit(Peek())) digits.push_back(Advance());
+    if (!AtEnd() && Peek() == '.' && IsDigit(Peek(1))) {
+      is_double = true;
+      digits.push_back(Advance());
+      while (!AtEnd() && IsDigit(Peek())) digits.push_back(Advance());
+    }
+    if (negative) digits.insert(digits.begin(), '-');
+    if (is_double) {
+      token.kind = TokenKind::kDouble;
+      token.double_value = std::stod(digits);
+    } else {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(), v);
+      if (ec != std::errc()) return Error("integer literal out of range");
+      (void)ptr;
+      token.kind = TokenKind::kInteger;
+      token.int_value = v;
+    }
+    token.text = std::move(digits);
+    return token;
+  }
+
+  Result<Token> LexString(Token token) {
+    Advance();  // opening quote
+    std::string text;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string literal");
+      char c = Advance();
+      if (c == '\'') {
+        if (Peek() == '\'') {
+          text.push_back('\'');
+          Advance();
+        } else {
+          break;
+        }
+      } else {
+        text.push_back(c);
+      }
+    }
+    token.kind = TokenKind::kString;
+    token.text = std::move(text);
+    return token;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  return LexerImpl(input).Run();
+}
+
+std::string_view TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kDouble:
+      return "double";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kComparator:
+      return "comparator";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  if (kind == TokenKind::kEnd) return "end of input";
+  if (text.empty()) return std::string(TokenKindToString(kind));
+  return std::string(TokenKindToString(kind)) + " '" + text + "'";
+}
+
+}  // namespace viewauth

@@ -1,0 +1,29 @@
+// Lexer for the viewauth surface language.
+//
+// Notes on the token grammar:
+//   * Identifiers start with a letter or underscore and may contain
+//     letters, digits, underscores and interior dashes ("bq-45" is one
+//     identifier, matching the paper's project numbers).
+//   * Numbers are integers or decimals; a leading '-' is part of the
+//     number when it cannot bind to a preceding value token.
+//   * Strings are single-quoted; '' escapes a quote.
+//   * Comments run from "--" to end of line.
+
+#ifndef VIEWAUTH_PARSER_LEXER_H_
+#define VIEWAUTH_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/token.h"
+
+namespace viewauth {
+
+// Tokenizes `input`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_PARSER_LEXER_H_

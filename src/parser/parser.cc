@@ -1,0 +1,439 @@
+#include "parser/parser.h"
+
+#include <optional>
+
+#include "common/str_util.h"
+#include "parser/lexer.h"
+
+namespace viewauth {
+
+namespace {
+
+// Keywords are recognized case-insensitively so that both the paper's
+// upper-case style and conventional lower-case work.
+bool IsKeyword(const Token& token, std::string_view keyword) {
+  return token.kind == TokenKind::kIdentifier &&
+         EqualsIgnoreCaseAscii(token.text, keyword);
+}
+
+bool IsStatementStart(const Token& token) {
+  static constexpr std::string_view kStarts[] = {
+      "relation", "insert", "view",     "permit", "deny",
+      "modify",   "drop",   "retrieve", "delete", "member",
+      "unmember"};
+  for (std::string_view kw : kStarts) {
+    if (IsKeyword(token, kw)) return true;
+  }
+  return false;
+}
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> statements;
+    while (!AtEnd()) {
+      while (Peek().kind == TokenKind::kSemicolon) Advance();
+      if (AtEnd()) break;
+      VIEWAUTH_ASSIGN_OR_RETURN(Statement stmt, ParseOne());
+      statements.push_back(std::move(stmt));
+    }
+    return statements;
+  }
+
+  Result<Statement> ParseSingle() {
+    VIEWAUTH_ASSIGN_OR_RETURN(Statement stmt, ParseOne());
+    while (Peek().kind == TokenKind::kSemicolon) Advance();
+    if (!AtEnd()) {
+      return Error("unexpected " + Peek().Describe() + " after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return Status::InvalidArgument(message + " (line " +
+                                   std::to_string(t.line) + ", column " +
+                                   std::to_string(t.column) + ")");
+  }
+
+  Status Expect(TokenKind kind, std::string_view what) {
+    if (Peek().kind != kind) {
+      return Error("expected " + std::string(what) + ", found " +
+                   Peek().Describe());
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!IsKeyword(Peek(), keyword)) {
+      return Error("expected '" + std::string(keyword) + "', found " +
+                   Peek().Describe());
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected " + std::string(what) + ", found " +
+                   Peek().Describe());
+    }
+    return Advance().text;
+  }
+
+  Result<Statement> ParseOne() {
+    const Token& t = Peek();
+    if (IsKeyword(t, "relation")) return ParseRelation();
+    if (IsKeyword(t, "insert")) return ParseInsert();
+    if (IsKeyword(t, "view")) return ParseView();
+    if (IsKeyword(t, "permit")) return ParsePermit();
+    if (IsKeyword(t, "deny")) return ParseDeny();
+    if (IsKeyword(t, "retrieve")) return ParseRetrieve();
+    if (IsKeyword(t, "delete")) return ParseDelete();
+    if (IsKeyword(t, "modify")) return ParseModify();
+    if (IsKeyword(t, "drop")) return ParseDrop();
+    if (IsKeyword(t, "member")) return ParseMember(false);
+    if (IsKeyword(t, "unmember")) return ParseMember(true);
+    return Error("expected a statement keyword, found " + t.Describe());
+  }
+
+  Result<Statement> ParseRelation() {
+    Advance();  // relation
+    RelationStmt stmt;
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("relation name"));
+    VIEWAUTH_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    while (true) {
+      RelationStmt::AttributeDecl decl;
+      VIEWAUTH_ASSIGN_OR_RETURN(decl.name, ExpectIdentifier("attribute name"));
+      VIEWAUTH_ASSIGN_OR_RETURN(std::string type_name,
+                                ExpectIdentifier("attribute type"));
+      if (EqualsIgnoreCaseAscii(type_name, "int") ||
+          EqualsIgnoreCaseAscii(type_name, "integer")) {
+        decl.type = ValueType::kInt64;
+      } else if (EqualsIgnoreCaseAscii(type_name, "double") ||
+                 EqualsIgnoreCaseAscii(type_name, "float") ||
+                 EqualsIgnoreCaseAscii(type_name, "real")) {
+        decl.type = ValueType::kDouble;
+      } else if (EqualsIgnoreCaseAscii(type_name, "string") ||
+                 EqualsIgnoreCaseAscii(type_name, "text")) {
+        decl.type = ValueType::kString;
+      } else {
+        return Error("unknown attribute type '" + type_name + "'");
+      }
+      if (IsKeyword(Peek(), "key")) {
+        Advance();
+        decl.is_key = true;
+      }
+      stmt.attributes.push_back(std::move(decl));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    VIEWAUTH_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseInsert() {
+    Advance();  // insert
+    VIEWAUTH_RETURN_NOT_OK(ExpectKeyword("into"));
+    InsertStmt stmt;
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.relation,
+                              ExpectIdentifier("relation name"));
+    VIEWAUTH_RETURN_NOT_OK(ExpectKeyword("values"));
+    VIEWAUTH_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    while (true) {
+      VIEWAUTH_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      stmt.values.push_back(std::move(v));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    VIEWAUTH_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    if (IsKeyword(Peek(), "as")) {
+      Advance();
+      VIEWAUTH_ASSIGN_OR_RETURN(stmt.as_user, ExpectIdentifier("user name"));
+    }
+    return Statement(std::move(stmt));
+  }
+
+  // Optional "for insert|delete|retrieve" clause of permit/deny.
+  Result<GrantMode> ParseOptionalGrantMode() {
+    if (!IsKeyword(Peek(), "for")) return GrantMode::kRetrieve;
+    Advance();
+    VIEWAUTH_ASSIGN_OR_RETURN(std::string mode,
+                              ExpectIdentifier("access mode"));
+    if (EqualsIgnoreCaseAscii(mode, "retrieve")) return GrantMode::kRetrieve;
+    if (EqualsIgnoreCaseAscii(mode, "insert")) return GrantMode::kInsert;
+    if (EqualsIgnoreCaseAscii(mode, "delete")) return GrantMode::kDelete;
+    if (EqualsIgnoreCaseAscii(mode, "modify")) return GrantMode::kModify;
+    return Error("unknown access mode '" + mode + "'");
+  }
+
+  Result<Statement> ParseDelete() {
+    Advance();  // delete
+    VIEWAUTH_RETURN_NOT_OK(ExpectKeyword("from"));
+    DeleteStmt stmt;
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.relation,
+                              ExpectIdentifier("relation name"));
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.conditions, ParseOptionalWhere());
+    if (IsKeyword(Peek(), "as")) {
+      Advance();
+      VIEWAUTH_ASSIGN_OR_RETURN(stmt.as_user, ExpectIdentifier("user name"));
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseModify() {
+    Advance();  // modify
+    ModifyStmt stmt;
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.relation,
+                              ExpectIdentifier("relation name"));
+    VIEWAUTH_RETURN_NOT_OK(ExpectKeyword("set"));
+    while (true) {
+      ModifyStmt::Assignment assignment;
+      VIEWAUTH_ASSIGN_OR_RETURN(assignment.attribute,
+                                ExpectIdentifier("attribute name"));
+      if (Peek().kind != TokenKind::kComparator || Peek().text != "=") {
+        return Error("expected '=' in set clause, found " +
+                     Peek().Describe());
+      }
+      Advance();
+      VIEWAUTH_ASSIGN_OR_RETURN(assignment.value, ParseLiteral());
+      stmt.assignments.push_back(std::move(assignment));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.conditions, ParseOptionalWhere());
+    if (IsKeyword(Peek(), "as")) {
+      Advance();
+      VIEWAUTH_ASSIGN_OR_RETURN(stmt.as_user, ExpectIdentifier("user name"));
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseMember(bool remove) {
+    Advance();  // member / unmember
+    MemberStmt stmt;
+    stmt.remove = remove;
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.user, ExpectIdentifier("user name"));
+    VIEWAUTH_RETURN_NOT_OK(ExpectKeyword("of"));
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.group, ExpectIdentifier("group name"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDrop() {
+    Advance();  // drop
+    DropStmt stmt;
+    if (IsKeyword(Peek(), "view")) {
+      stmt.is_view = true;
+      Advance();
+    } else if (IsKeyword(Peek(), "relation")) {
+      Advance();
+    } else {
+      return Error("expected 'relation' or 'view' after 'drop'");
+    }
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("name"));
+    return Statement(std::move(stmt));
+  }
+
+  // Further conjunctive branches separated by `or` (lower precedence
+  // than `and`), shared by view and retrieve statements.
+  Result<std::vector<std::vector<Condition>>> ParseOrBranches(
+      bool has_where) {
+    std::vector<std::vector<Condition>> branches;
+    while (IsKeyword(Peek(), "or")) {
+      if (!has_where && branches.empty()) {
+        return Error("'or' requires a preceding where clause");
+      }
+      Advance();  // or
+      std::vector<Condition> branch;
+      while (true) {
+        VIEWAUTH_ASSIGN_OR_RETURN(Condition cond, ParseCondition());
+        branch.push_back(std::move(cond));
+        if (IsKeyword(Peek(), "and")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      branches.push_back(std::move(branch));
+    }
+    return branches;
+  }
+
+  Result<Statement> ParseView() {
+    Advance();  // view
+    ViewStmt stmt;
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("view name"));
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.targets, ParseTargetList());
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.conditions, ParseOptionalWhere());
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.or_branches,
+                              ParseOrBranches(!stmt.conditions.empty()));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParsePermit() {
+    Advance();  // permit
+    PermitStmt stmt;
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.view, ExpectIdentifier("view name"));
+    VIEWAUTH_RETURN_NOT_OK(ExpectKeyword("to"));
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.user, ExpectIdentifier("user name"));
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.mode, ParseOptionalGrantMode());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDeny() {
+    Advance();  // deny
+    DenyStmt stmt;
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.view, ExpectIdentifier("view name"));
+    VIEWAUTH_RETURN_NOT_OK(ExpectKeyword("to"));
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.user, ExpectIdentifier("user name"));
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.mode, ParseOptionalGrantMode());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseRetrieve() {
+    Advance();  // retrieve
+    RetrieveStmt stmt;
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.targets, ParseTargetList());
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.conditions, ParseOptionalWhere());
+    VIEWAUTH_ASSIGN_OR_RETURN(stmt.or_branches,
+                              ParseOrBranches(!stmt.conditions.empty()));
+    if (IsKeyword(Peek(), "as")) {
+      Advance();
+      VIEWAUTH_ASSIGN_OR_RETURN(stmt.as_user, ExpectIdentifier("user name"));
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<std::vector<AttributeRef>> ParseTargetList() {
+    VIEWAUTH_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    std::vector<AttributeRef> targets;
+    while (true) {
+      VIEWAUTH_ASSIGN_OR_RETURN(AttributeRef ref, ParseAttributeRef());
+      targets.push_back(std::move(ref));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    VIEWAUTH_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    return targets;
+  }
+
+  Result<std::vector<Condition>> ParseOptionalWhere() {
+    std::vector<Condition> conditions;
+    if (!IsKeyword(Peek(), "where")) return conditions;
+    Advance();  // where
+    while (true) {
+      VIEWAUTH_ASSIGN_OR_RETURN(Condition cond, ParseCondition());
+      conditions.push_back(std::move(cond));
+      if (IsKeyword(Peek(), "and")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return conditions;
+  }
+
+  Result<Condition> ParseCondition() {
+    Condition cond;
+    VIEWAUTH_ASSIGN_OR_RETURN(cond.lhs, ParseAttributeRef());
+    if (Peek().kind != TokenKind::kComparator) {
+      return Error("expected comparator, found " + Peek().Describe());
+    }
+    VIEWAUTH_ASSIGN_OR_RETURN(cond.op, ComparatorFromString(Advance().text));
+    // The right-hand side: a qualified attribute reference (IDENT '.' or
+    // IDENT ':'), or a constant. A bare identifier is a string constant
+    // (the paper writes SPONSOR = Acme without quotes).
+    if (Peek().kind == TokenKind::kIdentifier &&
+        (Peek(1).kind == TokenKind::kDot ||
+         Peek(1).kind == TokenKind::kColon)) {
+      VIEWAUTH_ASSIGN_OR_RETURN(AttributeRef ref, ParseAttributeRef());
+      cond.rhs = ConditionOperand::Attr(std::move(ref));
+    } else {
+      VIEWAUTH_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      cond.rhs = ConditionOperand::Const(std::move(v));
+    }
+    return cond;
+  }
+
+  Result<AttributeRef> ParseAttributeRef() {
+    AttributeRef ref;
+    VIEWAUTH_ASSIGN_OR_RETURN(ref.relation, ExpectIdentifier("relation name"));
+    if (Peek().kind == TokenKind::kColon) {
+      Advance();
+      if (Peek().kind != TokenKind::kInteger || Peek().int_value < 1) {
+        return Error("expected positive occurrence number after ':'");
+      }
+      ref.occurrence = static_cast<int>(Advance().int_value);
+    }
+    VIEWAUTH_RETURN_NOT_OK(Expect(TokenKind::kDot, "'.'"));
+    VIEWAUTH_ASSIGN_OR_RETURN(ref.attribute,
+                              ExpectIdentifier("attribute name"));
+    return ref;
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInteger:
+        Advance();
+        return Value::Int64(t.int_value);
+      case TokenKind::kDouble:
+        Advance();
+        return Value::Double(t.double_value);
+      case TokenKind::kString:
+        Advance();
+        return Value::String(t.text);
+      case TokenKind::kIdentifier:
+        // Bare identifiers in value position are string constants, unless
+        // they begin a new statement (missing operand).
+        if (IsStatementStart(t)) {
+          return Error("expected a value, found " + t.Describe());
+        }
+        Advance();
+        return Value::String(t.text);
+      default:
+        return Error("expected a value, found " + t.Describe());
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view input) {
+  VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  return ParserImpl(std::move(tokens)).ParseSingle();
+}
+
+Result<std::vector<Statement>> ParseProgram(std::string_view input) {
+  VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  return ParserImpl(std::move(tokens)).ParseAll();
+}
+
+}  // namespace viewauth

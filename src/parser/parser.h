@@ -1,0 +1,24 @@
+// Recursive-descent parser for the viewauth surface language.
+
+#ifndef VIEWAUTH_PARSER_PARSER_H_
+#define VIEWAUTH_PARSER_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/ast.h"
+
+namespace viewauth {
+
+// Parses a single statement. Trailing input after the statement is an
+// error (use ParseProgram for statement sequences).
+Result<Statement> ParseStatement(std::string_view input);
+
+// Parses a sequence of statements (semicolons between statements are
+// optional; keywords delimit statements).
+Result<std::vector<Statement>> ParseProgram(std::string_view input);
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_PARSER_PARSER_H_

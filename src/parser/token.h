@@ -1,0 +1,46 @@
+// Tokens of the viewauth surface language (the paper's view / permit /
+// retrieve statements, plus DDL and DML needed to build databases).
+
+#ifndef VIEWAUTH_PARSER_TOKEN_H_
+#define VIEWAUTH_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace viewauth {
+
+enum class TokenKind {
+  kIdentifier,  // EMPLOYEE, Acme, bq-45
+  kInteger,     // 250000
+  kDouble,      // 1.5
+  kString,      // 'hello world'
+  kComma,       // ,
+  kLParen,      // (
+  kRParen,      // )
+  kDot,         // .
+  kColon,       // :
+  kSemicolon,   // ;
+  kComparator,  // = != <> < <= > >=
+  kEnd,
+};
+
+std::string_view TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  // Raw text (identifier spelling, comparator symbol, string contents
+  // without quotes).
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  // 1-based source position, for error messages.
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_PARSER_TOKEN_H_

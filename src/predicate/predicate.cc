@@ -1,0 +1,53 @@
+#include "predicate/predicate.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace viewauth {
+
+bool SelectionAtom::Matches(const Tuple& tuple) const {
+  const Value& lhs = tuple.at(lhs_column);
+  if (rhs_is_column) {
+    return lhs.Satisfies(op, tuple.at(rhs_column));
+  }
+  return lhs.Satisfies(op, rhs_const);
+}
+
+std::string SelectionAtom::ToString(
+    const std::vector<std::string>& column_names) const {
+  auto name = [&column_names](int col) {
+    if (col >= 0 && col < static_cast<int>(column_names.size())) {
+      return column_names[col];
+    }
+    return "#" + std::to_string(col);
+  };
+  std::ostringstream out;
+  out << name(lhs_column) << " " << ComparatorToString(op) << " ";
+  if (rhs_is_column) {
+    out << name(rhs_column);
+  } else {
+    out << rhs_const.ToDisplayString(/*commas=*/false);
+  }
+  return out.str();
+}
+
+bool ConjunctivePredicate::Matches(const Tuple& tuple) const {
+  for (const SelectionAtom& atom : atoms_) {
+    if (!atom.Matches(tuple)) return false;
+  }
+  return true;
+}
+
+std::string ConjunctivePredicate::ToString(
+    const std::vector<std::string>& column_names) const {
+  if (atoms_.empty()) return "true";
+  std::vector<std::string> parts;
+  parts.reserve(atoms_.size());
+  for (const SelectionAtom& atom : atoms_) {
+    parts.push_back(atom.ToString(column_names));
+  }
+  return Join(parts, " and ");
+}
+
+}  // namespace viewauth

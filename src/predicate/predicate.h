@@ -1,0 +1,74 @@
+// Conjunctive selection predicates evaluated over concrete tuples.
+//
+// This is the lambda of sigma_lambda in the paper's algebra: a conjunction
+// of primitive comparisons `A_i theta c` / `A_i theta A_j` where the A's
+// are column positions of the operand relation.
+
+#ifndef VIEWAUTH_PREDICATE_PREDICATE_H_
+#define VIEWAUTH_PREDICATE_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/tuple.h"
+#include "types/value.h"
+
+namespace viewauth {
+
+// One primitive comparison against a column or a constant.
+struct SelectionAtom {
+  static SelectionAtom ColumnConst(int column, Comparator op, Value value) {
+    SelectionAtom atom;
+    atom.lhs_column = column;
+    atom.op = op;
+    atom.rhs_is_column = false;
+    atom.rhs_const = std::move(value);
+    return atom;
+  }
+  static SelectionAtom ColumnColumn(int lhs, Comparator op, int rhs) {
+    SelectionAtom atom;
+    atom.lhs_column = lhs;
+    atom.op = op;
+    atom.rhs_is_column = true;
+    atom.rhs_column = rhs;
+    return atom;
+  }
+
+  bool Matches(const Tuple& tuple) const;
+
+  // Equality atom between two columns (used by the hash-join optimizer).
+  bool IsColumnEquality() const {
+    return rhs_is_column && op == Comparator::kEq;
+  }
+
+  std::string ToString(const std::vector<std::string>& column_names) const;
+
+  int lhs_column = 0;
+  Comparator op = Comparator::kEq;
+  bool rhs_is_column = false;
+  int rhs_column = 0;
+  Value rhs_const;
+};
+
+// A conjunction of SelectionAtoms; the empty conjunction is `true`.
+class ConjunctivePredicate {
+ public:
+  ConjunctivePredicate() = default;
+  explicit ConjunctivePredicate(std::vector<SelectionAtom> atoms)
+      : atoms_(std::move(atoms)) {}
+
+  void Add(SelectionAtom atom) { atoms_.push_back(std::move(atom)); }
+  const std::vector<SelectionAtom>& atoms() const { return atoms_; }
+  bool IsTrivial() const { return atoms_.empty(); }
+
+  bool Matches(const Tuple& tuple) const;
+
+  std::string ToString(const std::vector<std::string>& column_names) const;
+
+ private:
+  std::vector<SelectionAtom> atoms_;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_PREDICATE_PREDICATE_H_

@@ -1,0 +1,113 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace viewauth {
+
+Result<RelationSchema> RelationSchema::Make(std::string name,
+                                            std::vector<Attribute> attributes,
+                                            std::vector<int> key) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be nonempty");
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("relation '" + name +
+                                   "' must have at least one attribute");
+  }
+  std::set<std::string> seen;
+  for (const Attribute& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("relation '" + name +
+                                     "' has an empty attribute name");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("relation '" + name +
+                                     "' has duplicate attribute '" +
+                                     attr.name + "'");
+    }
+  }
+  std::set<int> key_seen;
+  for (int index : key) {
+    if (index < 0 || index >= static_cast<int>(attributes.size())) {
+      return Status::InvalidArgument("key attribute index out of range in '" +
+                                     name + "'");
+    }
+    if (!key_seen.insert(index).second) {
+      return Status::InvalidArgument("duplicate key attribute in '" + name +
+                                     "'");
+    }
+  }
+  RelationSchema schema;
+  schema.name_ = std::move(name);
+  schema.attributes_ = std::move(attributes);
+  schema.key_ = std::move(key);
+  std::sort(schema.key_.begin(), schema.key_.end());
+  return schema;
+}
+
+int RelationSchema::AttributeIndex(std::string_view attr_name) const {
+  for (int i = 0; i < arity(); ++i) {
+    if (attributes_[i].name == attr_name) return i;
+  }
+  return -1;
+}
+
+bool RelationSchema::IsKeyAttribute(int index) const {
+  return std::binary_search(key_.begin(), key_.end(), index);
+}
+
+std::string RelationSchema::ToString() const {
+  std::vector<std::string> names;
+  names.reserve(attributes_.size());
+  for (const Attribute& attr : attributes_) names.push_back(attr.name);
+  return name_ + " = (" + Join(names, ", ") + ")";
+}
+
+Status DatabaseSchema::AddRelation(RelationSchema schema) {
+  const std::string& name = schema.name();
+  if (relations_.contains(name)) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  order_.push_back(name);
+  relations_.emplace(name, std::move(schema));
+  return Status::OK();
+}
+
+Status DatabaseSchema::DropRelation(std::string_view name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + std::string(name) +
+                            "' does not exist");
+  }
+  relations_.erase(it);
+  order_.erase(std::find(order_.begin(), order_.end(), std::string(name)));
+  return Status::OK();
+}
+
+bool DatabaseSchema::HasRelation(std::string_view name) const {
+  return relations_.find(name) != relations_.end();
+}
+
+Result<const RelationSchema*> DatabaseSchema::GetRelation(
+    std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + std::string(name) +
+                            "' does not exist");
+  }
+  return &it->second;
+}
+
+std::string DatabaseSchema::ToString() const {
+  std::ostringstream out;
+  for (const std::string& name : order_) {
+    out << relations_.at(name).ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace viewauth

@@ -1,0 +1,88 @@
+// Relation schemes and the database scheme (paper Section 2, after Maier):
+// a relation scheme is a finite list of typed attributes; a database scheme
+// is a set of relation schemes. viewauth additionally records an optional
+// primary key per relation, which the self-join refinement (Section 4.2)
+// needs to establish lossless joins.
+
+#ifndef VIEWAUTH_SCHEMA_SCHEMA_H_
+#define VIEWAUTH_SCHEMA_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace viewauth {
+
+// A single attribute of a relation scheme.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+
+  // `key` lists the indices of the primary-key attributes; empty means no
+  // declared key. Attribute names must be unique within the relation.
+  static Result<RelationSchema> Make(std::string name,
+                                     std::vector<Attribute> attributes,
+                                     std::vector<int> key = {});
+
+  const std::string& name() const { return name_; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  int arity() const { return static_cast<int>(attributes_.size()); }
+  const Attribute& attribute(int i) const { return attributes_.at(i); }
+
+  // Index of the attribute with the given (case-sensitive) name, or -1.
+  int AttributeIndex(std::string_view attr_name) const;
+
+  const std::vector<int>& key() const { return key_; }
+  bool has_key() const { return !key_.empty(); }
+  bool IsKeyAttribute(int index) const;
+
+  // e.g. "EMPLOYEE = (NAME, TITLE, SALARY)".
+  std::string ToString() const;
+
+  bool operator==(const RelationSchema& other) const {
+    return name_ == other.name_ && attributes_ == other.attributes_ &&
+           key_ == other.key_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::vector<int> key_;
+};
+
+// The database scheme: an ordered catalog of relation schemes.
+class DatabaseSchema {
+ public:
+  Status AddRelation(RelationSchema schema);
+  Status DropRelation(std::string_view name);
+
+  bool HasRelation(std::string_view name) const;
+  Result<const RelationSchema*> GetRelation(std::string_view name) const;
+
+  // Relation names in insertion order.
+  const std::vector<std::string>& relation_names() const { return order_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, RelationSchema, std::less<>> relations_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_SCHEMA_SCHEMA_H_

@@ -1,0 +1,171 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+namespace viewauth {
+
+Status Relation::ValidateTuple(const Tuple& tuple) const {
+  if (tuple.arity() != schema_.arity()) {
+    return Status::SchemaMismatch(
+        "tuple arity " + std::to_string(tuple.arity()) +
+        " does not match relation '" + schema_.name() + "' arity " +
+        std::to_string(schema_.arity()));
+  }
+  for (int i = 0; i < tuple.arity(); ++i) {
+    const Value& v = tuple.at(i);
+    if (v.is_null()) continue;
+    const ValueType expected = schema_.attribute(i).type;
+    if (v.type() == expected) continue;
+    // int64 is acceptable where a double is expected.
+    if (expected == ValueType::kDouble && v.is_int64()) continue;
+    return Status::SchemaMismatch(
+        "attribute '" + schema_.attribute(i).name + "' of relation '" +
+        schema_.name() + "' expects " +
+        std::string(ValueTypeToString(expected)) + ", got " +
+        std::string(ValueTypeToString(v.type())));
+  }
+  return Status::OK();
+}
+
+Status Relation::Insert(Tuple tuple) {
+  VIEWAUTH_RETURN_NOT_OK(ValidateTuple(tuple));
+  if (schema_.has_key()) {
+    // Reject a second tuple with the same key but different payload.
+    Tuple key_values = tuple.Project(schema_.key());
+    for (const Tuple& row : rows_) {
+      if (row.Project(schema_.key()) == key_values && row != tuple) {
+        return Status::SchemaMismatch("primary-key violation in relation '" +
+                                      schema_.name() + "' for key " +
+                                      key_values.ToString());
+      }
+    }
+  }
+  InsertUnchecked(std::move(tuple));
+  return Status::OK();
+}
+
+bool Relation::InsertUnchecked(Tuple tuple) {
+  auto [it, inserted] = index_.insert(tuple);
+  if (inserted) {
+    rows_.push_back(std::move(tuple));
+    ++version_;
+  }
+  return inserted;
+}
+
+bool Relation::Erase(const Tuple& tuple) {
+  auto it = index_.find(tuple);
+  if (it == index_.end()) return false;
+  index_.erase(it);
+  rows_.erase(std::find(rows_.begin(), rows_.end(), tuple));
+  ++version_;
+  return true;
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  index_.clear();
+  ++version_;
+}
+
+const Relation::ColumnIndex& Relation::IndexOn(int column) const {
+  if (indexed_version_ != version_) {
+    column_indexes_.clear();
+    ordered_indexes_.clear();
+    indexed_version_ = version_;
+  }
+  auto it = column_indexes_.find(column);
+  if (it == column_indexes_.end()) {
+    ColumnIndex built;
+    built.reserve(rows_.size());
+    for (int row = 0; row < static_cast<int>(rows_.size()); ++row) {
+      built.emplace(rows_[static_cast<size_t>(row)].at(column), row);
+    }
+    it = column_indexes_.emplace(column, std::move(built)).first;
+  }
+  return it->second;
+}
+
+const Relation::OrderedIndex& Relation::OrderedIndexOn(int column) const {
+  if (indexed_version_ != version_) {
+    column_indexes_.clear();
+    ordered_indexes_.clear();
+    indexed_version_ = version_;
+  }
+  auto it = ordered_indexes_.find(column);
+  if (it == ordered_indexes_.end()) {
+    OrderedIndex built;
+    built.reserve(rows_.size());
+    for (int row = 0; row < static_cast<int>(rows_.size()); ++row) {
+      built.emplace_back(rows_[static_cast<size_t>(row)].at(column), row);
+    }
+    std::sort(built.begin(), built.end(),
+              [](const std::pair<Value, int>& a,
+                 const std::pair<Value, int>& b) {
+                if (a.first < b.first) return true;
+                if (b.first < a.first) return false;
+                return a.second < b.second;
+              });
+    it = ordered_indexes_.emplace(column, std::move(built)).first;
+  }
+  return it->second;
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  return index_.contains(tuple);
+}
+
+std::vector<Tuple> Relation::SortedRows() const {
+  std::vector<Tuple> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+bool Relation::SameTuples(const Relation& other) const {
+  if (size() != other.size()) return false;
+  for (const Tuple& row : rows_) {
+    if (!other.Contains(row)) return false;
+  }
+  return true;
+}
+
+Status DatabaseInstance::CreateRelation(RelationSchema schema) {
+  VIEWAUTH_RETURN_NOT_OK(schema_.AddRelation(schema));
+  // Copy the name out first: argument evaluation order is unspecified, so
+  // passing schema.name() and std::move(schema) in one call would race.
+  std::string name = schema.name();
+  relations_.emplace(std::move(name), Relation(std::move(schema)));
+  return Status::OK();
+}
+
+Status DatabaseInstance::DropRelation(std::string_view name) {
+  VIEWAUTH_RETURN_NOT_OK(schema_.DropRelation(name));
+  relations_.erase(relations_.find(name));
+  return Status::OK();
+}
+
+Result<Relation*> DatabaseInstance::GetRelation(std::string_view name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + std::string(name) +
+                            "' does not exist");
+  }
+  return &it->second;
+}
+
+Result<const Relation*> DatabaseInstance::GetRelation(
+    std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + std::string(name) +
+                            "' does not exist");
+  }
+  return &it->second;
+}
+
+Status DatabaseInstance::Insert(std::string_view relation_name, Tuple tuple) {
+  VIEWAUTH_ASSIGN_OR_RETURN(Relation * rel, GetRelation(relation_name));
+  return rel->Insert(std::move(tuple));
+}
+
+}  // namespace viewauth

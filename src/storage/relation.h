@@ -1,0 +1,109 @@
+// In-memory relations with set semantics (the relational model of the
+// paper: a relation is a *set* of tuples over the scheme's domains), and
+// the database instance holding one relation per relation scheme.
+
+#ifndef VIEWAUTH_STORAGE_RELATION_H_
+#define VIEWAUTH_STORAGE_RELATION_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/schema.h"
+#include "storage/tuple.h"
+
+namespace viewauth {
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+
+  // Inserts a tuple; duplicates are silently absorbed (set semantics).
+  // Fails on arity or type mismatch, or on a primary-key violation (same
+  // key, different non-key values) when the schema declares a key.
+  Status Insert(Tuple tuple);
+  // Inserts without schema validation (for operator outputs whose tuples
+  // are correct by construction). Still deduplicates. Returns true if the
+  // tuple was new.
+  bool InsertUnchecked(Tuple tuple);
+
+  // Removes a tuple if present; returns true if it was removed.
+  bool Erase(const Tuple& tuple);
+  void Clear();
+
+  bool Contains(const Tuple& tuple) const;
+  int size() const { return static_cast<int>(rows_.size()); }
+  bool empty() const { return rows_.empty(); }
+
+  // Insertion-ordered rows.
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  // Rows sorted lexicographically (deterministic display/comparison).
+  std::vector<Tuple> SortedRows() const;
+
+  // A hash index over one column: value -> indices into rows(). Built
+  // lazily on first use and rebuilt after mutations (cheap version
+  // check). Index lookups use strict Value equality, so callers must
+  // coerce probe constants to the column's type (the engine's literal
+  // coercion already guarantees this for stored data).
+  using ColumnIndex = std::unordered_multimap<Value, int, ValueHash>;
+  const ColumnIndex& IndexOn(int column) const;
+
+  // An ordered index over one column: (value, row index) pairs sorted by
+  // value (Value's total order). Built lazily like IndexOn; enables
+  // binary-searched range scans for one-sided and interval predicates.
+  using OrderedIndex = std::vector<std::pair<Value, int>>;
+  const OrderedIndex& OrderedIndexOn(int column) const;
+
+  // True if both relations hold the same set of tuples (schema names are
+  // not compared; arity must match).
+  bool SameTuples(const Relation& other) const;
+
+ private:
+  // Validates tuple types against the schema; NULLs are always accepted.
+  Status ValidateTuple(const Tuple& tuple) const;
+
+  RelationSchema schema_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> index_;
+  // Lazily-built per-column indexes, keyed by column; `version_` detects
+  // staleness after Insert/Erase/Clear.
+  long long version_ = 0;
+  mutable long long indexed_version_ = -1;
+  mutable std::map<int, ColumnIndex> column_indexes_;
+  mutable std::map<int, OrderedIndex> ordered_indexes_;
+};
+
+// A database instance: one relation per relation scheme of the database
+// scheme, addressable by name.
+class DatabaseInstance {
+ public:
+  // Creates a relation for `schema`, registering it in the database
+  // scheme as well.
+  Status CreateRelation(RelationSchema schema);
+  Status DropRelation(std::string_view name);
+
+  Result<Relation*> GetRelation(std::string_view name);
+  Result<const Relation*> GetRelation(std::string_view name) const;
+  bool HasRelation(std::string_view name) const {
+    return schema_.HasRelation(name);
+  }
+
+  Status Insert(std::string_view relation_name, Tuple tuple);
+
+  const DatabaseSchema& schema() const { return schema_; }
+
+ private:
+  DatabaseSchema schema_;
+  std::map<std::string, Relation, std::less<>> relations_;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_STORAGE_RELATION_H_

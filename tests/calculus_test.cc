@@ -1,0 +1,160 @@
+// Unit tests for ConjunctiveQuery building and validation.
+
+#include "calculus/conjunctive_query.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace viewauth {
+namespace {
+
+DatabaseSchema PaperSchema() {
+  DatabaseSchema schema;
+  EXPECT_TRUE(schema
+                  .AddRelation(RelationSchema::Make(
+                                   "EMPLOYEE",
+                                   {{"NAME", ValueType::kString},
+                                    {"TITLE", ValueType::kString},
+                                    {"SALARY", ValueType::kInt64}},
+                                   {0})
+                                   .value())
+                  .ok());
+  EXPECT_TRUE(schema
+                  .AddRelation(RelationSchema::Make(
+                                   "ASSIGNMENT",
+                                   {{"E_NAME", ValueType::kString},
+                                    {"P_NO", ValueType::kString}},
+                                   {0, 1})
+                                   .value())
+                  .ok());
+  return schema;
+}
+
+Result<ConjunctiveQuery> Parse(const DatabaseSchema& schema,
+                               const std::string& text) {
+  auto stmt = ParseStatement(text);
+  if (!stmt.ok()) return stmt.status();
+  return ConjunctiveQuery::FromRetrieve(schema,
+                                        std::get<RetrieveStmt>(*stmt));
+}
+
+TEST(ConjunctiveQuery, SingleAtom) {
+  DatabaseSchema schema = PaperSchema();
+  auto query = Parse(schema, "retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->atoms().size(), 1u);
+  EXPECT_EQ(query->TotalColumns(), 3);
+  EXPECT_EQ(query->targets().size(), 2u);
+  EXPECT_EQ(query->FlatIndex(query->targets()[1]), 2);
+  EXPECT_EQ(query->OutputColumnNames(),
+            (std::vector<std::string>{"NAME", "SALARY"}));
+  EXPECT_EQ(query->OutputColumnTypes()[1], ValueType::kInt64);
+}
+
+TEST(ConjunctiveQuery, MultiAtomFlatIndices) {
+  DatabaseSchema schema = PaperSchema();
+  auto query = Parse(schema,
+                     "retrieve (EMPLOYEE.NAME, ASSIGNMENT.P_NO) "
+                     "where EMPLOYEE.NAME = ASSIGNMENT.E_NAME");
+  ASSERT_TRUE(query.ok());
+  // Atoms in deterministic (name, occurrence) order: ASSIGNMENT, EMPLOYEE.
+  ASSERT_EQ(query->atoms().size(), 2u);
+  EXPECT_EQ(query->atoms()[0].relation, "ASSIGNMENT");
+  EXPECT_EQ(query->atoms()[1].relation, "EMPLOYEE");
+  EXPECT_EQ(query->TotalColumns(), 5);
+  // EMPLOYEE.NAME lives after ASSIGNMENT's two columns.
+  EXPECT_EQ(query->FlatIndex(query->targets()[0]), 2);
+  EXPECT_EQ(query->FlatIndex(query->targets()[1]), 1);
+  std::vector<std::string> names = query->ProductColumnNames();
+  EXPECT_EQ(names[0], "ASSIGNMENT.E_NAME");
+  EXPECT_EQ(names[2], "EMPLOYEE.NAME");
+}
+
+TEST(ConjunctiveQuery, DuplicateRelationOccurrences) {
+  DatabaseSchema schema = PaperSchema();
+  auto query = Parse(schema,
+                     "retrieve (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME) "
+                     "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->atoms().size(), 2u);
+  EXPECT_EQ(query->atoms()[0].occurrence, 1);
+  EXPECT_EQ(query->atoms()[1].occurrence, 2);
+  // Duplicate output names get :i suffixes.
+  EXPECT_EQ(query->OutputColumnNames(),
+            (std::vector<std::string>{"NAME:1", "NAME:2"}));
+  // Product columns are qualified by occurrence.
+  EXPECT_EQ(query->ProductColumnNames()[0], "EMPLOYEE:1.NAME");
+  EXPECT_EQ(query->ProductColumnNames()[3], "EMPLOYEE:2.NAME");
+}
+
+TEST(ConjunctiveQuery, OccurrenceGapRejected) {
+  DatabaseSchema schema = PaperSchema();
+  auto query = Parse(schema, "retrieve (EMPLOYEE:2.NAME)");
+  EXPECT_TRUE(query.status().IsInvalidArgument());
+}
+
+TEST(ConjunctiveQuery, UnknownNamesRejected) {
+  DatabaseSchema schema = PaperSchema();
+  EXPECT_TRUE(Parse(schema, "retrieve (NOPE.A)").status().IsNotFound());
+  EXPECT_TRUE(
+      Parse(schema, "retrieve (EMPLOYEE.NOPE)").status().IsNotFound());
+  EXPECT_TRUE(Parse(schema,
+                    "retrieve (EMPLOYEE.NAME) where EMPLOYEE.NAME = "
+                    "NOPE.A")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(ConjunctiveQuery, TypeMismatchesRejected) {
+  DatabaseSchema schema = PaperSchema();
+  // string column vs integer constant
+  EXPECT_TRUE(Parse(schema,
+                    "retrieve (EMPLOYEE.NAME) where EMPLOYEE.NAME = 5")
+                  .status()
+                  .IsSchemaMismatch());
+  // int column vs string column
+  EXPECT_TRUE(Parse(schema,
+                    "retrieve (EMPLOYEE.NAME) where EMPLOYEE.SALARY = "
+                    "EMPLOYEE.TITLE")
+                  .status()
+                  .IsSchemaMismatch());
+  // int column vs double constant is fine
+  EXPECT_TRUE(Parse(schema,
+                    "retrieve (EMPLOYEE.NAME) where EMPLOYEE.SALARY > 2.5")
+                  .ok());
+}
+
+TEST(ConjunctiveQuery, EmptyTargetsRejected) {
+  DatabaseSchema schema = PaperSchema();
+  EXPECT_TRUE(
+      ConjunctiveQuery::Build(schema, "q", {}, {}).status()
+          .IsInvalidArgument());
+}
+
+TEST(ConjunctiveQuery, OutputSchema) {
+  DatabaseSchema schema = PaperSchema();
+  auto query = Parse(schema, "retrieve (EMPLOYEE.SALARY, EMPLOYEE.NAME)");
+  ASSERT_TRUE(query.ok());
+  auto out = query->OutputSchema("ANSWER");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->name(), "ANSWER");
+  EXPECT_EQ(out->attribute(0).name, "SALARY");
+  EXPECT_EQ(out->attribute(0).type, ValueType::kInt64);
+  EXPECT_EQ(out->attribute(1).name, "NAME");
+}
+
+TEST(ConjunctiveQuery, ConditionsResolved) {
+  DatabaseSchema schema = PaperSchema();
+  auto query = Parse(schema,
+                     "retrieve (EMPLOYEE.NAME) where EMPLOYEE.SALARY >= "
+                     "250000 and EMPLOYEE.NAME != Smith");
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->conditions().size(), 2u);
+  EXPECT_EQ(query->conditions()[0].op, Comparator::kGe);
+  EXPECT_FALSE(query->conditions()[0].rhs_is_column);
+  EXPECT_EQ(query->conditions()[1].rhs_const, Value::String("Smith"));
+}
+
+}  // namespace
+}  // namespace viewauth

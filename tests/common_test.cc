@@ -1,0 +1,136 @@
+// Unit tests for Status, Result and string utilities.
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace viewauth {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_TRUE(status.message().empty());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status status = Status::NotFound("relation 'X' does not exist");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.message(), "relation 'X' does not exist");
+  EXPECT_EQ(status.ToString(), "Not found: relation 'X' does not exist");
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::SchemaMismatch("x").IsSchemaMismatch());
+}
+
+TEST(Status, CopyShares) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_TRUE(b.IsInternal());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnMacro(int x) {
+  VIEWAUTH_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(Status, ReturnNotOkMacro) {
+  EXPECT_TRUE(UsesReturnMacro(1).ok());
+  EXPECT_TRUE(UsesReturnMacro(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  VIEWAUTH_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(Result, ValueAndStatus) {
+  Result<int> ok = 5;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err = Status::NotFound("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsNotFound());
+  EXPECT_EQ(err.ValueOr(-1), -1);
+  EXPECT_EQ(ok.ValueOr(-1), 5);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto doubled = DoublePositive(21);
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(*doubled, 42);
+  EXPECT_TRUE(DoublePositive(0).status().IsInvalidArgument());
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StrUtil, Join) {
+  std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ", "), "a, b, c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+  EXPECT_EQ(Join(std::vector<int>{1, 2}, "-"), "1-2");
+}
+
+TEST(StrUtil, Split) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrUtil, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StrUtil, CaseHelpers) {
+  EXPECT_EQ(ToUpperAscii("Acme-1"), "ACME-1");
+  EXPECT_EQ(ToLowerAscii("Acme-1"), "acme-1");
+  EXPECT_TRUE(EqualsIgnoreCaseAscii("WHERE", "where"));
+  EXPECT_FALSE(EqualsIgnoreCaseAscii("WHERE", "wher"));
+}
+
+TEST(StrUtil, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("viewauth", "view"));
+  EXPECT_FALSE(StartsWith("view", "viewauth"));
+  EXPECT_TRUE(EndsWith("viewauth", "auth"));
+  EXPECT_FALSE(EndsWith("auth", "viewauth"));
+}
+
+TEST(StrUtil, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(250000), "250,000");
+  EXPECT_EQ(FormatWithCommas(-1000), "-1,000");
+  EXPECT_EQ(FormatWithCommas(1234567890), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace viewauth

@@ -1,0 +1,393 @@
+// Unit and property tests for the ConstraintSet decision procedures.
+
+#include "predicate/constraint.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+namespace viewauth {
+namespace {
+
+ConstraintAtom TC(TermId t, Comparator op, int64_t c) {
+  return ConstraintAtom::TermConst(t, op, Value::Int64(c));
+}
+ConstraintAtom TT(TermId a, Comparator op, TermId b) {
+  return ConstraintAtom::TermTerm(a, op, b);
+}
+
+TEST(ConstraintSet, EmptyIsSatisfiableAndImpliesNothing) {
+  ConstraintSet set;
+  EXPECT_TRUE(set.IsSatisfiable());
+  EXPECT_EQ(set.Implies(TC(0, Comparator::kGe, 5)), Truth::kUnknown);
+}
+
+TEST(ConstraintSet, SimpleBoundsImplication) {
+  ConstraintSet set;
+  set.Add(TC(1, Comparator::kGe, 10));
+  EXPECT_TRUE(set.IsSatisfiable());
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kGe, 5)), Truth::kTrue);
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kGt, 9)), Truth::kTrue);
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kLt, 10)), Truth::kFalse);
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kLe, 10)), Truth::kUnknown);
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kGe, 20)), Truth::kUnknown);
+}
+
+TEST(ConstraintSet, PinsDecideEverything) {
+  ConstraintSet set;
+  set.Add(TC(1, Comparator::kEq, 7));
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kEq, 7)), Truth::kTrue);
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kNe, 7)), Truth::kFalse);
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kLt, 8)), Truth::kTrue);
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kGt, 7)), Truth::kFalse);
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kGe, 7)), Truth::kTrue);
+}
+
+TEST(ConstraintSet, ContradictoryBoundsUnsat) {
+  ConstraintSet set;
+  set.Add(TC(1, Comparator::kGe, 10));
+  set.Add(TC(1, Comparator::kLt, 10));
+  EXPECT_FALSE(set.IsSatisfiable());
+  // Vacuous implication from an unsatisfiable set.
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kEq, 42)), Truth::kTrue);
+}
+
+TEST(ConstraintSet, IntegerTighteningClosesOpenBounds) {
+  ConstraintSet set;
+  set.DeclareTermType(1, ValueType::kInt64);
+  set.Add(TC(1, Comparator::kGt, 4));
+  // x > 4 over integers means x >= 5.
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kGe, 5)), Truth::kTrue);
+}
+
+TEST(ConstraintSet, IntegerGapIsUnsat) {
+  ConstraintSet set;
+  set.DeclareTermType(1, ValueType::kInt64);
+  set.Add(TC(1, Comparator::kGt, 4));
+  set.Add(TC(1, Comparator::kLt, 5));
+  EXPECT_FALSE(set.IsSatisfiable());
+}
+
+TEST(ConstraintSet, DoubleGapIsSat) {
+  ConstraintSet set;
+  set.DeclareTermType(1, ValueType::kDouble);
+  set.Add(TC(1, Comparator::kGt, 4));
+  set.Add(TC(1, Comparator::kLt, 5));
+  EXPECT_TRUE(set.IsSatisfiable());
+}
+
+TEST(ConstraintSet, DisequalityAtEndpointTightens) {
+  ConstraintSet set;
+  set.DeclareTermType(1, ValueType::kInt64);
+  set.Add(TC(1, Comparator::kGe, 5));
+  set.Add(TC(1, Comparator::kLe, 6));
+  set.Add(TC(1, Comparator::kNe, 5));
+  set.Add(TC(1, Comparator::kNe, 6));
+  EXPECT_FALSE(set.IsSatisfiable());
+}
+
+TEST(ConstraintSet, EqualityMergesClasses) {
+  ConstraintSet set;
+  set.Add(TT(1, Comparator::kEq, 2));
+  set.Add(TT(2, Comparator::kEq, 3));
+  set.Add(TC(3, Comparator::kGe, 100));
+  EXPECT_EQ(set.Implies(TC(1, Comparator::kGe, 100)), Truth::kTrue);
+  EXPECT_TRUE(set.AreEqual(1, 3));
+  EXPECT_FALSE(set.AreEqual(1, 4));
+}
+
+TEST(ConstraintSet, OrderCycleForcesEquality) {
+  ConstraintSet set;
+  set.Add(TT(1, Comparator::kLe, 2));
+  set.Add(TT(2, Comparator::kLe, 3));
+  set.Add(TT(3, Comparator::kLe, 1));
+  EXPECT_TRUE(set.IsSatisfiable());
+  EXPECT_TRUE(set.AreEqual(1, 3));
+  EXPECT_EQ(set.Implies(TT(1, Comparator::kEq, 2)), Truth::kTrue);
+}
+
+TEST(ConstraintSet, StrictCycleUnsat) {
+  ConstraintSet set;
+  set.Add(TT(1, Comparator::kLt, 2));
+  set.Add(TT(2, Comparator::kLe, 1));
+  EXPECT_FALSE(set.IsSatisfiable());
+}
+
+TEST(ConstraintSet, TransitiveOrderImplication) {
+  ConstraintSet set;
+  set.Add(TT(1, Comparator::kLt, 2));
+  set.Add(TT(2, Comparator::kLe, 3));
+  EXPECT_EQ(set.Implies(TT(1, Comparator::kLt, 3)), Truth::kTrue);
+  EXPECT_EQ(set.Implies(TT(3, Comparator::kLt, 1)), Truth::kFalse);
+  EXPECT_EQ(set.Implies(TT(1, Comparator::kNe, 3)), Truth::kTrue);
+}
+
+TEST(ConstraintSet, BoundsPropagateAlongEdges) {
+  ConstraintSet set;
+  set.Add(TC(1, Comparator::kGe, 10));
+  set.Add(TT(1, Comparator::kLe, 2));
+  EXPECT_EQ(set.Implies(TC(2, Comparator::kGe, 10)), Truth::kTrue);
+  EXPECT_EQ(set.Implies(TC(2, Comparator::kLt, 10)), Truth::kFalse);
+}
+
+TEST(ConstraintSet, DisjointBoundsImplyOrder) {
+  ConstraintSet set;
+  set.Add(TC(1, Comparator::kLe, 5));
+  set.Add(TC(2, Comparator::kGt, 5));
+  EXPECT_EQ(set.Implies(TT(1, Comparator::kLt, 2)), Truth::kTrue);
+  EXPECT_EQ(set.Implies(TT(1, Comparator::kEq, 2)), Truth::kFalse);
+  EXPECT_EQ(set.Implies(TT(2, Comparator::kGt, 1)), Truth::kTrue);
+}
+
+TEST(ConstraintSet, PinnedPairEquality) {
+  ConstraintSet set;
+  set.Add(TC(1, Comparator::kEq, 5));
+  set.Add(TC(2, Comparator::kEq, 5));
+  EXPECT_EQ(set.Implies(TT(1, Comparator::kEq, 2)), Truth::kTrue);
+}
+
+TEST(ConstraintSet, StringConstraints) {
+  ConstraintSet set;
+  set.DeclareTermType(1, ValueType::kString);
+  set.AddTermConst(1, Comparator::kEq, Value::String("Acme"));
+  EXPECT_EQ(set.Implies(ConstraintAtom::TermConst(1, Comparator::kEq,
+                                                  Value::String("Acme"))),
+            Truth::kTrue);
+  EXPECT_EQ(set.Implies(ConstraintAtom::TermConst(1, Comparator::kEq,
+                                                  Value::String("Apex"))),
+            Truth::kFalse);
+  EXPECT_EQ(set.Implies(ConstraintAtom::TermConst(1, Comparator::kLt,
+                                                  Value::String("B"))),
+            Truth::kTrue);
+}
+
+TEST(ConstraintSet, StringVsNumericIsUnsat) {
+  ConstraintSet set;
+  set.DeclareTermType(1, ValueType::kString);
+  set.Add(TC(1, Comparator::kEq, 5));
+  EXPECT_FALSE(set.IsSatisfiable());
+}
+
+TEST(ConstraintSet, StringVsNumericDisequalityIsVacuous) {
+  ConstraintSet set;
+  set.DeclareTermType(1, ValueType::kString);
+  set.Add(TC(1, Comparator::kNe, 5));
+  EXPECT_TRUE(set.IsSatisfiable());
+}
+
+TEST(ConstraintSet, MixedTypeMergedClassUnsat) {
+  ConstraintSet set;
+  set.DeclareTermType(1, ValueType::kString);
+  set.DeclareTermType(2, ValueType::kInt64);
+  set.Add(TT(1, Comparator::kEq, 2));
+  EXPECT_FALSE(set.IsSatisfiable());
+}
+
+TEST(ConstraintSet, ContradictsWith) {
+  ConstraintSet mu;
+  mu.Add(TC(1, Comparator::kGe, 300000));
+  mu.Add(TC(1, Comparator::kLe, 600000));
+  ConstraintSet lambda;
+  lambda.Add(TC(1, Comparator::kLt, 300000));
+  EXPECT_TRUE(mu.ContradictsWith(lambda));
+
+  ConstraintSet overlap;
+  overlap.Add(TC(1, Comparator::kGe, 200000));
+  overlap.Add(TC(1, Comparator::kLe, 400000));
+  EXPECT_FALSE(mu.ContradictsWith(overlap));
+}
+
+TEST(ConstraintSet, ImpliesAll) {
+  ConstraintSet tight;
+  tight.Add(TC(1, Comparator::kGe, 400000));
+  tight.Add(TC(1, Comparator::kLe, 500000));
+  ConstraintSet loose;
+  loose.Add(TC(1, Comparator::kGe, 300000));
+  loose.Add(TC(1, Comparator::kLe, 600000));
+  EXPECT_EQ(tight.ImpliesAll(loose), Truth::kTrue);
+  EXPECT_EQ(loose.ImpliesAll(tight), Truth::kUnknown);
+}
+
+TEST(ConstraintSet, IsUnconstrainedAndInteractions) {
+  ConstraintSet set;
+  set.Add(TC(1, Comparator::kGe, 5));
+  set.Add(TT(2, Comparator::kLt, 3));
+  EXPECT_FALSE(set.IsUnconstrained(1));
+  EXPECT_FALSE(set.IsUnconstrained(2));
+  EXPECT_TRUE(set.IsUnconstrained(99));
+  EXPECT_TRUE(set.InteractsWithOtherTerms(2));  // order edge to term 3
+  EXPECT_TRUE(set.InteractsWithOtherTerms(3));
+  EXPECT_FALSE(set.InteractsWithOtherTerms(1));  // constant bound only
+}
+
+TEST(ConstraintSet, ForgetTermPreservesConsequences) {
+  ConstraintSet set;
+  set.Add(TT(1, Comparator::kEq, 2));
+  set.Add(TT(2, Comparator::kEq, 3));
+  set.ForgetTerm(2);
+  EXPECT_EQ(set.Implies(TT(1, Comparator::kEq, 3)), Truth::kTrue);
+}
+
+TEST(ConstraintSet, ForgetLastTermEmptiesTheSet) {
+  ConstraintSet set;
+  set.Add(TC(7, Comparator::kGe, 250000));
+  set.ForgetTerm(7);
+  EXPECT_EQ(set.atom_count(), 0);
+  EXPECT_TRUE(set.IsSatisfiable());
+}
+
+TEST(ConstraintSet, ForgetTermPreservesUnsat) {
+  ConstraintSet set;
+  set.Add(TC(1, Comparator::kGt, 5));
+  set.Add(TC(1, Comparator::kLt, 5));
+  set.ForgetTerm(1);
+  EXPECT_FALSE(set.IsSatisfiable());
+}
+
+TEST(ConstraintSet, SatisfiedEvaluatesAssignments) {
+  ConstraintSet set;
+  set.Add(TC(1, Comparator::kGe, 10));
+  set.Add(TT(1, Comparator::kLt, 2));
+  std::map<TermId, Value> good{{1, Value::Int64(10)}, {2, Value::Int64(11)}};
+  std::map<TermId, Value> bad{{1, Value::Int64(10)}, {2, Value::Int64(10)}};
+  std::map<TermId, Value> partial{{1, Value::Int64(10)}};
+  EXPECT_TRUE(set.Satisfied(good));
+  EXPECT_FALSE(set.Satisfied(bad));
+  EXPECT_FALSE(set.Satisfied(partial));
+}
+
+TEST(ConstraintSet, ExportAtomsRoundTrips) {
+  ConstraintSet set;
+  set.Add(TC(1, Comparator::kGe, 3));
+  set.Add(TT(1, Comparator::kEq, 2));
+  set.Add(TT(2, Comparator::kLt, 3));
+  set.Add(TC(4, Comparator::kNe, 9));
+  ConstraintSet rebuilt;
+  for (const ConstraintAtom& atom : set.ExportAtoms()) {
+    rebuilt.Add(atom);
+  }
+  // The rebuilt set proves the same facts.
+  EXPECT_EQ(rebuilt.Implies(TC(2, Comparator::kGe, 3)), Truth::kTrue);
+  EXPECT_EQ(rebuilt.Implies(TT(1, Comparator::kLt, 3)), Truth::kTrue);
+  EXPECT_EQ(rebuilt.Implies(TC(4, Comparator::kEq, 9)), Truth::kFalse);
+}
+
+TEST(ConstraintSet, PinnedConstant) {
+  ConstraintSet set;
+  set.Add(TC(1, Comparator::kGe, 5));
+  set.Add(TC(1, Comparator::kLe, 5));
+  ASSERT_TRUE(set.PinnedConstant(1).has_value());
+  EXPECT_EQ(*set.PinnedConstant(1), Value::Int64(5));
+  EXPECT_FALSE(set.PinnedConstant(2).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Property tests: the solver against brute-force enumeration over a
+// small integer domain.
+// ---------------------------------------------------------------------
+
+class ConstraintPropertyTest : public ::testing::TestWithParam<int> {};
+
+// Enumerates all assignments of `terms` over {0..4} and evaluates.
+std::vector<std::map<TermId, Value>> AllAssignments(int terms, int domain) {
+  std::vector<std::map<TermId, Value>> out;
+  int total = 1;
+  for (int i = 0; i < terms; ++i) total *= domain;
+  for (int code = 0; code < total; ++code) {
+    std::map<TermId, Value> assignment;
+    int rest = code;
+    for (int t = 0; t < terms; ++t) {
+      assignment[t] = Value::Int64(rest % domain);
+      rest /= domain;
+    }
+    out.push_back(std::move(assignment));
+  }
+  return out;
+}
+
+TEST_P(ConstraintPropertyTest, SolverAgreesWithBruteForce) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  constexpr int kTerms = 3;
+  constexpr int kDomain = 5;
+  const std::vector<std::map<TermId, Value>> assignments =
+      AllAssignments(kTerms, kDomain);
+  std::uniform_int_distribution<int> term_dist(0, kTerms - 1);
+  std::uniform_int_distribution<int> const_dist(0, kDomain - 1);
+  std::uniform_int_distribution<int> op_dist(0, 5);
+  std::uniform_int_distribution<int> kind_dist(0, 1);
+  std::uniform_int_distribution<int> count_dist(1, 5);
+
+  auto random_atom = [&]() {
+    Comparator op = static_cast<Comparator>(op_dist(rng));
+    TermId lhs = term_dist(rng);
+    if (kind_dist(rng) == 0) {
+      return TC(lhs, op, const_dist(rng));
+    }
+    return TT(lhs, op, term_dist(rng));
+  };
+
+  for (int round = 0; round < 60; ++round) {
+    ConstraintSet set;
+    for (int t = 0; t < kTerms; ++t) {
+      // NOTE: the domain {0..4} is a subset of int64; bounds outside it
+      // can make the solver claim satisfiability that brute force over
+      // the subdomain cannot see, so constants stay inside the domain.
+      set.DeclareTermType(t, ValueType::kInt64);
+    }
+    const int atoms = count_dist(rng);
+    std::vector<ConstraintAtom> chosen;
+    for (int i = 0; i < atoms; ++i) {
+      ConstraintAtom atom = random_atom();
+      chosen.push_back(atom);
+      set.Add(atom);
+    }
+
+    // Brute-force model count.
+    int models = 0;
+    for (const auto& assignment : assignments) {
+      if (set.Satisfied(assignment)) ++models;
+    }
+
+    // Soundness of unsat: if the solver says unsatisfiable, brute force
+    // must find no model. (The converse may fail only for bounds outside
+    // the brute-force domain, which we excluded.)
+    if (!set.IsSatisfiable()) {
+      EXPECT_EQ(models, 0) << set.ToString();
+    }
+
+    if (models == 0) continue;
+
+    // Implication: kTrue answers must hold in every model; kFalse
+    // answers must hold in none.
+    for (int probe = 0; probe < 8; ++probe) {
+      ConstraintAtom atom = random_atom();
+      Truth verdict = set.Implies(atom);
+      if (verdict == Truth::kUnknown) continue;
+      ConstraintSet single;
+      single.Add(atom);
+      int holds = 0;
+      for (const auto& assignment : assignments) {
+        if (set.Satisfied(assignment) && single.Satisfied(assignment)) {
+          ++holds;
+        }
+      }
+      if (verdict == Truth::kTrue) {
+        EXPECT_EQ(holds, models)
+            << set.ToString() << "  |=  "
+            << atom.ToString([](TermId t) { return "t" + std::to_string(t); });
+      } else {
+        EXPECT_EQ(holds, 0)
+            << set.ToString() << "  contradicts  "
+            << atom.ToString([](TermId t) { return "t" + std::to_string(t); });
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstraintPropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace viewauth

@@ -1,0 +1,114 @@
+// Tests for disjunctive retrieve statements (union of authorized
+// conjunctive branches).
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "parser/parser.h"
+
+namespace viewauth {
+namespace {
+
+class DisjunctiveRetrieveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto setup = engine_.ExecuteScript(R"(
+      relation EMPLOYEE (NAME string key, TITLE string, SALARY int)
+      insert into EMPLOYEE values (Jones, manager, 26000)
+      insert into EMPLOYEE values (Smith, technician, 22000)
+      insert into EMPLOYEE values (Brown, engineer, 32000)
+      view ALL_OF_IT (EMPLOYEE.NAME, EMPLOYEE.TITLE, EMPLOYEE.SALARY)
+      view CHEAP (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+        where EMPLOYEE.SALARY < 25000
+      permit ALL_OF_IT to boss
+      permit CHEAP to clerk
+    )");
+    ASSERT_TRUE(setup.ok()) << setup.status();
+  }
+
+  Engine engine_;
+};
+
+TEST_F(DisjunctiveRetrieveTest, Parsing) {
+  auto stmt = ParseStatement(
+      "retrieve (R.A) where R.B = 1 or R.B = 2 and R.C > 0 as u");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& retrieve = std::get<RetrieveStmt>(*stmt);
+  EXPECT_EQ(retrieve.conditions.size(), 1u);
+  ASSERT_EQ(retrieve.or_branches.size(), 1u);
+  EXPECT_EQ(retrieve.or_branches[0].size(), 2u);
+  EXPECT_EQ(retrieve.as_user, "u");
+  // Round trip.
+  auto again = ParseStatement(retrieve.ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(std::get<RetrieveStmt>(*again).ToString(),
+            retrieve.ToString());
+  EXPECT_FALSE(ParseStatement("retrieve (R.A) or R.B = 1").ok());
+}
+
+TEST_F(DisjunctiveRetrieveTest, UnionOfBranches) {
+  auto out = engine_.Execute(
+      "retrieve (EMPLOYEE.NAME) where EMPLOYEE.TITLE = manager "
+      "or EMPLOYEE.TITLE = engineer as boss");
+  ASSERT_TRUE(out.ok()) << out.status();
+  const AuthorizationResult* result = engine_.last_result();
+  EXPECT_FALSE(result->denied);
+  EXPECT_TRUE(result->full_access);  // both branches fully inside the view
+  EXPECT_EQ(result->answer.size(), 2);
+  EXPECT_TRUE(result->answer.Contains(Tuple({Value::String("Jones")})));
+  EXPECT_TRUE(result->answer.Contains(Tuple({Value::String("Brown")})));
+}
+
+TEST_F(DisjunctiveRetrieveTest, BranchesAuthorizeIndependently) {
+  // The clerk's CHEAP view covers salaries < 25000: branch 1 is inside,
+  // branch 2 (high earners) is denied — the union delivers branch 1.
+  auto out = engine_.Execute(
+      "retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY) "
+      "where EMPLOYEE.SALARY < 23000 or EMPLOYEE.SALARY > 31000 as clerk");
+  ASSERT_TRUE(out.ok()) << out.status();
+  const AuthorizationResult* result = engine_.last_result();
+  EXPECT_FALSE(result->denied);
+  EXPECT_FALSE(result->full_access);
+  ASSERT_EQ(result->answer.size(), 1);
+  EXPECT_TRUE(result->answer.Contains(
+      Tuple({Value::String("Smith"), Value::Int64(22000)})));
+}
+
+TEST_F(DisjunctiveRetrieveTest, AllBranchesDeniedMeansDenied) {
+  auto out = engine_.Execute(
+      "retrieve (EMPLOYEE.TITLE) where EMPLOYEE.SALARY < 23000 "
+      "or EMPLOYEE.SALARY > 31000 as clerk");  // TITLE not in CHEAP
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(engine_.last_result()->denied);
+}
+
+TEST_F(DisjunctiveRetrieveTest, ExtendedMasksAcrossBranches) {
+  // Under extended masks the branch masks are wide; the union must stay
+  // well-formed and deliver the union of the branch portions.
+  engine_.options().extended_masks = true;
+  auto out = engine_.Execute(
+      "retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY) "
+      "where EMPLOYEE.SALARY < 23000 or EMPLOYEE.TITLE = manager "
+      "as clerk");
+  ASSERT_TRUE(out.ok()) << out.status();
+  const AuthorizationResult* result = engine_.last_result();
+  EXPECT_FALSE(result->denied);
+  // Branch 1 (inside CHEAP) delivers Smith; branch 2 filters on TITLE,
+  // which CHEAP neither projects nor restricts, so it contributes
+  // nothing.
+  ASSERT_EQ(result->answer.size(), 1);
+  EXPECT_TRUE(result->answer.Contains(
+      Tuple({Value::String("Smith"), Value::Int64(22000)})));
+}
+
+TEST_F(DisjunctiveRetrieveTest, DuplicateRowsCollapse) {
+  // Overlapping branches: each matching row is delivered once.
+  auto out = engine_.Execute(
+      "retrieve (EMPLOYEE.NAME) where EMPLOYEE.SALARY > 20000 "
+      "or EMPLOYEE.SALARY > 25000 as boss");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(engine_.last_result()->answer.size(), 3);
+}
+
+}  // namespace
+}  // namespace viewauth

@@ -1,0 +1,136 @@
+// Tests for the durable (statement-logged) engine.
+
+#include "engine/durable.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace viewauth {
+namespace {
+
+class DurableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "viewauth_durable_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(DurableTest, StateSurvivesReopen) {
+  {
+    auto durable = DurableEngine::Open(path_);
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    for (const char* stmt :
+         {"relation T (A string key, B int)",
+          "insert into T values (x, 1)", "insert into T values (y, 2)",
+          "view VA (T.A, T.B) where T.B >= 2", "permit VA to u"}) {
+      auto out = (*durable)->Execute(stmt);
+      ASSERT_TRUE(out.ok()) << stmt << ": " << out.status();
+    }
+  }
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  Engine& engine = (*reopened)->engine();
+  EXPECT_EQ((*engine.db().GetRelation("T"))->size(), 2);
+  EXPECT_TRUE(engine.catalog().IsPermitted("u", "VA"));
+  auto result = engine.Execute("retrieve (T.A, T.B) as u");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->find("| y | 2 |"), std::string::npos);
+}
+
+TEST_F(DurableTest, RetrievesAreNotLogged) {
+  auto durable = DurableEngine::Open(path_);
+  ASSERT_TRUE(durable.ok());
+  ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+  ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+  ASSERT_TRUE((*durable)->Execute("retrieve (T.A) as nobody").ok());
+  std::ifstream in(path_);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents.find("retrieve"), std::string::npos);
+  EXPECT_NE(contents.find("insert into T"), std::string::npos);
+}
+
+TEST_F(DurableTest, FailedStatementsAreNotLogged) {
+  auto durable = DurableEngine::Open(path_);
+  ASSERT_TRUE(durable.ok());
+  ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+  EXPECT_FALSE((*durable)->Execute("relation T (A int)").ok());  // dup
+  EXPECT_FALSE((*durable)->Execute("insert into T values (x)").ok());
+  // Reopen must replay cleanly (no duplicate DDL recorded).
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+}
+
+TEST_F(DurableTest, GuardedUpdatesReplayDeterministically) {
+  {
+    auto durable = DurableEngine::Open(path_);
+    ASSERT_TRUE(durable.ok());
+    for (const char* stmt :
+         {"relation P (N string key, S string, B int)",
+          "insert into P values (p1, Acme, 100)",
+          "insert into P values (p2, Apex, 200)",
+          "view ACME (P.N, P.S, P.B) where P.S = Acme",
+          "permit ACME to e for delete",
+          "delete from P where P.B < 500 as e"}) {
+      auto out = (*durable)->Execute(stmt);
+      ASSERT_TRUE(out.ok()) << stmt << ": " << out.status();
+    }
+    // Only the Acme row was deletable.
+    EXPECT_EQ(((*durable)->engine().db().GetRelation("P")).value()->size(),
+              1);
+  }
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(((*reopened)->engine().db().GetRelation("P")).value()->size(),
+            1);
+}
+
+TEST_F(DurableTest, CompactionShrinksAndPreservesState) {
+  auto durable = DurableEngine::Open(path_);
+  ASSERT_TRUE(durable.ok());
+  ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        (*durable)
+            ->Execute("insert into T values (" + std::to_string(i) + ")")
+            .ok());
+  }
+  ASSERT_TRUE((*durable)->Execute("delete from T where T.A >= 5").ok());
+  ASSERT_TRUE((*durable)->Compact().ok());
+
+  std::ifstream in(path_);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  // Deleted rows vanish from the compacted log.
+  EXPECT_EQ(contents.find("values (7)"), std::string::npos);
+  EXPECT_NE(contents.find("values (3)"), std::string::npos);
+  EXPECT_EQ(contents.find("delete"), std::string::npos);
+
+  // State is intact and further statements still log.
+  EXPECT_EQ(((*durable)->engine().db().GetRelation("T")).value()->size(),
+            5);
+  ASSERT_TRUE((*durable)->Execute("insert into T values (99)").ok());
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(((*reopened)->engine().db().GetRelation("T")).value()->size(),
+            6);
+}
+
+TEST_F(DurableTest, CorruptLogFailsToOpen) {
+  {
+    std::ofstream out(path_);
+    out << "this is not a statement\n";
+  }
+  auto durable = DurableEngine::Open(path_);
+  EXPECT_TRUE(durable.status().IsInternal());
+}
+
+}  // namespace
+}  // namespace viewauth

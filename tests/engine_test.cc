@@ -1,0 +1,113 @@
+// Integration tests for the Section 6 front-end: statements in, masked
+// relations and inferred permit statements out.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace viewauth {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto setup = engine_.ExecuteScript(R"(
+      relation EMPLOYEE (NAME string key, TITLE string, SALARY int)
+      insert into EMPLOYEE values (Jones, manager, 26000)
+      insert into EMPLOYEE values (Brown, engineer, 32000)
+      view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+      permit SAE to Brown
+    )");
+    ASSERT_TRUE(setup.ok()) << setup.status();
+  }
+
+  Engine engine_;
+};
+
+TEST_F(EngineTest, DdlConfirmations) {
+  auto out = engine_.Execute("relation T (A int)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "created relation T");
+  EXPECT_TRUE(engine_.Execute("relation T (A int)")
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(EngineTest, InsertCoercesBarewordNumbers) {
+  // Values arrive as identifiers/strings; numeric columns coerce.
+  ASSERT_TRUE(engine_.Execute("relation T (A int, B double)").ok());
+  EXPECT_TRUE(engine_.Execute("insert into T values (5, 2)").ok());
+  EXPECT_TRUE(
+      engine_.Execute("insert into T values (x, 2)").status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(engine_.Execute("insert into T values (5)")
+                  .status()
+                  .IsSchemaMismatch());
+}
+
+TEST_F(EngineTest, RetrieveMasksAndDescribes) {
+  auto out = engine_.Execute(
+      "retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE) as Brown");
+  ASSERT_TRUE(out.ok());
+  // Names flow, titles are withheld.
+  EXPECT_NE(out->find("Jones"), std::string::npos);
+  EXPECT_EQ(out->find("manager"), std::string::npos);
+  EXPECT_NE(out->find("permit (NAME)"), std::string::npos);
+  ASSERT_NE(engine_.last_result(), nullptr);
+  EXPECT_FALSE(engine_.last_result()->full_access);
+  EXPECT_EQ(engine_.last_result()->answer.size(), 2);
+}
+
+TEST_F(EngineTest, RetrieveFullAccessHasNoPermits) {
+  auto out = engine_.Execute(
+      "retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY) as Brown");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->find("permit"), std::string::npos);
+  ASSERT_NE(engine_.last_result(), nullptr);
+  EXPECT_TRUE(engine_.last_result()->full_access);
+}
+
+TEST_F(EngineTest, RetrieveDenied) {
+  auto out = engine_.Execute("retrieve (EMPLOYEE.NAME) as Nobody");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("permission denied"), std::string::npos);
+  EXPECT_TRUE(engine_.last_result()->denied);
+}
+
+TEST_F(EngineTest, SessionUserAndAsClause) {
+  engine_.SetSessionUser("Brown");
+  auto out = engine_.Execute("retrieve (EMPLOYEE.SALARY)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("26,000"), std::string::npos);
+  // The `as` clause overrides the session user.
+  auto denied = engine_.Execute("retrieve (EMPLOYEE.SALARY) as Nobody");
+  ASSERT_TRUE(denied.ok());
+  EXPECT_NE(denied->find("permission denied"), std::string::npos);
+}
+
+TEST_F(EngineTest, DenyStatementRemovesAccess) {
+  ASSERT_TRUE(engine_.Execute("deny SAE to Brown").ok());
+  auto out = engine_.Execute("retrieve (EMPLOYEE.NAME) as Brown");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("permission denied"), std::string::npos);
+  EXPECT_TRUE(
+      engine_.Execute("deny SAE to Brown").status().IsNotFound());
+}
+
+TEST_F(EngineTest, ScriptErrorsPropagate) {
+  auto out = engine_.ExecuteScript("permit NOPE to U");
+  EXPECT_TRUE(out.status().IsNotFound());
+  EXPECT_TRUE(engine_.ExecuteScript("gibberish").status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(EngineTest, OptionsArePluggable) {
+  engine_.options().drop_fully_masked_rows = false;
+  auto out = engine_.Execute(
+      "retrieve (EMPLOYEE.TITLE) as Brown");  // nothing permitted
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("permission denied"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace viewauth

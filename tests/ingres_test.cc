@@ -1,0 +1,165 @@
+// Unit tests for the INGRES query-modification baseline
+// (Stonebraker & Wong), reproducing the limitations the paper's
+// introduction describes.
+
+#include "baselines/ingres/query_modification.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "tests/test_util.h"
+
+namespace viewauth {
+namespace ingres {
+namespace {
+
+using testing_util::PaperDatabase;
+
+Condition Cond(const char* rel, const char* attr, Comparator op, Value v) {
+  Condition c;
+  c.lhs = AttributeRef{rel, 1, attr};
+  c.op = op;
+  c.rhs = ConditionOperand::Const(std::move(v));
+  return c;
+}
+
+RetrieveStmt Retrieve(const std::string& text) {
+  auto stmt = ParseStatement(text);
+  VIEWAUTH_CHECK(stmt.ok()) << stmt.status().ToString();
+  return std::get<RetrieveStmt>(*stmt);
+}
+
+class IngresTest : public ::testing::Test {
+ protected:
+  IngresTest() : authorizer_(&fixture_.db().schema()) {
+    // Ann may see names and titles of employees earning under 30k.
+    Permission p;
+    p.user = "ann";
+    p.relation = "EMPLOYEE";
+    p.columns = {"NAME", "TITLE", "SALARY"};
+    p.qualification.push_back(Cond("EMPLOYEE", "SALARY", Comparator::kLt,
+                                   Value::Int64(30000)));
+    VIEWAUTH_TEST_OK(authorizer_.AddPermission(std::move(p)));
+  }
+
+  PaperDatabase fixture_;
+  IngresAuthorizer authorizer_;
+};
+
+TEST_F(IngresTest, QualificationIsConjoined) {
+  RetrieveStmt stmt =
+      Retrieve("retrieve (EMPLOYEE.NAME) where EMPLOYEE.SALARY > 23000");
+  auto result = authorizer_.Retrieve("ann", stmt.targets, stmt.conditions,
+                                     fixture_.db());
+  ASSERT_TRUE(result.ok()) << result.status();
+  // 23000 < salary < 30000: only Jones (26000).
+  ASSERT_EQ(result->size(), 1);
+  EXPECT_TRUE(result->Contains(Tuple({Value::String("Jones")})));
+}
+
+TEST_F(IngresTest, ColumnOverreachRejectsWholeQuery) {
+  // SALARY is permitted here, but asking beyond the column set of every
+  // permission (none covers PROJECT at all) rejects the query; and a
+  // user-specific check: bob has no permissions.
+  RetrieveStmt stmt = Retrieve("retrieve (EMPLOYEE.NAME)");
+  EXPECT_TRUE(authorizer_
+                  .Modify("bob", stmt.targets, stmt.conditions)
+                  .status()
+                  .IsPermissionDenied());
+}
+
+TEST_F(IngresTest, RowColumnAsymmetry) {
+  // The paper's asymmetry: a permission on {NAME, TITLE} only.
+  Permission narrow;
+  narrow.user = "cal";
+  narrow.relation = "EMPLOYEE";
+  narrow.columns = {"NAME", "TITLE"};
+  ASSERT_TRUE(authorizer_.AddPermission(std::move(narrow)).ok());
+
+  RetrieveStmt within = Retrieve("retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE)");
+  EXPECT_TRUE(
+      authorizer_.Modify("cal", within.targets, within.conditions).ok());
+
+  // One extra attribute: whole query rejected, not column-reduced.
+  RetrieveStmt beyond = Retrieve(
+      "retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE, EMPLOYEE.SALARY)");
+  EXPECT_TRUE(authorizer_
+                  .Modify("cal", beyond.targets, beyond.conditions)
+                  .status()
+                  .IsPermissionDenied());
+  // Even a qualification mentioning the attribute triggers rejection.
+  RetrieveStmt via_where = Retrieve(
+      "retrieve (EMPLOYEE.NAME) where EMPLOYEE.SALARY > 0");
+  EXPECT_TRUE(authorizer_
+                  .Modify("cal", via_where.targets, via_where.conditions)
+                  .status()
+                  .IsPermissionDenied());
+}
+
+TEST_F(IngresTest, MultiplePermissionsDisjoin) {
+  // A second permission for Ann: managers regardless of salary.
+  Permission managers;
+  managers.user = "ann";
+  managers.relation = "EMPLOYEE";
+  managers.columns = {"NAME", "TITLE", "SALARY"};
+  managers.qualification.push_back(Cond("EMPLOYEE", "TITLE", Comparator::kEq,
+                                        Value::String("manager")));
+  ASSERT_TRUE(authorizer_.AddPermission(std::move(managers)).ok());
+
+  RetrieveStmt stmt = Retrieve("retrieve (EMPLOYEE.NAME)");
+  auto modified = authorizer_.Modify("ann", stmt.targets, stmt.conditions);
+  ASSERT_TRUE(modified.ok());
+  EXPECT_EQ(modified->size(), 2u);  // one query per permission
+
+  auto result = authorizer_.Retrieve("ann", stmt.targets, stmt.conditions,
+                                     fixture_.db());
+  ASSERT_TRUE(result.ok());
+  // Under 30k: Jones, Smith. Managers: Jones. Union: Jones, Smith.
+  EXPECT_EQ(result->size(), 2);
+  EXPECT_TRUE(result->Contains(Tuple({Value::String("Smith")})));
+  EXPECT_FALSE(result->Contains(Tuple({Value::String("Brown")})));
+}
+
+TEST_F(IngresTest, MultiRelationQueriesNeedEveryRelationCovered) {
+  RetrieveStmt stmt = Retrieve(
+      "retrieve (EMPLOYEE.NAME, PROJECT.NUMBER) "
+      "where EMPLOYEE.NAME = ASSIGNMENT.E_NAME "
+      "and ASSIGNMENT.P_NO = PROJECT.NUMBER");
+  EXPECT_TRUE(authorizer_
+                  .Modify("ann", stmt.targets, stmt.conditions)
+                  .status()
+                  .IsPermissionDenied());
+}
+
+TEST(IngresValidation, PermissionsAreSingleRelation) {
+  PaperDatabase fixture;
+  IngresAuthorizer authorizer(&fixture.db().schema());
+  Permission bad;
+  bad.user = "u";
+  bad.relation = "EMPLOYEE";
+  bad.columns = {"NAME"};
+  Condition c;
+  c.lhs = AttributeRef{"PROJECT", 1, "BUDGET"};  // foreign relation
+  c.op = Comparator::kGt;
+  c.rhs = ConditionOperand::Const(Value::Int64(0));
+  bad.qualification.push_back(c);
+  EXPECT_TRUE(authorizer.AddPermission(std::move(bad)).IsInvalidArgument());
+
+  Permission unknown_column;
+  unknown_column.user = "u";
+  unknown_column.relation = "EMPLOYEE";
+  unknown_column.columns = {"NOPE"};
+  EXPECT_TRUE(
+      authorizer.AddPermission(std::move(unknown_column)).IsNotFound());
+
+  Permission unknown_relation;
+  unknown_relation.user = "u";
+  unknown_relation.relation = "NOPE";
+  unknown_relation.columns = {"A"};
+  EXPECT_TRUE(
+      authorizer.AddPermission(std::move(unknown_relation)).IsNotFound());
+}
+
+}  // namespace
+}  // namespace ingres
+}  // namespace viewauth

@@ -1,0 +1,192 @@
+// Additional operator coverage: base-mode (Definition 2) selections on
+// column pairs, the ClearImpliedRestrictions post-pass, and subsumption
+// edge cases not covered by the main operator suite.
+
+#include <gtest/gtest.h>
+
+#include "meta/ops.h"
+
+namespace viewauth {
+namespace {
+
+std::vector<Attribute> IntColumns(std::initializer_list<const char*> names) {
+  std::vector<Attribute> out;
+  for (const char* name : names) {
+    out.push_back(Attribute{name, ValueType::kInt64});
+  }
+  return out;
+}
+
+MetaOpOptions Base() {
+  MetaOpOptions options;
+  options.padding = false;
+  options.four_case = false;
+  return options;
+}
+
+MetaRelation TwoBlankColumns(bool starred = true) {
+  MetaRelation rel(IntColumns({"A", "B"}));
+  MetaTuple t;
+  t.cells().push_back(MetaCell::Blank(starred));
+  t.cells().push_back(MetaCell::Blank(starred));
+  rel.Add(t);
+  return rel;
+}
+
+TEST(MetaSelectBaseMode, BlankBlankEqualityMaterializesSharedVariable) {
+  MetaRelation rel = TwoBlankColumns();
+  VarAllocator alloc;
+  MetaRelation out = MetaSelect(
+      rel, MetaSelection::ColumnColumn(0, Comparator::kEq, 1), Base(),
+      &alloc);
+  ASSERT_EQ(out.size(), 1);
+  const MetaTuple& t = out.tuples()[0];
+  ASSERT_EQ(t.cells()[0].kind, CellKind::kVar);
+  ASSERT_EQ(t.cells()[1].kind, CellKind::kVar);
+  EXPECT_EQ(t.cells()[0].var, t.cells()[1].var);  // A = B via one variable
+}
+
+TEST(MetaSelectBaseMode, BlankBlankOrderMaterializesConstraint) {
+  MetaRelation rel = TwoBlankColumns();
+  VarAllocator alloc;
+  MetaRelation out = MetaSelect(
+      rel, MetaSelection::ColumnColumn(0, Comparator::kLt, 1), Base(),
+      &alloc);
+  ASSERT_EQ(out.size(), 1);
+  const MetaTuple& t = out.tuples()[0];
+  ASSERT_EQ(t.cells()[0].kind, CellKind::kVar);
+  ASSERT_EQ(t.cells()[1].kind, CellKind::kVar);
+  EXPECT_NE(t.cells()[0].var, t.cells()[1].var);
+  EXPECT_EQ(t.constraints().Implies(ConstraintAtom::TermTerm(
+                t.cells()[0].var, Comparator::kLt, t.cells()[1].var)),
+            Truth::kTrue);
+}
+
+TEST(MetaSelectBaseMode, BlankAgainstConstantMirrors) {
+  MetaRelation rel(IntColumns({"A", "B"}));
+  MetaTuple t;
+  t.cells().push_back(MetaCell::Blank(true));
+  t.cells().push_back(MetaCell::Const(Value::Int64(7), true));
+  rel.Add(t);
+  VarAllocator alloc;
+  // Equality mirrors the constant into the blank side.
+  MetaRelation eq = MetaSelect(
+      rel, MetaSelection::ColumnColumn(0, Comparator::kEq, 1), Base(),
+      &alloc);
+  ASSERT_EQ(eq.size(), 1);
+  EXPECT_EQ(eq.tuples()[0].cells()[0].kind, CellKind::kConst);
+  EXPECT_EQ(eq.tuples()[0].cells()[0].constant, Value::Int64(7));
+  // Order materializes a variable bounded by the constant.
+  MetaRelation lt = MetaSelect(
+      rel, MetaSelection::ColumnColumn(0, Comparator::kLt, 1), Base(),
+      &alloc);
+  ASSERT_EQ(lt.size(), 1);
+  ASSERT_EQ(lt.tuples()[0].cells()[0].kind, CellKind::kVar);
+  EXPECT_EQ(lt.tuples()[0].constraints().Implies(
+                ConstraintAtom::TermConst(lt.tuples()[0].cells()[0].var,
+                                          Comparator::kLt,
+                                          Value::Int64(7))),
+            Truth::kTrue);
+  // The reversed orientation binds correctly too (constant < blank).
+  MetaRelation gt = MetaSelect(
+      rel, MetaSelection::ColumnColumn(1, Comparator::kLt, 0), Base(),
+      &alloc);
+  ASSERT_EQ(gt.size(), 1);
+  EXPECT_EQ(gt.tuples()[0].constraints().Implies(
+                ConstraintAtom::TermConst(gt.tuples()[0].cells()[0].var,
+                                          Comparator::kGt,
+                                          Value::Int64(7))),
+            Truth::kTrue);
+}
+
+TEST(MetaSelectBaseMode, UnprojectedCellsAlwaysDiscard) {
+  // Base mode is Definition 2 verbatim: no retain-when-implied escape.
+  MetaRelation rel(IntColumns({"A"}));
+  MetaTuple t;
+  t.cells().push_back(MetaCell::Const(Value::Int64(5), /*starred=*/false));
+  rel.Add(t);
+  VarAllocator alloc;
+  EXPECT_TRUE(MetaSelect(rel,
+                         MetaSelection::ColumnConst(0, Comparator::kEq,
+                                                    Value::Int64(5)),
+                         Base(), &alloc)
+                  .empty());
+}
+
+TEST(MetaSelect, DegenerateSameColumnPredicate) {
+  MetaRelation rel = TwoBlankColumns(/*starred=*/false);
+  VarAllocator alloc;
+  MetaOpOptions refined;
+  // A = A keeps everything (even unprojected); A != A keeps nothing.
+  EXPECT_EQ(MetaSelect(rel,
+                       MetaSelection::ColumnColumn(0, Comparator::kEq, 0),
+                       refined, &alloc)
+                .size(),
+            1);
+  EXPECT_TRUE(MetaSelect(rel,
+                         MetaSelection::ColumnColumn(0, Comparator::kNe, 0),
+                         refined, &alloc)
+                  .empty());
+}
+
+TEST(ClearImpliedRestrictions, ClearsConstCellsPinnedByQuery) {
+  MetaRelation rel(
+      {Attribute{"S", ValueType::kString}, Attribute{"N", ValueType::kString}});
+  MetaTuple t;
+  t.cells().push_back(MetaCell::Const(Value::String("Acme"), true));
+  t.cells().push_back(MetaCell::Blank(true));
+  rel.Add(t);
+  ConstraintSet lambda;
+  lambda.DeclareTermType(-1, ValueType::kString);
+  lambda.AddTermConst(-1, Comparator::kEq, Value::String("Acme"));
+  ClearImpliedRestrictions(&rel, lambda,
+                           [](int col) -> TermId { return -(col + 1); });
+  EXPECT_TRUE(rel.tuples()[0].cells()[0].is_blank());
+  EXPECT_TRUE(rel.tuples()[0].cells()[0].projected);
+}
+
+TEST(ClearImpliedRestrictions, SharedVariableClearsOnlyWhenEqualityImplied) {
+  auto make = [] {
+    MetaRelation rel(
+        {Attribute{"A", ValueType::kInt64}, Attribute{"B", ValueType::kInt64}});
+    MetaTuple t;
+    t.cells().push_back(MetaCell::Var(1, true));
+    t.cells().push_back(MetaCell::Var(1, true));
+    t.var_atoms()[1] = {1};
+    t.origin_atoms().insert(1);
+    rel.Add(t);
+    return rel;
+  };
+  auto column_term = [](int col) -> TermId { return -(col + 1); };
+
+  // Query equates the columns: the join variable clears.
+  MetaRelation cleared = make();
+  ConstraintSet eq;
+  eq.AddTermTerm(-1, Comparator::kEq, -2);
+  ClearImpliedRestrictions(&cleared, eq, column_term);
+  EXPECT_TRUE(cleared.tuples()[0].cells()[0].is_blank());
+
+  // Query says nothing: the variable must stay.
+  MetaRelation kept = make();
+  ConstraintSet empty;
+  ClearImpliedRestrictions(&kept, empty, column_term);
+  EXPECT_EQ(kept.tuples()[0].cells()[0].kind, CellKind::kVar);
+}
+
+TEST(RemoveSubsumed, DifferentSelectionsDoNotSubsume) {
+  MetaRelation rel({Attribute{"A", ValueType::kInt64}});
+  MetaTuple narrow;
+  narrow.cells().push_back(MetaCell::Var(1, true));
+  narrow.constraints().AddTermConst(1, Comparator::kGe, Value::Int64(5));
+  rel.Add(narrow);
+  MetaTuple wide;
+  wide.cells().push_back(MetaCell::Var(2, true));
+  wide.constraints().AddTermConst(2, Comparator::kGe, Value::Int64(3));
+  rel.Add(wide);
+  // Conservative subsumption keeps both (implication between variable
+  // constraints is not folded into rule 1).
+  EXPECT_EQ(RemoveSubsumed(rel).size(), 2);
+}
+
+}  // namespace
+}  // namespace viewauth

@@ -1,0 +1,183 @@
+// Unit tests for the lexer and parser of the surface language.
+
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+
+namespace viewauth {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  auto tokens = Tokenize("view V (R.A) where R.A >= 250000");
+  ASSERT_TRUE(tokens.ok());
+  // view V ( R . A ) where R . A >= 250000 <end>
+  ASSERT_EQ(tokens->size(), 14u);  // incl. kEnd
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "view");
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kLParen);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kDot);
+  EXPECT_EQ((*tokens)[11].kind, TokenKind::kComparator);
+  EXPECT_EQ((*tokens)[11].text, ">=");
+  EXPECT_EQ((*tokens)[12].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[12].int_value, 250000);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, DashedIdentifiers) {
+  auto tokens = Tokenize("bq-45 sv-72-x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "bq-45");
+  EXPECT_EQ((*tokens)[1].text, "sv-72-x");
+  // A dangling dash is not part of an identifier and cannot start a
+  // number here either.
+  EXPECT_FALSE(Tokenize("a- b").ok());
+}
+
+TEST(Lexer, NumbersAndNegatives) {
+  auto tokens = Tokenize("(-5, 2.75, 10)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[1].int_value, -5);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ((*tokens)[3].double_value, 2.75);
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  auto tokens = Tokenize("'hello world' 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "hello world");
+  EXPECT_EQ((*tokens)[1].text, "it's");
+  EXPECT_TRUE(Tokenize("'unterminated").status().IsInvalidArgument());
+}
+
+TEST(Lexer, CommentsAndComparators) {
+  auto tokens = Tokenize("a = b -- comment to end\n c <> d != e");
+  ASSERT_TRUE(tokens.ok());
+  // a = b c <> d != e <end>
+  EXPECT_EQ((*tokens)[1].text, "=");
+  EXPECT_EQ((*tokens)[4].text, "!=");  // <> normalizes
+  EXPECT_EQ((*tokens)[6].text, "!=");
+  EXPECT_EQ((*tokens)[7].text, "e");
+}
+
+TEST(Lexer, ErrorsCarryPosition) {
+  auto status = Tokenize("a\n  $").status();
+  ASSERT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(Parser, RelationStatement) {
+  auto stmt = ParseStatement(
+      "relation EMPLOYEE (NAME string key, TITLE string, SALARY int)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& rel = std::get<RelationStmt>(*stmt);
+  EXPECT_EQ(rel.name, "EMPLOYEE");
+  ASSERT_EQ(rel.attributes.size(), 3u);
+  EXPECT_TRUE(rel.attributes[0].is_key);
+  EXPECT_EQ(rel.attributes[2].type, ValueType::kInt64);
+}
+
+TEST(Parser, InsertStatement) {
+  auto stmt =
+      ParseStatement("insert into PROJECT values (bq-45, Acme, 300000)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& ins = std::get<InsertStmt>(*stmt);
+  EXPECT_EQ(ins.relation, "PROJECT");
+  ASSERT_EQ(ins.values.size(), 3u);
+  EXPECT_EQ(ins.values[0], Value::String("bq-45"));
+  EXPECT_EQ(ins.values[2], Value::Int64(300000));
+}
+
+TEST(Parser, ViewWithOccurrences) {
+  auto stmt = ParseStatement(
+      "view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, EMPLOYEE:1.TITLE) "
+      "where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE");
+  ASSERT_TRUE(stmt.ok());
+  const auto& view = std::get<ViewStmt>(*stmt);
+  EXPECT_EQ(view.name, "EST");
+  ASSERT_EQ(view.targets.size(), 3u);
+  EXPECT_EQ(view.targets[1].occurrence, 2);
+  ASSERT_EQ(view.conditions.size(), 1u);
+  EXPECT_TRUE(view.conditions[0].rhs.is_attribute);
+  EXPECT_EQ(view.conditions[0].rhs.attribute.occurrence, 2);
+}
+
+TEST(Parser, BareIdentifierIsStringConstant) {
+  auto stmt = ParseStatement(
+      "retrieve (PROJECT.NUMBER) where PROJECT.SPONSOR = Acme");
+  ASSERT_TRUE(stmt.ok());
+  const auto& ret = std::get<RetrieveStmt>(*stmt);
+  ASSERT_EQ(ret.conditions.size(), 1u);
+  EXPECT_FALSE(ret.conditions[0].rhs.is_attribute);
+  EXPECT_EQ(ret.conditions[0].rhs.constant, Value::String("Acme"));
+}
+
+TEST(Parser, RetrieveWithAsUser) {
+  auto stmt = ParseStatement("retrieve (R.A) where R.B > 5 as Klein");
+  ASSERT_TRUE(stmt.ok());
+  const auto& ret = std::get<RetrieveStmt>(*stmt);
+  EXPECT_EQ(ret.as_user, "Klein");
+  EXPECT_EQ(ret.conditions[0].op, Comparator::kGt);
+}
+
+TEST(Parser, PermitAndDeny) {
+  auto permit = ParseStatement("permit EST to KLEIN");
+  ASSERT_TRUE(permit.ok());
+  EXPECT_EQ(std::get<PermitStmt>(*permit).view, "EST");
+  EXPECT_EQ(std::get<PermitStmt>(*permit).user, "KLEIN");
+  auto deny = ParseStatement("deny EST to KLEIN");
+  ASSERT_TRUE(deny.ok());
+  EXPECT_EQ(std::get<DenyStmt>(*deny).user, "KLEIN");
+}
+
+TEST(Parser, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(ParseStatement("PERMIT V TO U").ok());
+  EXPECT_TRUE(ParseStatement("Retrieve (R.A) Where R.A = 1").ok());
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(ParseStatement("frobnicate X").ok());
+  EXPECT_FALSE(ParseStatement("permit V").ok());
+  EXPECT_FALSE(ParseStatement("retrieve R.A").ok());          // missing parens
+  EXPECT_FALSE(ParseStatement("retrieve (R.A) where R.A").ok());
+  EXPECT_FALSE(ParseStatement("retrieve (R.A) extra").ok());  // trailing
+  EXPECT_FALSE(ParseStatement("view V (R.A) where R.A = retrieve").ok());
+  EXPECT_FALSE(ParseStatement("relation R (A floatzilla)").ok());
+  EXPECT_FALSE(ParseStatement("retrieve (R:0.A)").ok());  // 1-based
+}
+
+TEST(Parser, ProgramWithSemicolonsAndComments) {
+  auto program = ParseProgram(R"(
+    -- the paper's grants
+    permit SAE to Brown;
+    permit ELP to Klein
+    retrieve (R.A) as Brown
+  )");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->size(), 3u);
+}
+
+TEST(Parser, ToStringRoundTrip) {
+  const char* statements[] = {
+      "relation EMPLOYEE (NAME string key, SALARY int)",
+      "insert into R values (a, 5, 2.5)",
+      "view V (R.A, S:2.B) where R.A = S:2.B and R.C >= 10",
+      "permit V to U",
+      "deny V to U",
+      "retrieve (R.A) where R.B != x as U",
+  };
+  for (const char* text : statements) {
+    auto first = ParseStatement(text);
+    ASSERT_TRUE(first.ok()) << text;
+    std::string printed = StatementToString(*first);
+    auto second = ParseStatement(printed);
+    ASSERT_TRUE(second.ok()) << printed;
+    EXPECT_EQ(printed, StatementToString(*second)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace viewauth

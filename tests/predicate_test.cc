@@ -1,0 +1,66 @@
+// Unit tests for data-level selection predicates.
+
+#include "predicate/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace viewauth {
+namespace {
+
+Tuple Row(int64_t a, int64_t b, const char* c) {
+  return Tuple({Value::Int64(a), Value::Int64(b), Value::String(c)});
+}
+
+TEST(SelectionAtom, ColumnConst) {
+  SelectionAtom atom =
+      SelectionAtom::ColumnConst(0, Comparator::kGe, Value::Int64(5));
+  EXPECT_TRUE(atom.Matches(Row(5, 0, "x")));
+  EXPECT_TRUE(atom.Matches(Row(9, 0, "x")));
+  EXPECT_FALSE(atom.Matches(Row(4, 0, "x")));
+  EXPECT_FALSE(atom.IsColumnEquality());
+}
+
+TEST(SelectionAtom, ColumnColumn) {
+  SelectionAtom atom = SelectionAtom::ColumnColumn(0, Comparator::kEq, 1);
+  EXPECT_TRUE(atom.Matches(Row(3, 3, "x")));
+  EXPECT_FALSE(atom.Matches(Row(3, 4, "x")));
+  EXPECT_TRUE(atom.IsColumnEquality());
+  EXPECT_FALSE(
+      SelectionAtom::ColumnColumn(0, Comparator::kLt, 1).IsColumnEquality());
+}
+
+TEST(SelectionAtom, NullAndTypeMismatchNeverMatch) {
+  SelectionAtom eq =
+      SelectionAtom::ColumnConst(2, Comparator::kEq, Value::Int64(5));
+  EXPECT_FALSE(eq.Matches(Row(0, 0, "5")));  // string vs int
+  SelectionAtom ne =
+      SelectionAtom::ColumnConst(0, Comparator::kNe, Value::Int64(5));
+  Tuple with_null({Value::Null(), Value::Int64(0), Value::String("")});
+  EXPECT_FALSE(ne.Matches(with_null));  // NULL satisfies nothing
+}
+
+TEST(ConjunctivePredicate, ConjunctionSemantics) {
+  ConjunctivePredicate pred;
+  EXPECT_TRUE(pred.IsTrivial());
+  EXPECT_TRUE(pred.Matches(Row(0, 0, "")));  // empty conjunction is true
+  pred.Add(SelectionAtom::ColumnConst(0, Comparator::kGt, Value::Int64(1)));
+  pred.Add(SelectionAtom::ColumnColumn(0, Comparator::kLe, 1));
+  EXPECT_FALSE(pred.IsTrivial());
+  EXPECT_TRUE(pred.Matches(Row(2, 2, "")));
+  EXPECT_FALSE(pred.Matches(Row(1, 2, "")));  // fails first atom
+  EXPECT_FALSE(pred.Matches(Row(3, 2, "")));  // fails second atom
+}
+
+TEST(ConjunctivePredicate, ToStringUsesColumnNames) {
+  ConjunctivePredicate pred;
+  pred.Add(SelectionAtom::ColumnConst(0, Comparator::kGe, Value::Int64(5)));
+  pred.Add(SelectionAtom::ColumnColumn(1, Comparator::kNe, 2));
+  EXPECT_EQ(pred.ToString({"A", "B", "C"}), "A >= 5 and B != C");
+  // Out-of-range columns degrade to #n rather than crashing.
+  EXPECT_EQ(pred.ToString({}), "#0 >= 5 and #1 != #2");
+  ConjunctivePredicate empty;
+  EXPECT_EQ(empty.ToString({}), "true");
+}
+
+}  // namespace
+}  // namespace viewauth

@@ -1,0 +1,231 @@
+// Unit tests for schemas, tuples, relations and database instances.
+
+#include <gtest/gtest.h>
+
+#include "schema/schema.h"
+#include "storage/relation.h"
+#include "storage/tuple.h"
+
+namespace viewauth {
+namespace {
+
+RelationSchema MakeEmployeeSchema() {
+  return RelationSchema::Make("EMPLOYEE",
+                              {{"NAME", ValueType::kString},
+                               {"TITLE", ValueType::kString},
+                               {"SALARY", ValueType::kInt64}},
+                              {0})
+      .value();
+}
+
+TEST(RelationSchema, MakeValidations) {
+  EXPECT_FALSE(RelationSchema::Make("", {{"A", ValueType::kInt64}}).ok());
+  EXPECT_FALSE(RelationSchema::Make("R", {}).ok());
+  EXPECT_FALSE(RelationSchema::Make("R", {{"A", ValueType::kInt64},
+                                          {"A", ValueType::kString}})
+                   .ok());
+  EXPECT_FALSE(
+      RelationSchema::Make("R", {{"", ValueType::kInt64}}).ok());
+  EXPECT_FALSE(
+      RelationSchema::Make("R", {{"A", ValueType::kInt64}}, {1}).ok());
+  EXPECT_FALSE(
+      RelationSchema::Make("R", {{"A", ValueType::kInt64}}, {0, 0}).ok());
+  EXPECT_TRUE(
+      RelationSchema::Make("R", {{"A", ValueType::kInt64}}, {0}).ok());
+}
+
+TEST(RelationSchema, Accessors) {
+  RelationSchema schema = MakeEmployeeSchema();
+  EXPECT_EQ(schema.arity(), 3);
+  EXPECT_EQ(schema.AttributeIndex("TITLE"), 1);
+  EXPECT_EQ(schema.AttributeIndex("title"), -1);  // case-sensitive
+  EXPECT_TRUE(schema.has_key());
+  EXPECT_TRUE(schema.IsKeyAttribute(0));
+  EXPECT_FALSE(schema.IsKeyAttribute(2));
+  EXPECT_EQ(schema.ToString(), "EMPLOYEE = (NAME, TITLE, SALARY)");
+}
+
+TEST(DatabaseSchema, AddDropGet) {
+  DatabaseSchema db;
+  EXPECT_TRUE(db.AddRelation(MakeEmployeeSchema()).ok());
+  EXPECT_TRUE(db.AddRelation(MakeEmployeeSchema()).IsAlreadyExists());
+  EXPECT_TRUE(db.HasRelation("EMPLOYEE"));
+  auto fetched = db.GetRelation("EMPLOYEE");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ((*fetched)->name(), "EMPLOYEE");
+  EXPECT_TRUE(db.GetRelation("NOPE").status().IsNotFound());
+  EXPECT_TRUE(db.DropRelation("EMPLOYEE").ok());
+  EXPECT_FALSE(db.HasRelation("EMPLOYEE"));
+  EXPECT_TRUE(db.DropRelation("EMPLOYEE").IsNotFound());
+}
+
+TEST(Tuple, ConcatAndProject) {
+  Tuple a({Value::Int64(1), Value::String("x")});
+  Tuple b({Value::Int64(2)});
+  Tuple c = Tuple::Concat(a, b);
+  EXPECT_EQ(c.arity(), 3);
+  EXPECT_EQ(c.at(2), Value::Int64(2));
+  Tuple p = c.Project({2, 0});
+  EXPECT_EQ(p, Tuple({Value::Int64(2), Value::Int64(1)}));
+  // Duplicating columns is allowed.
+  EXPECT_EQ(c.Project({0, 0}).arity(), 2);
+}
+
+TEST(Tuple, OrderingAndHash) {
+  Tuple a({Value::Int64(1), Value::Int64(2)});
+  Tuple b({Value::Int64(1), Value::Int64(3)});
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(Tuple({Value::Int64(1)}) < a);  // shorter first on prefix
+  EXPECT_EQ(a.Hash(), Tuple({Value::Int64(1), Value::Int64(2)}).Hash());
+}
+
+TEST(Relation, SetSemantics) {
+  Relation rel(MakeEmployeeSchema());
+  Tuple t({Value::String("Jones"), Value::String("manager"),
+           Value::Int64(26000)});
+  EXPECT_TRUE(rel.Insert(t).ok());
+  EXPECT_TRUE(rel.Insert(t).ok());  // duplicate absorbed
+  EXPECT_EQ(rel.size(), 1);
+  EXPECT_TRUE(rel.Contains(t));
+  EXPECT_TRUE(rel.Erase(t));
+  EXPECT_FALSE(rel.Erase(t));
+  EXPECT_TRUE(rel.empty());
+}
+
+TEST(Relation, SchemaValidation) {
+  Relation rel(MakeEmployeeSchema());
+  // Wrong arity.
+  EXPECT_TRUE(rel.Insert(Tuple({Value::String("x")})).IsSchemaMismatch());
+  // Wrong type.
+  EXPECT_TRUE(rel.Insert(Tuple({Value::String("x"), Value::Int64(1),
+                                Value::Int64(1)}))
+                  .IsSchemaMismatch());
+  // NULLs are allowed anywhere (masked cells).
+  EXPECT_TRUE(rel.Insert(Tuple({Value::String("x"), Value::Null(),
+                                Value::Null()}))
+                  .ok());
+  // int64 accepted for double columns.
+  Relation d(RelationSchema::Make("D", {{"X", ValueType::kDouble}}).value());
+  EXPECT_TRUE(d.Insert(Tuple({Value::Int64(3)})).ok());
+}
+
+TEST(Relation, PrimaryKeyViolation) {
+  Relation rel(MakeEmployeeSchema());
+  EXPECT_TRUE(rel.Insert(Tuple({Value::String("Jones"),
+                                Value::String("manager"),
+                                Value::Int64(26000)}))
+                  .ok());
+  // Same key, different payload: rejected.
+  EXPECT_TRUE(rel.Insert(Tuple({Value::String("Jones"),
+                                Value::String("engineer"),
+                                Value::Int64(30000)}))
+                  .IsSchemaMismatch());
+  // Exactly identical tuple: absorbed, no error.
+  EXPECT_TRUE(rel.Insert(Tuple({Value::String("Jones"),
+                                Value::String("manager"),
+                                Value::Int64(26000)}))
+                  .ok());
+}
+
+TEST(Relation, SameTuplesAndSortedRows) {
+  Relation a(MakeEmployeeSchema());
+  Relation b(MakeEmployeeSchema());
+  Tuple t1({Value::String("A"), Value::String("t"), Value::Int64(1)});
+  Tuple t2({Value::String("B"), Value::String("t"), Value::Int64(2)});
+  ASSERT_TRUE(a.Insert(t1).ok());
+  ASSERT_TRUE(a.Insert(t2).ok());
+  ASSERT_TRUE(b.Insert(t2).ok());
+  EXPECT_FALSE(a.SameTuples(b));
+  ASSERT_TRUE(b.Insert(t1).ok());
+  EXPECT_TRUE(a.SameTuples(b));
+  std::vector<Tuple> sorted = b.SortedRows();
+  EXPECT_EQ(sorted.front(), t1);
+  EXPECT_EQ(sorted.back(), t2);
+}
+
+TEST(Relation, ColumnIndexLookup) {
+  Relation rel(MakeEmployeeSchema());
+  ASSERT_TRUE(rel.Insert(Tuple({Value::String("Jones"),
+                                Value::String("manager"),
+                                Value::Int64(26000)}))
+                  .ok());
+  ASSERT_TRUE(rel.Insert(Tuple({Value::String("Smith"),
+                                Value::String("manager"),
+                                Value::Int64(22000)}))
+                  .ok());
+  ASSERT_TRUE(rel.Insert(Tuple({Value::String("Brown"),
+                                Value::String("engineer"),
+                                Value::Int64(32000)}))
+                  .ok());
+  const Relation::ColumnIndex& by_title = rel.IndexOn(1);
+  EXPECT_EQ(by_title.count(Value::String("manager")), 2u);
+  EXPECT_EQ(by_title.count(Value::String("engineer")), 1u);
+  EXPECT_EQ(by_title.count(Value::String("nobody")), 0u);
+  // Row ids point back into rows().
+  auto [lo, hi] = by_title.equal_range(Value::String("engineer"));
+  ASSERT_NE(lo, hi);
+  EXPECT_EQ(rel.rows()[static_cast<size_t>(lo->second)].at(0),
+            Value::String("Brown"));
+}
+
+TEST(Relation, ColumnIndexInvalidatesOnMutation) {
+  Relation rel(MakeEmployeeSchema());
+  Tuple jones({Value::String("Jones"), Value::String("manager"),
+               Value::Int64(26000)});
+  ASSERT_TRUE(rel.Insert(jones).ok());
+  EXPECT_EQ(rel.IndexOn(0).count(Value::String("Jones")), 1u);
+  ASSERT_TRUE(rel.Erase(jones));
+  EXPECT_EQ(rel.IndexOn(0).count(Value::String("Jones")), 0u);
+  ASSERT_TRUE(rel.Insert(jones).ok());
+  EXPECT_EQ(rel.IndexOn(0).count(Value::String("Jones")), 1u);
+  rel.Clear();
+  EXPECT_EQ(rel.IndexOn(0).count(Value::String("Jones")), 0u);
+}
+
+TEST(Relation, OrderedIndex) {
+  Relation rel(MakeEmployeeSchema());
+  for (auto [name, salary] : {std::pair{"Jones", 26000},
+                              {"Smith", 22000},
+                              {"Brown", 32000}}) {
+    ASSERT_TRUE(rel.Insert(Tuple({Value::String(name), Value::String("t"),
+                                  Value::Int64(salary)}))
+                    .ok());
+  }
+  const Relation::OrderedIndex& by_salary = rel.OrderedIndexOn(2);
+  ASSERT_EQ(by_salary.size(), 3u);
+  EXPECT_EQ(by_salary[0].first, Value::Int64(22000));
+  EXPECT_EQ(by_salary[2].first, Value::Int64(32000));
+  // Binary search finds the >= 26000 suffix.
+  auto begin = std::lower_bound(
+      by_salary.begin(), by_salary.end(), Value::Int64(26000),
+      [](const std::pair<Value, int>& e, const Value& v) {
+        return e.first < v;
+      });
+  EXPECT_EQ(by_salary.end() - begin, 2);
+  // Mutations invalidate.
+  ASSERT_TRUE(rel.Erase(Tuple({Value::String("Brown"), Value::String("t"),
+                               Value::Int64(32000)})));
+  EXPECT_EQ(rel.OrderedIndexOn(2).size(), 2u);
+}
+
+TEST(DatabaseInstance, CreateInsertDrop) {
+  DatabaseInstance db;
+  EXPECT_TRUE(db.CreateRelation(MakeEmployeeSchema()).ok());
+  EXPECT_TRUE(db.CreateRelation(MakeEmployeeSchema()).IsAlreadyExists());
+  EXPECT_TRUE(db.HasRelation("EMPLOYEE"));
+  EXPECT_TRUE(db.Insert("EMPLOYEE",
+                        Tuple({Value::String("Jones"),
+                               Value::String("manager"),
+                               Value::Int64(26000)}))
+                  .ok());
+  EXPECT_TRUE(db.Insert("NOPE", Tuple({})).IsNotFound());
+  auto rel = db.GetRelation("EMPLOYEE");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->size(), 1);
+  EXPECT_TRUE(db.DropRelation("EMPLOYEE").ok());
+  EXPECT_FALSE(db.HasRelation("EMPLOYEE"));
+}
+
+}  // namespace
+}  // namespace viewauth

@@ -1,0 +1,149 @@
+// Unit tests for the System R authorization baseline (Griffiths & Wade),
+// including the recursive revocation semantics.
+
+#include "baselines/systemr/grant_table.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "tests/test_util.h"
+
+namespace viewauth {
+namespace systemr {
+namespace {
+
+using testing_util::PaperDatabase;
+using Priv = Privilege;
+
+class SystemRTest : public ::testing::Test {
+ protected:
+  SystemRTest() : authorizer_(&fixture_.db().schema()) {
+    VIEWAUTH_TEST_OK(authorizer_.RegisterTable("EMPLOYEE", "dba"));
+    VIEWAUTH_TEST_OK(authorizer_.RegisterTable("PROJECT", "dba"));
+    VIEWAUTH_TEST_OK(authorizer_.RegisterTable("ASSIGNMENT", "dba"));
+  }
+
+  ConjunctiveQuery Query(const std::string& text) {
+    return fixture_.Query(text);
+  }
+
+  PaperDatabase fixture_;
+  SystemRAuthorizer authorizer_;
+};
+
+TEST_F(SystemRTest, OwnerHoldsEverything) {
+  EXPECT_TRUE(authorizer_.HasPrivilege("dba", "EMPLOYEE", Priv::kRead));
+  EXPECT_TRUE(
+      authorizer_.HasPrivilege("dba", "EMPLOYEE", Priv::kRead, true));
+  EXPECT_FALSE(authorizer_.HasPrivilege("ann", "EMPLOYEE", Priv::kRead));
+}
+
+TEST_F(SystemRTest, GrantRequiresGrantOption) {
+  ASSERT_TRUE(
+      authorizer_.Grant("dba", "ann", "EMPLOYEE", Priv::kRead, false).ok());
+  EXPECT_TRUE(authorizer_.HasPrivilege("ann", "EMPLOYEE", Priv::kRead));
+  // Ann has no grant option: she cannot re-grant.
+  EXPECT_TRUE(authorizer_.Grant("ann", "bob", "EMPLOYEE", Priv::kRead, false)
+                  .IsPermissionDenied());
+  // Granting on unknown objects fails.
+  EXPECT_TRUE(authorizer_.Grant("dba", "ann", "NOPE", Priv::kRead, false)
+                  .IsNotFound());
+}
+
+TEST_F(SystemRTest, GrantChains) {
+  ASSERT_TRUE(
+      authorizer_.Grant("dba", "ann", "EMPLOYEE", Priv::kRead, true).ok());
+  ASSERT_TRUE(
+      authorizer_.Grant("ann", "bob", "EMPLOYEE", Priv::kRead, true).ok());
+  ASSERT_TRUE(
+      authorizer_.Grant("bob", "cal", "EMPLOYEE", Priv::kRead, false).ok());
+  EXPECT_TRUE(authorizer_.HasPrivilege("cal", "EMPLOYEE", Priv::kRead));
+}
+
+TEST_F(SystemRTest, RecursiveRevokeCascades) {
+  ASSERT_TRUE(
+      authorizer_.Grant("dba", "ann", "EMPLOYEE", Priv::kRead, true).ok());
+  ASSERT_TRUE(
+      authorizer_.Grant("ann", "bob", "EMPLOYEE", Priv::kRead, true).ok());
+  ASSERT_TRUE(
+      authorizer_.Grant("bob", "cal", "EMPLOYEE", Priv::kRead, false).ok());
+  ASSERT_TRUE(authorizer_.Revoke("dba", "ann", "EMPLOYEE", Priv::kRead).ok());
+  // The whole chain collapses.
+  EXPECT_FALSE(authorizer_.HasPrivilege("ann", "EMPLOYEE", Priv::kRead));
+  EXPECT_FALSE(authorizer_.HasPrivilege("bob", "EMPLOYEE", Priv::kRead));
+  EXPECT_FALSE(authorizer_.HasPrivilege("cal", "EMPLOYEE", Priv::kRead));
+}
+
+TEST_F(SystemRTest, TimestampSemantics) {
+  // Bob receives from Ann (t2) and later directly from dba (t4); Cal's
+  // grant from Bob at t3 predates Bob's direct grant, so revoking Ann
+  // invalidates Cal's grant (Griffiths-Wade: support must be earlier).
+  ASSERT_TRUE(
+      authorizer_.Grant("dba", "ann", "EMPLOYEE", Priv::kRead, true).ok());
+  ASSERT_TRUE(
+      authorizer_.Grant("ann", "bob", "EMPLOYEE", Priv::kRead, true).ok());
+  ASSERT_TRUE(
+      authorizer_.Grant("bob", "cal", "EMPLOYEE", Priv::kRead, false).ok());
+  ASSERT_TRUE(
+      authorizer_.Grant("dba", "bob", "EMPLOYEE", Priv::kRead, true).ok());
+  ASSERT_TRUE(authorizer_.Revoke("dba", "ann", "EMPLOYEE", Priv::kRead).ok());
+  EXPECT_TRUE(authorizer_.HasPrivilege("bob", "EMPLOYEE", Priv::kRead));
+  EXPECT_FALSE(authorizer_.HasPrivilege("cal", "EMPLOYEE", Priv::kRead));
+  // Bob re-grants afterwards: now supported.
+  ASSERT_TRUE(
+      authorizer_.Grant("bob", "cal", "EMPLOYEE", Priv::kRead, false).ok());
+  EXPECT_TRUE(authorizer_.HasPrivilege("cal", "EMPLOYEE", Priv::kRead));
+}
+
+TEST_F(SystemRTest, RevokeUnknownGrantFails) {
+  EXPECT_TRUE(authorizer_.Revoke("dba", "ann", "EMPLOYEE", Priv::kRead)
+                  .IsNotFound());
+}
+
+TEST_F(SystemRTest, QueryCheckIsAllOrNothing) {
+  ASSERT_TRUE(
+      authorizer_.Grant("dba", "ann", "EMPLOYEE", Priv::kRead, false).ok());
+  EXPECT_TRUE(
+      authorizer_.CheckQuery("ann", Query("retrieve (EMPLOYEE.NAME)")).ok());
+  // Any unreadable relation rejects the whole query.
+  EXPECT_TRUE(authorizer_
+                  .CheckQuery("ann",
+                              Query("retrieve (EMPLOYEE.NAME, "
+                                    "PROJECT.NUMBER)"))
+                  .IsPermissionDenied());
+}
+
+TEST_F(SystemRTest, ViewsAreAccessWindows) {
+  ConjunctiveQuery def = Query(
+      "retrieve (EMPLOYEE.NAME, PROJECT.NUMBER) "
+      "where EMPLOYEE.NAME = ASSIGNMENT.E_NAME "
+      "and ASSIGNMENT.P_NO = PROJECT.NUMBER");
+  ASSERT_TRUE(authorizer_.RegisterView("EP", "dba", def).ok());
+  ASSERT_TRUE(authorizer_.Grant("dba", "ann", "EP", Priv::kRead, false).ok());
+  // Ann can open the view by name...
+  EXPECT_TRUE(authorizer_.OpenView("ann", "EP").ok());
+  // ...but cannot query the underlying relations (the paper's System R
+  // criticism).
+  EXPECT_TRUE(authorizer_.CheckQuery("ann", Query("retrieve (EMPLOYEE.NAME)"))
+                  .IsPermissionDenied());
+  EXPECT_TRUE(authorizer_.OpenView("bob", "EP").status().IsPermissionDenied());
+  EXPECT_TRUE(authorizer_.OpenView("ann", "NOPE").status().IsNotFound());
+}
+
+TEST_F(SystemRTest, ViewCreationRequiresUnderlyingRead) {
+  ConjunctiveQuery def = Query("retrieve (EMPLOYEE.NAME)");
+  // Ann holds nothing: cannot define the view.
+  EXPECT_TRUE(authorizer_.RegisterView("VE", "ann", def)
+                  .IsPermissionDenied());
+  // With READ (no grant option) she can define it but not grant it.
+  ASSERT_TRUE(
+      authorizer_.Grant("dba", "ann", "EMPLOYEE", Priv::kRead, false).ok());
+  ASSERT_TRUE(authorizer_.RegisterView("VE", "ann", def).ok());
+  EXPECT_TRUE(authorizer_.OpenView("ann", "VE").ok());
+  EXPECT_TRUE(authorizer_.Grant("ann", "bob", "VE", Priv::kRead, false)
+                  .IsPermissionDenied());
+}
+
+}  // namespace
+}  // namespace systemr
+}  // namespace viewauth

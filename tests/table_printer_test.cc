@@ -1,0 +1,80 @@
+// Unit tests for the ASCII table renderer.
+
+#include "engine/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace viewauth {
+namespace {
+
+Relation SampleRelation() {
+  RelationSchema schema =
+      RelationSchema::Make("T", {{"NAME", ValueType::kString},
+                                 {"SALARY", ValueType::kInt64}})
+          .value();
+  Relation rel(schema);
+  EXPECT_TRUE(rel.Insert(Tuple({Value::String("Jones"),
+                                Value::Int64(26000)}))
+                  .ok());
+  EXPECT_TRUE(
+      rel.Insert(Tuple({Value::String("Brown"), Value::Null()})).ok());
+  return rel;
+}
+
+TEST(TablePrinter, BasicLayout) {
+  std::string out = PrintRelation(SampleRelation());
+  // Header, separator, two sorted rows.
+  EXPECT_NE(out.find("| NAME "), std::string::npos);
+  EXPECT_NE(out.find("| SALARY"), std::string::npos);
+  EXPECT_NE(out.find("|------"), std::string::npos);
+  EXPECT_NE(out.find("26,000"), std::string::npos);  // thousands separators
+  EXPECT_NE(out.find("| -"), std::string::npos);     // NULL cell
+  // Sorted: Brown before Jones.
+  EXPECT_LT(out.find("Brown"), out.find("Jones"));
+}
+
+TEST(TablePrinter, Options) {
+  TablePrintOptions options;
+  options.thousands_separators = false;
+  options.null_text = "(withheld)";
+  options.caption = "salaries:";
+  std::string out = PrintRelation(SampleRelation(), options);
+  EXPECT_NE(out.find("salaries:"), std::string::npos);
+  EXPECT_NE(out.find("26000"), std::string::npos);
+  EXPECT_EQ(out.find("26,000"), std::string::npos);
+  EXPECT_NE(out.find("(withheld)"), std::string::npos);
+}
+
+TEST(TablePrinter, StringsPrintRaw) {
+  RelationSchema schema =
+      RelationSchema::Make("T", {{"CELL", ValueType::kString}}).value();
+  Relation rel(schema);
+  ASSERT_TRUE(rel.Insert(Tuple({Value::String("x1*")})).ok());
+  std::string out = PrintRelation(rel);
+  EXPECT_NE(out.find("| x1* "), std::string::npos);
+  EXPECT_EQ(out.find("'x1*'"), std::string::npos);  // no quoting in tables
+}
+
+TEST(TablePrinter, GenericTable) {
+  std::string out = PrintTable({"A", "LONG_HEADER"},
+                               {{"1", "2"}, {"333", "4"}}, "caption");
+  EXPECT_NE(out.find("caption"), std::string::npos);
+  EXPECT_NE(out.find("| A   | LONG_HEADER |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 | 4           |"), std::string::npos);
+  // Ragged rows are padded.
+  std::string ragged = PrintTable({"A", "B"}, {{"only"}});
+  EXPECT_NE(ragged.find("| only |"), std::string::npos);
+}
+
+TEST(TablePrinter, EmptyRelation) {
+  RelationSchema schema =
+      RelationSchema::Make("T", {{"A", ValueType::kInt64}}).value();
+  Relation rel(schema);
+  std::string out = PrintRelation(rel);
+  EXPECT_NE(out.find("| A"), std::string::npos);
+  // Header + separator only.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace viewauth
