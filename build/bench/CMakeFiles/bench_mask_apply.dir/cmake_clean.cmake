@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mask_apply.dir/bench_mask_apply.cc.o"
+  "CMakeFiles/bench_mask_apply.dir/bench_mask_apply.cc.o.d"
+  "bench_mask_apply"
+  "bench_mask_apply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mask_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mask_scaling.dir/bench_mask_scaling.cc.o"
+  "CMakeFiles/bench_mask_scaling.dir/bench_mask_scaling.cc.o.d"
+  "bench_mask_scaling"
+  "bench_mask_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mask_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

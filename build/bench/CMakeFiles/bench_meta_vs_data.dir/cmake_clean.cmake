@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_meta_vs_data.dir/bench_meta_vs_data.cc.o"
+  "CMakeFiles/bench_meta_vs_data.dir/bench_meta_vs_data.cc.o.d"
+  "bench_meta_vs_data"
+  "bench_meta_vs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_meta_vs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

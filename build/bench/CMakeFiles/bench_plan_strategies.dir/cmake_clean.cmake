@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_strategies.dir/bench_plan_strategies.cc.o"
+  "CMakeFiles/bench_plan_strategies.dir/bench_plan_strategies.cc.o.d"
+  "bench_plan_strategies"
+  "bench_plan_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

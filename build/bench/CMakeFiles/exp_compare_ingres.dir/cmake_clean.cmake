@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_compare_ingres.dir/exp_compare_ingres.cc.o"
+  "CMakeFiles/exp_compare_ingres.dir/exp_compare_ingres.cc.o.d"
+  "exp_compare_ingres"
+  "exp_compare_ingres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_compare_ingres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_compare_systemr.dir/exp_compare_systemr.cc.o"
+  "CMakeFiles/exp_compare_systemr.dir/exp_compare_systemr.cc.o.d"
+  "exp_compare_systemr"
+  "exp_compare_systemr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_compare_systemr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

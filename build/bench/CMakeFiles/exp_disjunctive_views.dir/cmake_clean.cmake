@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_disjunctive_views.dir/exp_disjunctive_views.cc.o"
+  "CMakeFiles/exp_disjunctive_views.dir/exp_disjunctive_views.cc.o.d"
+  "exp_disjunctive_views"
+  "exp_disjunctive_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_disjunctive_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

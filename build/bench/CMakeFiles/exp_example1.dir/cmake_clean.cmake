@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_example1.dir/exp_example1.cc.o"
+  "CMakeFiles/exp_example1.dir/exp_example1.cc.o.d"
+  "exp_example1"
+  "exp_example1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_example1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

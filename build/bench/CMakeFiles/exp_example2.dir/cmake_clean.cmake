@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_example2.dir/exp_example2.cc.o"
+  "CMakeFiles/exp_example2.dir/exp_example2.cc.o.d"
+  "exp_example2"
+  "exp_example2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_example2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_example3.dir/exp_example3.cc.o"
+  "CMakeFiles/exp_example3.dir/exp_example3.cc.o.d"
+  "exp_example3"
+  "exp_example3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_example3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ext_masks.dir/exp_ext_masks.cc.o"
+  "CMakeFiles/exp_ext_masks.dir/exp_ext_masks.cc.o.d"
+  "exp_ext_masks"
+  "exp_ext_masks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ext_masks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

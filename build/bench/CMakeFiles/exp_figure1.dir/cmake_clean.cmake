@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_figure1.dir/exp_figure1.cc.o"
+  "CMakeFiles/exp_figure1.dir/exp_figure1.cc.o.d"
+  "exp_figure1"
+  "exp_figure1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_figure1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_figure2_commute.dir/exp_figure2_commute.cc.o"
+  "CMakeFiles/exp_figure2_commute.dir/exp_figure2_commute.cc.o.d"
+  "exp_figure2_commute"
+  "exp_figure2_commute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_figure2_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

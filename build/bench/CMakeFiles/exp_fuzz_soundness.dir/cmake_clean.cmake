@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fuzz_soundness.dir/exp_fuzz_soundness.cc.o"
+  "CMakeFiles/exp_fuzz_soundness.dir/exp_fuzz_soundness.cc.o.d"
+  "exp_fuzz_soundness"
+  "exp_fuzz_soundness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fuzz_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

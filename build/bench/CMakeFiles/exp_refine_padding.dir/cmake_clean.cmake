@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_refine_padding.dir/exp_refine_padding.cc.o"
+  "CMakeFiles/exp_refine_padding.dir/exp_refine_padding.cc.o.d"
+  "exp_refine_padding"
+  "exp_refine_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_refine_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_refine_selection.dir/exp_refine_selection.cc.o"
+  "CMakeFiles/exp_refine_selection.dir/exp_refine_selection.cc.o.d"
+  "exp_refine_selection"
+  "exp_refine_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_refine_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_refine_selfjoin.dir/exp_refine_selfjoin.cc.o"
+  "CMakeFiles/exp_refine_selfjoin.dir/exp_refine_selfjoin.cc.o.d"
+  "exp_refine_selfjoin"
+  "exp_refine_selfjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_refine_selfjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_update_permissions.dir/exp_update_permissions.cc.o"
+  "CMakeFiles/exp_update_permissions.dir/exp_update_permissions.cc.o.d"
+  "exp_update_permissions"
+  "exp_update_permissions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_update_permissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

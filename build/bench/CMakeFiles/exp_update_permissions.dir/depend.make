@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_update_permissions.
+# This may be replaced when dependencies are built.

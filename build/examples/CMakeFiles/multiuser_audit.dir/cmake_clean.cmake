@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_audit.dir/multiuser_audit.cpp.o"
+  "CMakeFiles/multiuser_audit.dir/multiuser_audit.cpp.o.d"
+  "multiuser_audit"
+  "multiuser_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

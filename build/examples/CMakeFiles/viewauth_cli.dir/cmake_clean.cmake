@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_cli.dir/viewauth_cli.cpp.o"
+  "CMakeFiles/viewauth_cli.dir/viewauth_cli.cpp.o.d"
+  "viewauth_cli"
+  "viewauth_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

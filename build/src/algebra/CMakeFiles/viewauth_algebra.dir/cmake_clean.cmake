@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_algebra.dir/evaluator.cc.o"
+  "CMakeFiles/viewauth_algebra.dir/evaluator.cc.o.d"
+  "CMakeFiles/viewauth_algebra.dir/optimizer.cc.o"
+  "CMakeFiles/viewauth_algebra.dir/optimizer.cc.o.d"
+  "CMakeFiles/viewauth_algebra.dir/plan.cc.o"
+  "CMakeFiles/viewauth_algebra.dir/plan.cc.o.d"
+  "libviewauth_algebra.a"
+  "libviewauth_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libviewauth_algebra.a"
+)

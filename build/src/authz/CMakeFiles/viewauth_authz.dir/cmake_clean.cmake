@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_authz.dir/audit_log.cc.o"
+  "CMakeFiles/viewauth_authz.dir/audit_log.cc.o.d"
+  "CMakeFiles/viewauth_authz.dir/authorizer.cc.o"
+  "CMakeFiles/viewauth_authz.dir/authorizer.cc.o.d"
+  "CMakeFiles/viewauth_authz.dir/update_guard.cc.o"
+  "CMakeFiles/viewauth_authz.dir/update_guard.cc.o.d"
+  "libviewauth_authz.a"
+  "libviewauth_authz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_authz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

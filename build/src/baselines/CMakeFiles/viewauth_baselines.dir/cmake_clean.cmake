@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_baselines.dir/ingres/query_modification.cc.o"
+  "CMakeFiles/viewauth_baselines.dir/ingres/query_modification.cc.o.d"
+  "CMakeFiles/viewauth_baselines.dir/systemr/grant_table.cc.o"
+  "CMakeFiles/viewauth_baselines.dir/systemr/grant_table.cc.o.d"
+  "libviewauth_baselines.a"
+  "libviewauth_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_calculus.dir/conjunctive_query.cc.o"
+  "CMakeFiles/viewauth_calculus.dir/conjunctive_query.cc.o.d"
+  "libviewauth_calculus.a"
+  "libviewauth_calculus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_calculus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_common.dir/logging.cc.o"
+  "CMakeFiles/viewauth_common.dir/logging.cc.o.d"
+  "CMakeFiles/viewauth_common.dir/status.cc.o"
+  "CMakeFiles/viewauth_common.dir/status.cc.o.d"
+  "CMakeFiles/viewauth_common.dir/str_util.cc.o"
+  "CMakeFiles/viewauth_common.dir/str_util.cc.o.d"
+  "libviewauth_common.a"
+  "libviewauth_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_engine.dir/durable.cc.o"
+  "CMakeFiles/viewauth_engine.dir/durable.cc.o.d"
+  "CMakeFiles/viewauth_engine.dir/engine.cc.o"
+  "CMakeFiles/viewauth_engine.dir/engine.cc.o.d"
+  "CMakeFiles/viewauth_engine.dir/table_printer.cc.o"
+  "CMakeFiles/viewauth_engine.dir/table_printer.cc.o.d"
+  "libviewauth_engine.a"
+  "libviewauth_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/meta_tuple.cc" "src/meta/CMakeFiles/viewauth_meta.dir/meta_tuple.cc.o" "gcc" "src/meta/CMakeFiles/viewauth_meta.dir/meta_tuple.cc.o.d"
+  "/root/repo/src/meta/ops.cc" "src/meta/CMakeFiles/viewauth_meta.dir/ops.cc.o" "gcc" "src/meta/CMakeFiles/viewauth_meta.dir/ops.cc.o.d"
+  "/root/repo/src/meta/self_join.cc" "src/meta/CMakeFiles/viewauth_meta.dir/self_join.cc.o" "gcc" "src/meta/CMakeFiles/viewauth_meta.dir/self_join.cc.o.d"
+  "/root/repo/src/meta/view_store.cc" "src/meta/CMakeFiles/viewauth_meta.dir/view_store.cc.o" "gcc" "src/meta/CMakeFiles/viewauth_meta.dir/view_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/calculus/CMakeFiles/viewauth_calculus.dir/DependInfo.cmake"
+  "/root/repo/build/src/predicate/CMakeFiles/viewauth_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/viewauth_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/viewauth_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/viewauth_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/viewauth_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/viewauth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_meta.dir/meta_tuple.cc.o"
+  "CMakeFiles/viewauth_meta.dir/meta_tuple.cc.o.d"
+  "CMakeFiles/viewauth_meta.dir/ops.cc.o"
+  "CMakeFiles/viewauth_meta.dir/ops.cc.o.d"
+  "CMakeFiles/viewauth_meta.dir/self_join.cc.o"
+  "CMakeFiles/viewauth_meta.dir/self_join.cc.o.d"
+  "CMakeFiles/viewauth_meta.dir/view_store.cc.o"
+  "CMakeFiles/viewauth_meta.dir/view_store.cc.o.d"
+  "libviewauth_meta.a"
+  "libviewauth_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

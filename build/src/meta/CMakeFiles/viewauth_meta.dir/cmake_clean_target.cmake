@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libviewauth_meta.a"
+)

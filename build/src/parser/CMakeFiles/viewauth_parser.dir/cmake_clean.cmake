@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_parser.dir/ast.cc.o"
+  "CMakeFiles/viewauth_parser.dir/ast.cc.o.d"
+  "CMakeFiles/viewauth_parser.dir/lexer.cc.o"
+  "CMakeFiles/viewauth_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/viewauth_parser.dir/parser.cc.o"
+  "CMakeFiles/viewauth_parser.dir/parser.cc.o.d"
+  "libviewauth_parser.a"
+  "libviewauth_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_predicate.dir/constraint.cc.o"
+  "CMakeFiles/viewauth_predicate.dir/constraint.cc.o.d"
+  "CMakeFiles/viewauth_predicate.dir/predicate.cc.o"
+  "CMakeFiles/viewauth_predicate.dir/predicate.cc.o.d"
+  "libviewauth_predicate.a"
+  "libviewauth_predicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_predicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_schema.dir/schema.cc.o"
+  "CMakeFiles/viewauth_schema.dir/schema.cc.o.d"
+  "libviewauth_schema.a"
+  "libviewauth_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_storage.dir/relation.cc.o"
+  "CMakeFiles/viewauth_storage.dir/relation.cc.o.d"
+  "CMakeFiles/viewauth_storage.dir/tuple.cc.o"
+  "CMakeFiles/viewauth_storage.dir/tuple.cc.o.d"
+  "libviewauth_storage.a"
+  "libviewauth_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

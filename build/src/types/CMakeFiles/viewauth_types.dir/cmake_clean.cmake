@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewauth_types.dir/value.cc.o"
+  "CMakeFiles/viewauth_types.dir/value.cc.o.d"
+  "libviewauth_types.a"
+  "libviewauth_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewauth_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/audit_log_test.cc" "tests/CMakeFiles/audit_log_test.dir/audit_log_test.cc.o" "gcc" "tests/CMakeFiles/audit_log_test.dir/audit_log_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/viewauth_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/viewauth_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/authz/CMakeFiles/viewauth_authz.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/viewauth_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/viewauth_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/calculus/CMakeFiles/viewauth_calculus.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/viewauth_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/predicate/CMakeFiles/viewauth_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/viewauth_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/viewauth_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/viewauth_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/viewauth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_examples_test.dir/authz_examples_test.cc.o"
+  "CMakeFiles/authz_examples_test.dir/authz_examples_test.cc.o.d"
+  "authz_examples_test"
+  "authz_examples_test.pdb"
+  "authz_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_property_test.dir/authz_property_test.cc.o"
+  "CMakeFiles/authz_property_test.dir/authz_property_test.cc.o.d"
+  "authz_property_test"
+  "authz_property_test.pdb"
+  "authz_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disjunctive_retrieve_test.dir/disjunctive_retrieve_test.cc.o"
+  "CMakeFiles/disjunctive_retrieve_test.dir/disjunctive_retrieve_test.cc.o.d"
+  "disjunctive_retrieve_test"
+  "disjunctive_retrieve_test.pdb"
+  "disjunctive_retrieve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disjunctive_retrieve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

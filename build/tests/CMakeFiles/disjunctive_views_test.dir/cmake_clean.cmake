@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disjunctive_views_test.dir/disjunctive_views_test.cc.o"
+  "CMakeFiles/disjunctive_views_test.dir/disjunctive_views_test.cc.o.d"
+  "disjunctive_views_test"
+  "disjunctive_views_test.pdb"
+  "disjunctive_views_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disjunctive_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

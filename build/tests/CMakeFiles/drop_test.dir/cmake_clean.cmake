@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drop_test.dir/drop_test.cc.o"
+  "CMakeFiles/drop_test.dir/drop_test.cc.o.d"
+  "drop_test"
+  "drop_test.pdb"
+  "drop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_masks_test.dir/extended_masks_test.cc.o"
+  "CMakeFiles/extended_masks_test.dir/extended_masks_test.cc.o.d"
+  "extended_masks_test"
+  "extended_masks_test.pdb"
+  "extended_masks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_masks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

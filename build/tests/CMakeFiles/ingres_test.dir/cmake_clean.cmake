@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingres_test.dir/ingres_test.cc.o"
+  "CMakeFiles/ingres_test.dir/ingres_test.cc.o.d"
+  "ingres_test"
+  "ingres_test.pdb"
+  "ingres_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingres_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

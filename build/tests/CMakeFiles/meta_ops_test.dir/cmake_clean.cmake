@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_ops_test.dir/meta_ops_test.cc.o"
+  "CMakeFiles/meta_ops_test.dir/meta_ops_test.cc.o.d"
+  "meta_ops_test"
+  "meta_ops_test.pdb"
+  "meta_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systemr_test.dir/systemr_test.cc.o"
+  "CMakeFiles/systemr_test.dir/systemr_test.cc.o.d"
+  "systemr_test"
+  "systemr_test.pdb"
+  "systemr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systemr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_guard_test.dir/update_guard_test.cc.o"
+  "CMakeFiles/update_guard_test.dir/update_guard_test.cc.o.d"
+  "update_guard_test"
+  "update_guard_test.pdb"
+  "update_guard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
