@@ -24,6 +24,7 @@ namespace bench_util {
 struct Workload {
   DatabaseInstance db;
   std::unique_ptr<ViewCatalog> catalog;
+  AuthzCache cache;
   std::unique_ptr<Authorizer> authorizer;
 
   ConjunctiveQuery Query(const std::string& text) const {
@@ -90,7 +91,8 @@ inline std::unique_ptr<Workload> MakeWorkload(int relations, int rows,
     }
   }
 
-  w->authorizer = std::make_unique<Authorizer>(&w->db, w->catalog.get());
+  w->authorizer =
+      std::make_unique<Authorizer>(&w->db, w->catalog.get(), &w->cache);
   return w;
 }
 

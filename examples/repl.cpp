@@ -34,7 +34,11 @@ void PrintHelp() {
                "  options                show authorization options\n"
                "  set <option> on|off    toggle four_case, padding, "
                "self_joins,\n"
-               "                         subsumption, extended_masks\n"
+               "                         subsumption, extended_masks, "
+               "cache,\n"
+               "                         parallel\n"
+               "  stats (or \\stats)      show cache/pipeline statistics\n"
+               "  stats reset            zero the statistics counters\n"
                "  help, quit\n";
 }
 
@@ -44,7 +48,10 @@ void PrintOptions(const AuthorizationOptions& options) {
             << " padding=" << onoff(options.padding)
             << " self_joins=" << onoff(options.self_joins)
             << " subsumption=" << onoff(options.subsumption)
-            << " extended_masks=" << onoff(options.extended_masks) << "\n";
+            << " extended_masks=" << onoff(options.extended_masks)
+            << " cache=" << onoff(options.enable_authz_cache)
+            << " parallel=" << onoff(options.parallel_meta_evaluation)
+            << "\n";
 }
 
 }  // namespace
@@ -108,6 +115,11 @@ int main() {
       std::cout << (dump.ok() ? *dump : dump.status().ToString()) << "\n";
     } else if (trimmed == "audit") {
       std::cout << engine.audit_log().ToString(20);
+    } else if (trimmed == "stats" || trimmed == "\\stats") {
+      std::cout << engine.authz_stats().ToString();
+    } else if (trimmed == "stats reset") {
+      engine.ResetAuthzStats();
+      std::cout << "statistics reset\n";
     } else if (StartsWith(trimmed, "explain ")) {
       auto trace = engine.ExplainRetrieve(std::string(trimmed.substr(8)));
       std::cout << (trace.ok() ? *trace : trace.status().ToString()) << "\n";
@@ -124,6 +136,8 @@ int main() {
         else if (parts[0] == "self_joins") o.self_joins = on;
         else if (parts[0] == "subsumption") o.subsumption = on;
         else if (parts[0] == "extended_masks") o.extended_masks = on;
+        else if (parts[0] == "cache") o.enable_authz_cache = on;
+        else if (parts[0] == "parallel") o.parallel_meta_evaluation = on;
         else std::cout << "unknown option '" << parts[0] << "'\n";
         PrintOptions(o);
       } else {

@@ -1,19 +1,74 @@
 #include "authz/authorizer.h"
 
 #include <algorithm>
+#include <chrono>
+#include <future>
 #include <map>
 #include <set>
 
 #include "algebra/optimizer.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "meta/self_join.h"
 
 namespace viewauth {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+long long MicrosSince(SteadyClock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             SteadyClock::now() - start)
+      .count();
+}
+
+// Cache key of a derived mask: the user, the delivery flavor (final or
+// wide), every option that changes the derived tuples, and the query's
+// canonical signature.
+std::string MaskCacheKey(std::string_view user, const ConjunctiveQuery& query,
+                         const AuthorizationOptions& o, bool wide) {
+  std::string key(user);
+  key += wide ? "|W|" : "|F|";
+  key += o.padding ? 'p' : '-';
+  key += o.four_case ? 'f' : '-';
+  key += o.subsumption ? 's' : '-';
+  key += o.prune_dangling ? 'd' : '-';
+  key += o.self_joins ? std::to_string(o.self_join_rounds) : "0";
+  key += "|";
+  key += query.CanonicalSignature();
+  return key;
+}
+
+// The data-side evaluation (S), timed. Runs on a pool worker during
+// parallel retrieves; never waits on anything.
+struct TimedEval {
+  Result<Relation> relation = Relation();
+  EvalStats stats;
+  long long micros = 0;
+};
+
+TimedEval EvaluateData(const ConjunctiveQuery& query,
+                       const DatabaseInstance& db, const char* name,
+                       bool optimized) {
+  TimedEval out;
+  const auto start = SteadyClock::now();
+  out.relation = optimized ? EvaluateOptimized(query, db, name, &out.stats)
+                           : EvaluateCanonical(query, db, name, &out.stats);
+  out.micros = MicrosSince(start);
+  return out;
+}
+
+}  // namespace
 
 std::string InferredPermit::ToString() const {
   std::string out = "permit (" + Join(columns, ", ") + ")";
   if (!where.empty()) out += " where " + where;
   return out;
+}
+
+AuthzGeneration Authorizer::CurrentGeneration() const {
+  return AuthzGeneration{catalog_->catalog_version(), db_->ddl_version()};
 }
 
 Result<MetaRelation> Authorizer::PrunedMetaRelation(
@@ -31,10 +86,14 @@ Result<MetaRelation> Authorizer::PrunedMetaRelation(
   }
 
   // Cache lookup: the result depends only on the user, the target
-  // relation, the set of query relations (the pruning scope), the
-  // self-join settings, and the catalog version.
+  // relation, the set of query relations (the pruning scope), and the
+  // self-join settings. Freshness is the generation check.
+  const bool use_cache = cache_ != nullptr && options.enable_authz_cache &&
+                         options.use_meta_cache;
   std::string cache_key;
-  if (options.use_meta_cache) {
+  AuthzGeneration gen;
+  if (use_cache) {
+    gen = CurrentGeneration();
     cache_key = std::string(user) + "|" + relation + "|";
     for (const std::string& r : query_relations) {
       cache_key += r;
@@ -44,10 +103,9 @@ Result<MetaRelation> Authorizer::PrunedMetaRelation(
     cache_key += options.self_joins
                      ? std::to_string(options.self_join_rounds)
                      : "0";
-    cache_key += "|v=" + std::to_string(catalog_->catalog_version());
-    if (const MetaRelation* cached =
-            catalog_->CachedMetaRelation(cache_key)) {
-      return *cached;
+    if (std::optional<MetaRelation> cached =
+            cache_->LookupPrepared(cache_key, gen)) {
+      return std::move(*cached);
     }
   }
 
@@ -69,8 +127,8 @@ Result<MetaRelation> Authorizer::PrunedMetaRelation(
   if (options.self_joins) {
     out = WithSelfJoins(out, schema, options.self_join_rounds);
   }
-  if (options.use_meta_cache) {
-    catalog_->StoreCachedMetaRelation(std::move(cache_key), out);
+  if (use_cache) {
+    cache_->StorePrepared(std::move(cache_key), gen, out);
   }
   return out;
 }
@@ -116,28 +174,63 @@ Result<MetaRelation> Authorizer::DeriveWideMask(
   op_options.four_case = options.four_case;
 
   // Per-relation meta-relations are identical for repeated occurrences;
-  // compute once per relation name.
-  std::map<std::string, MetaRelation> per_relation;
+  // compute once per relation name. The per-relation preparations are
+  // independent, so without tracing they fan out across the pool when
+  // the query spans more than one relation.
+  std::vector<std::pair<std::string, int>> distinct;  // relation, first atom
   for (size_t a = 0; a < query.atoms().size(); ++a) {
     const std::string& rel = query.atoms()[a].relation;
-    if (per_relation.contains(rel)) continue;
-    if (trace != nullptr) {
-      AuthorizationOptions bare = options;
-      bare.self_joins = false;
-      bare.use_meta_cache = false;
+    bool seen = false;
+    for (const auto& d : distinct) {
+      if (d.first == rel) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) distinct.emplace_back(rel, static_cast<int>(a));
+  }
+  std::map<std::string, MetaRelation> per_relation;
+  if (options.parallel_meta_evaluation && trace == nullptr &&
+      distinct.size() > 1) {
+    std::vector<std::future<Result<MetaRelation>>> futures;
+    futures.reserve(distinct.size());
+    for (const auto& [rel, atom] : distinct) {
+      (void)rel;
+      futures.push_back(
+          GlobalThreadPool().Submit([this, user, &query, atom = atom,
+                                     &options] {
+            return PrunedMetaRelation(user, query, atom, options);
+          }));
+    }
+    // Collect every future before acting on errors: the tasks reference
+    // this call's locals.
+    std::vector<Result<MetaRelation>> prepared;
+    prepared.reserve(futures.size());
+    for (std::future<Result<MetaRelation>>& f : futures) {
+      prepared.push_back(f.get());
+    }
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      VIEWAUTH_RETURN_NOT_OK(prepared[i].status());
+      per_relation.emplace(distinct[i].first, std::move(*prepared[i]));
+    }
+  } else {
+    for (const auto& [rel, atom] : distinct) {
+      if (trace != nullptr) {
+        AuthorizationOptions bare = options;
+        bare.self_joins = false;
+        bare.use_meta_cache = false;
+        VIEWAUTH_ASSIGN_OR_RETURN(
+            MetaRelation stored, PrunedMetaRelation(user, query, atom, bare));
+        trace->operands.push_back(
+            MaskTrace::OperandStage{rel, stored.size(), 0});
+      }
       VIEWAUTH_ASSIGN_OR_RETURN(
-          MetaRelation stored,
-          PrunedMetaRelation(user, query, static_cast<int>(a), bare));
-      trace->operands.push_back(
-          MaskTrace::OperandStage{rel, stored.size(), 0});
+          MetaRelation meta, PrunedMetaRelation(user, query, atom, options));
+      if (trace != nullptr) {
+        trace->operands.back().with_self_joins = meta.size();
+      }
+      per_relation.emplace(rel, std::move(meta));
     }
-    VIEWAUTH_ASSIGN_OR_RETURN(
-        MetaRelation meta,
-        PrunedMetaRelation(user, query, static_cast<int>(a), options));
-    if (trace != nullptr) {
-      trace->operands.back().with_self_joins = meta.size();
-    }
-    per_relation.emplace(rel, std::move(meta));
   }
 
   // S' step 1: all products first (the paper's canonical strategy).
@@ -186,6 +279,7 @@ Result<MetaRelation> Authorizer::DeriveWideMask(
     return out;
   };
 
+  long long pruned = 0;  // hopeless + dangling tuples removed
   MetaRelation current;
   for (size_t a = 0; a < query.atoms().size(); ++a) {
     const MetaRelation& operand = per_relation.at(query.atoms()[a].relation);
@@ -195,7 +289,9 @@ Result<MetaRelation> Authorizer::DeriveWideMask(
       current = RemoveDuplicates(MetaProduct(current, operand, op_options));
     }
     if (options.prune_dangling) {
+      const int before = current.size();
       current = prune_hopeless(std::move(current), a + 1);
+      pruned += before - current.size();
     }
   }
 
@@ -206,7 +302,9 @@ Result<MetaRelation> Authorizer::DeriveWideMask(
   // ever adds a projected column, so they can never contribute to the
   // mask.
   if (options.prune_dangling) {
+    const int before = current.size();
     current = PruneDanglingTuples(current);
+    pruned += before - current.size();
   }
   {
     MetaRelation projecting(current.columns());
@@ -282,6 +380,7 @@ Result<MetaRelation> Authorizer::DeriveWideMask(
     ClearImpliedRestrictions(&current, lambda, column_term);
   }
 
+  if (cache_ != nullptr) cache_->CountPruned(pruned);
   return current;
 }
 
@@ -289,6 +388,22 @@ Result<MetaRelation> Authorizer::DeriveMask(
     std::string_view user, const ConjunctiveQuery& query,
     const AuthorizationOptions& options, MetaRelation* product_stage,
     MaskTrace* trace) const {
+  // The full S' run is cacheable whenever no intermediate stage was
+  // requested: the mask depends only on the user, the query signature,
+  // and the options folded into the key.
+  const bool use_cache = cache_ != nullptr && options.enable_authz_cache &&
+                         product_stage == nullptr && trace == nullptr;
+  std::string cache_key;
+  AuthzGeneration gen;
+  if (use_cache) {
+    gen = CurrentGeneration();
+    cache_key = MaskCacheKey(user, query, options, /*wide=*/false);
+    if (std::optional<MetaRelation> cached =
+            cache_->LookupMask(cache_key, gen)) {
+      return std::move(*cached);
+    }
+  }
+
   VIEWAUTH_ASSIGN_OR_RETURN(
       MetaRelation current,
       DeriveWideMask(user, query, options, product_stage, trace));
@@ -320,6 +435,7 @@ Result<MetaRelation> Authorizer::DeriveMask(
   mask = RemoveDuplicates(mask, /*respect_provenance=*/false);
   if (options.subsumption) mask = RemoveSubsumed(mask);
   if (trace != nullptr) trace->final_mask = mask.size();
+  if (use_cache) cache_->StoreMask(std::move(cache_key), gen, mask);
   return mask;
 }
 
@@ -595,44 +711,81 @@ std::vector<InferredPermit> Authorizer::DescribeMask(
 
 Result<AuthorizationResult> Authorizer::RetrieveExtended(
     std::string_view user, const ConjunctiveQuery& query,
-    const AuthorizationOptions& options) const {
+    const AuthorizationOptions& options, StageTimes* times) const {
   AuthorizationResult result;
-  VIEWAUTH_ASSIGN_OR_RETURN(MetaRelation wide,
-                            DeriveWideMask(user, query, options));
-  wide = RemoveDuplicates(wide, /*respect_provenance=*/false);
-  if (options.subsumption) wide = RemoveSubsumed(wide);
-  // Qualified column names for the wide mask's display.
-  {
-    std::vector<std::string> names = query.ProductColumnNames();
-    std::vector<Attribute> columns;
-    columns.reserve(names.size());
-    int col = 0;
-    for (size_t a = 0; a < query.atoms().size(); ++a) {
-      const RelationSchema& rel = query.atom_schema(static_cast<int>(a));
-      for (int i = 0; i < rel.arity(); ++i, ++col) {
-        columns.push_back(Attribute{names[static_cast<size_t>(col)],
-                                    rel.attribute(i).type});
-      }
-    }
-    MetaRelation renamed(std::move(columns));
-    for (MetaTuple& tuple : wide.tuples()) renamed.Add(std::move(tuple));
-    wide = std::move(renamed);
-  }
-  result.mask = wide;
 
   // Evaluate the answer *before* the final projection so that mask
   // predicates over non-requested attributes can be tested per row.
+  // During parallel retrieves the data plan runs on the pool, concurrent
+  // with mask derivation on this thread.
   ConjunctiveQuery wide_query = query.WithAllColumnsProjected();
-  Relation wide_answer;
-  if (options.use_optimized_data_plan) {
-    VIEWAUTH_ASSIGN_OR_RETURN(
-        wide_answer,
-        EvaluateOptimized(wide_query, *db_, "WIDE", &result.data_stats));
-  } else {
-    VIEWAUTH_ASSIGN_OR_RETURN(
-        wide_answer,
-        EvaluateCanonical(wide_query, *db_, "WIDE", &result.data_stats));
+  std::future<TimedEval> data_future;
+  if (options.parallel_meta_evaluation) {
+    data_future = GlobalThreadPool().Submit([this, &wide_query, &options] {
+      return EvaluateData(wide_query, *db_, "WIDE",
+                          options.use_optimized_data_plan);
+    });
   }
+
+  // The post-processed wide mask (deduplicated, subsumption-reduced,
+  // renamed to qualified product columns) is what gets cached: it is the
+  // exact object every later stage consumes.
+  const auto mask_start = SteadyClock::now();
+  const bool use_cache = cache_ != nullptr && options.enable_authz_cache;
+  std::string cache_key;
+  AuthzGeneration gen;
+  MetaRelation wide;
+  bool have_mask = false;
+  if (use_cache) {
+    gen = CurrentGeneration();
+    cache_key = MaskCacheKey(user, query, options, /*wide=*/true);
+    if (std::optional<MetaRelation> cached =
+            cache_->LookupMask(cache_key, gen)) {
+      wide = std::move(*cached);
+      have_mask = true;
+    }
+  }
+  if (!have_mask) {
+    Result<MetaRelation> derived = DeriveWideMask(user, query, options);
+    if (!derived.ok()) {
+      // Drain the concurrent data evaluation before unwinding: the task
+      // references this call's locals.
+      if (data_future.valid()) data_future.get();
+      return derived.status();
+    }
+    wide = std::move(*derived);
+    wide = RemoveDuplicates(wide, /*respect_provenance=*/false);
+    if (options.subsumption) wide = RemoveSubsumed(wide);
+    // Qualified column names for the wide mask's display.
+    {
+      std::vector<std::string> names = query.ProductColumnNames();
+      std::vector<Attribute> columns;
+      columns.reserve(names.size());
+      int col = 0;
+      for (size_t a = 0; a < query.atoms().size(); ++a) {
+        const RelationSchema& rel = query.atom_schema(static_cast<int>(a));
+        for (int i = 0; i < rel.arity(); ++i, ++col) {
+          columns.push_back(Attribute{names[static_cast<size_t>(col)],
+                                      rel.attribute(i).type});
+        }
+      }
+      MetaRelation renamed(std::move(columns));
+      for (MetaTuple& tuple : wide.tuples()) renamed.Add(std::move(tuple));
+      wide = std::move(renamed);
+    }
+    if (use_cache) cache_->StoreMask(std::move(cache_key), gen, wide);
+  }
+  times->mask_micros = MicrosSince(mask_start);
+  result.mask = wide;
+
+  TimedEval data = data_future.valid()
+                       ? data_future.get()
+                       : EvaluateData(wide_query, *db_, "WIDE",
+                                      options.use_optimized_data_plan);
+  times->data_micros = data.micros;
+  VIEWAUTH_RETURN_NOT_OK(data.relation.status());
+  Relation wide_answer = std::move(*data.relation);
+  result.data_stats = data.stats;
 
   std::vector<int> target_columns;
   target_columns.reserve(query.targets().size());
@@ -687,30 +840,64 @@ Result<AuthorizationResult> Authorizer::RetrieveExtended(
     return result;
   }
 
+  const auto apply_start = SteadyClock::now();
   result.answer = ApplyWideMask(wide_answer, wide, target_columns,
                                 answer_schema,
                                 options.drop_fully_masked_rows);
   result.permits = DescribeWideMask(wide, query);
+  times->apply_micros = MicrosSince(apply_start);
   return result;
 }
 
 Result<AuthorizationResult> Authorizer::Retrieve(
     std::string_view user, const ConjunctiveQuery& query,
     const AuthorizationOptions& options) const {
-  if (options.extended_masks) {
-    return RetrieveExtended(user, query, options);
+  const auto start = SteadyClock::now();
+  StageTimes times;
+  Result<AuthorizationResult> result =
+      options.extended_masks
+          ? RetrieveExtended(user, query, options, &times)
+          : RetrieveStandard(user, query, options, &times);
+  if (cache_ != nullptr) {
+    cache_->CountRetrieve(options.parallel_meta_evaluation);
+    cache_->AddStageTimes(times.mask_micros, times.data_micros,
+                          times.apply_micros, MicrosSince(start));
   }
+  return result;
+}
+
+Result<AuthorizationResult> Authorizer::RetrieveStandard(
+    std::string_view user, const ConjunctiveQuery& query,
+    const AuthorizationOptions& options, StageTimes* times) const {
   AuthorizationResult result;
-  VIEWAUTH_ASSIGN_OR_RETURN(result.mask, DeriveMask(user, query, options));
-  if (options.use_optimized_data_plan) {
-    VIEWAUTH_ASSIGN_OR_RETURN(
-        result.raw_answer,
-        EvaluateOptimized(query, *db_, "ANSWER", &result.data_stats));
-  } else {
-    VIEWAUTH_ASSIGN_OR_RETURN(
-        result.raw_answer,
-        EvaluateCanonical(query, *db_, "ANSWER", &result.data_stats));
+
+  // During parallel retrieves the S data plan runs on the pool while
+  // this thread derives the S' mask.
+  std::future<TimedEval> data_future;
+  if (options.parallel_meta_evaluation) {
+    data_future = GlobalThreadPool().Submit([this, &query, &options] {
+      return EvaluateData(query, *db_, "ANSWER",
+                          options.use_optimized_data_plan);
+    });
   }
+
+  const auto mask_start = SteadyClock::now();
+  Result<MetaRelation> mask = DeriveMask(user, query, options);
+  times->mask_micros = MicrosSince(mask_start);
+
+  TimedEval data = data_future.valid()
+                       ? data_future.get()
+                       : EvaluateData(query, *db_, "ANSWER",
+                                      options.use_optimized_data_plan);
+  times->data_micros = data.micros;
+
+  // The data future is drained either way, so unwinding on a mask error
+  // is safe.
+  VIEWAUTH_RETURN_NOT_OK(mask.status());
+  result.mask = std::move(*mask);
+  VIEWAUTH_RETURN_NOT_OK(data.relation.status());
+  result.raw_answer = std::move(*data.relation);
+  result.data_stats = data.stats;
 
   // Denied when no mask tuple projects any column: nothing at all may be
   // delivered (an empty mask is the common case; a mask of tuples with
@@ -751,9 +938,11 @@ Result<AuthorizationResult> Authorizer::Retrieve(
     return result;  // delivered without accompanying permit statements
   }
 
+  const auto apply_start = SteadyClock::now();
   result.answer = ApplyMask(result.raw_answer, result.mask,
                             options.drop_fully_masked_rows);
   result.permits = DescribeMask(result.mask);
+  times->apply_micros = MicrosSince(apply_start);
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "algebra/evaluator.h"
+#include "authz/authz_cache.h"
 #include "calculus/conjunctive_query.h"
 #include "common/result.h"
 #include "meta/meta_tuple.h"
@@ -55,11 +56,18 @@ struct AuthorizationOptions {
   // attribute. Off by default: the paper's base algorithm yields only
   // masks expressible with the requested attributes.
   bool extended_masks = false;
-  // Cache the pruned-and-self-joined per-relation meta-relations in the
-  // catalog (the paper: self-joins "should be stored with the original
-  // view definitions, until these definitions are modified"). Off only
-  // for the caching ablation benchmark.
+  // Cache the pruned-and-self-joined per-relation meta-relations (the
+  // paper: self-joins "should be stored with the original view
+  // definitions, until these definitions are modified"). Subordinate to
+  // enable_authz_cache; off only for the caching ablation benchmark.
   bool use_meta_cache = true;
+  // Master switch for the authorization cache (authz/authz_cache.h):
+  // prepared per-relation meta-relations and fully derived masks.
+  // Effective only when the Authorizer was constructed with a cache.
+  bool enable_authz_cache = true;
+  // Evaluate the S' meta-plan and the S data plan concurrently, and fan
+  // per-relation meta preparation out across the shared thread pool.
+  bool parallel_meta_evaluation = true;
 };
 
 // A trace of the mask-derivation pipeline, for EXPLAIN-style output and
@@ -114,8 +122,14 @@ struct AuthorizationResult {
 
 class Authorizer {
  public:
-  Authorizer(const DatabaseInstance* db, ViewCatalog* catalog)
-      : db_(db), catalog_(catalog) {}
+  // `cache` may be null (no caching, no stats — the bare pipeline).
+  // When provided, it holds prepared meta-relations, derived masks and
+  // the observability counters; entries are generation-checked against
+  // the catalog and schema versions, so direct catalog/DDL mutations
+  // invalidate them even without an engine routing the change.
+  Authorizer(const DatabaseInstance* db, ViewCatalog* catalog,
+             AuthzCache* cache = nullptr)
+      : db_(db), catalog_(catalog), cache_(cache) {}
 
   // Full pipeline for a user's retrieve.
   Result<AuthorizationResult> Retrieve(
@@ -187,13 +201,28 @@ class Authorizer {
   std::vector<InferredPermit> DescribeMask(const MetaRelation& mask) const;
 
  private:
+  // Per-retrieve wall times, accumulated into the cache's stats.
+  struct StageTimes {
+    long long mask_micros = 0;
+    long long data_micros = 0;
+    long long apply_micros = 0;
+  };
+
+  // The standard (projection-limited) delivery flow.
+  Result<AuthorizationResult> RetrieveStandard(
+      std::string_view user, const ConjunctiveQuery& query,
+      const AuthorizationOptions& options, StageTimes* times) const;
   // The extended-mask delivery flow (options.extended_masks).
   Result<AuthorizationResult> RetrieveExtended(
       std::string_view user, const ConjunctiveQuery& query,
-      const AuthorizationOptions& options) const;
+      const AuthorizationOptions& options, StageTimes* times) const;
+
+  // The current invalidation clock (catalog version, schema version).
+  AuthzGeneration CurrentGeneration() const;
 
   const DatabaseInstance* db_;
   ViewCatalog* catalog_;
+  AuthzCache* cache_;
 };
 
 }  // namespace viewauth

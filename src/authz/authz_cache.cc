@@ -1,0 +1,140 @@
+#include "authz/authz_cache.h"
+
+#include <sstream>
+
+namespace viewauth {
+
+namespace {
+// Workloads touch few distinct (user, relation-set, options) shapes; a
+// runaway key space indicates synthetic churn, so reset past this bound.
+constexpr size_t kMaxEntries = 1024;
+}  // namespace
+
+std::string AuthzStats::ToString() const {
+  std::ostringstream out;
+  out << "authorization stats:\n"
+      << "  retrieves:        " << retrieves << " (" << parallel_retrieves
+      << " parallel)\n"
+      << "  prepared cache:   " << prepared_hits << " hit(s), "
+      << prepared_misses << " miss(es)\n"
+      << "  mask cache:       " << mask_hits << " hit(s), " << mask_misses
+      << " miss(es)\n"
+      << "  invalidations:    " << invalidations << "\n"
+      << "  meta pruned:      " << meta_tuples_pruned << " tuple(s)\n"
+      << "  wall times (us):  mask=" << mask_derivation_micros
+      << " data=" << data_eval_micros << " apply=" << mask_apply_micros
+      << " total=" << total_micros << "\n";
+  return out.str();
+}
+
+std::optional<MetaRelation> AuthzCache::Lookup(
+    std::map<std::string, Entry>* entries, const std::string& key,
+    const AuthzGeneration& gen, std::atomic<long long>* hits,
+    std::atomic<long long>* misses) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries->find(key);
+  if (it != entries->end()) {
+    if (it->second.gen == gen) {
+      hits->fetch_add(1, std::memory_order_relaxed);
+      return it->second.value;  // copy out under the lock
+    }
+    entries->erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  misses->fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void AuthzCache::Store(std::map<std::string, Entry>* entries,
+                       std::string key, const AuthzGeneration& gen,
+                       const MetaRelation& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries->size() > kMaxEntries) entries->clear();
+  (*entries)[std::move(key)] = Entry{gen, value};
+}
+
+std::optional<MetaRelation> AuthzCache::LookupPrepared(
+    const std::string& key, const AuthzGeneration& gen) {
+  return Lookup(&prepared_, key, gen, &prepared_hits_, &prepared_misses_);
+}
+
+void AuthzCache::StorePrepared(std::string key, const AuthzGeneration& gen,
+                               const MetaRelation& value) {
+  Store(&prepared_, std::move(key), gen, value);
+}
+
+std::optional<MetaRelation> AuthzCache::LookupMask(
+    const std::string& key, const AuthzGeneration& gen) {
+  return Lookup(&masks_, key, gen, &mask_hits_, &mask_misses_);
+}
+
+void AuthzCache::StoreMask(std::string key, const AuthzGeneration& gen,
+                           const MetaRelation& value) {
+  Store(&masks_, std::move(key), gen, value);
+}
+
+void AuthzCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (prepared_.empty() && masks_.empty()) return;
+  prepared_.clear();
+  masks_.clear();
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AuthzCache::CountRetrieve(bool parallel) {
+  retrieves_.fetch_add(1, std::memory_order_relaxed);
+  if (parallel) parallel_retrieves_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AuthzCache::CountPruned(long long tuples) {
+  if (tuples > 0) {
+    meta_tuples_pruned_.fetch_add(tuples, std::memory_order_relaxed);
+  }
+}
+
+void AuthzCache::AddStageTimes(long long mask_micros, long long data_micros,
+                               long long apply_micros,
+                               long long total_micros) {
+  mask_derivation_micros_.fetch_add(mask_micros, std::memory_order_relaxed);
+  data_eval_micros_.fetch_add(data_micros, std::memory_order_relaxed);
+  mask_apply_micros_.fetch_add(apply_micros, std::memory_order_relaxed);
+  total_micros_.fetch_add(total_micros, std::memory_order_relaxed);
+}
+
+AuthzStats AuthzCache::Snapshot() const {
+  AuthzStats stats;
+  stats.retrieves = retrieves_.load(std::memory_order_relaxed);
+  stats.parallel_retrieves =
+      parallel_retrieves_.load(std::memory_order_relaxed);
+  stats.prepared_hits = prepared_hits_.load(std::memory_order_relaxed);
+  stats.prepared_misses = prepared_misses_.load(std::memory_order_relaxed);
+  stats.mask_hits = mask_hits_.load(std::memory_order_relaxed);
+  stats.mask_misses = mask_misses_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.meta_tuples_pruned =
+      meta_tuples_pruned_.load(std::memory_order_relaxed);
+  stats.mask_derivation_micros =
+      mask_derivation_micros_.load(std::memory_order_relaxed);
+  stats.data_eval_micros = data_eval_micros_.load(std::memory_order_relaxed);
+  stats.mask_apply_micros =
+      mask_apply_micros_.load(std::memory_order_relaxed);
+  stats.total_micros = total_micros_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void AuthzCache::ResetStats() {
+  retrieves_.store(0, std::memory_order_relaxed);
+  parallel_retrieves_.store(0, std::memory_order_relaxed);
+  prepared_hits_.store(0, std::memory_order_relaxed);
+  prepared_misses_.store(0, std::memory_order_relaxed);
+  mask_hits_.store(0, std::memory_order_relaxed);
+  mask_misses_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
+  meta_tuples_pruned_.store(0, std::memory_order_relaxed);
+  mask_derivation_micros_.store(0, std::memory_order_relaxed);
+  data_eval_micros_.store(0, std::memory_order_relaxed);
+  mask_apply_micros_.store(0, std::memory_order_relaxed);
+  total_micros_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace viewauth

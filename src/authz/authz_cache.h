@@ -1,0 +1,138 @@
+// The mask-pipeline cache (paper Section 4.2: self-joins "need not be
+// generated for every query; once generated, they should be stored with
+// the original view definitions, until these definitions are modified").
+//
+// Two layers, both generation-checked:
+//   * prepared authorizations — the pruned, self-join-extended
+//     per-relation meta-relations of Authorizer steps 1-2, keyed by
+//     (user, target relation, set of relations in Q, self-join rounds);
+//   * masks — the fully derived A' of step 3, keyed by
+//     (user, canonical query signature, mask-affecting options).
+//
+// Soundness argument: every entry records the AuthzGeneration — the pair
+// (catalog version, schema version) — current when it was computed. The
+// catalog version advances on every permit, deny, view definition, view
+// drop, and group-membership change; the schema version advances on every
+// relation create/drop. A lookup only returns an entry whose recorded
+// generation equals the *current* generation, so a cached mask can never
+// survive any event that could change what the user is entitled to: the
+// mutation bumps a counter, the pair no longer matches, and the entry is
+// discarded (counted as an invalidation). Data changes (insert/delete/
+// modify) deliberately do not invalidate — masks are derived from view
+// definitions and grants only, never from data.
+//
+// The cache is internally synchronized; concurrent sessions may look up,
+// fill, and invalidate freely.
+
+#ifndef VIEWAUTH_AUTHZ_AUTHZ_CACHE_H_
+#define VIEWAUTH_AUTHZ_AUTHZ_CACHE_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "meta/meta_tuple.h"
+
+namespace viewauth {
+
+// The invalidation clock: catalog mutations and DDL each bump their
+// counter; equality of the pair is the cache-freshness test.
+struct AuthzGeneration {
+  long long catalog = 0;
+  long long schema = 0;
+
+  bool operator==(const AuthzGeneration&) const = default;
+};
+
+// Observability counters for the authorization pipeline. Snapshot of the
+// live atomics held by AuthzCache; all time figures are accumulated
+// wall-clock microseconds.
+struct AuthzStats {
+  long long retrieves = 0;           // full Retrieve calls
+  long long parallel_retrieves = 0;  // of which ran S and S' concurrently
+  long long prepared_hits = 0;
+  long long prepared_misses = 0;
+  long long mask_hits = 0;
+  long long mask_misses = 0;
+  long long invalidations = 0;       // entries dropped by generation change
+  long long meta_tuples_pruned = 0;  // hopeless + dangling tuples removed
+  long long mask_derivation_micros = 0;  // S' (meta-plan) wall time
+  long long data_eval_micros = 0;        // S (data-plan) wall time
+  long long mask_apply_micros = 0;       // step-5 masking wall time
+  long long total_micros = 0;            // whole-retrieve wall time
+
+  // Multi-line human-readable report (the REPL's \stats output).
+  std::string ToString() const;
+};
+
+class AuthzCache {
+ public:
+  AuthzCache() = default;
+  AuthzCache(const AuthzCache&) = delete;
+  AuthzCache& operator=(const AuthzCache&) = delete;
+
+  // Lookups return a copy (entries are shared across sessions) and count
+  // a hit or miss. An entry whose generation no longer matches is erased
+  // and counted as an invalidation plus a miss.
+  std::optional<MetaRelation> LookupPrepared(const std::string& key,
+                                             const AuthzGeneration& gen);
+  void StorePrepared(std::string key, const AuthzGeneration& gen,
+                     const MetaRelation& value);
+
+  std::optional<MetaRelation> LookupMask(const std::string& key,
+                                         const AuthzGeneration& gen);
+  void StoreMask(std::string key, const AuthzGeneration& gen,
+                 const MetaRelation& value);
+
+  // Drops every entry immediately (the engine routes permit/deny/view/
+  // DDL mutations here). The generation check alone already guarantees
+  // soundness for callers that mutate the catalog directly; the explicit
+  // drop reclaims memory eagerly and records the invalidation.
+  void Invalidate();
+
+  // --- Counters maintained by the authorizer --------------------------
+  void CountRetrieve(bool parallel);
+  void CountPruned(long long tuples);
+  void AddStageTimes(long long mask_micros, long long data_micros,
+                     long long apply_micros, long long total_micros);
+
+  AuthzStats Snapshot() const;
+  void ResetStats();
+
+ private:
+  struct Entry {
+    AuthzGeneration gen;
+    MetaRelation value;
+  };
+  // Erases stale-generation entries on contact; bounds map sizes.
+  std::optional<MetaRelation> Lookup(std::map<std::string, Entry>* entries,
+                                     const std::string& key,
+                                     const AuthzGeneration& gen,
+                                     std::atomic<long long>* hits,
+                                     std::atomic<long long>* misses);
+  void Store(std::map<std::string, Entry>* entries, std::string key,
+             const AuthzGeneration& gen, const MetaRelation& value);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> prepared_;
+  std::map<std::string, Entry> masks_;
+
+  std::atomic<long long> retrieves_{0};
+  std::atomic<long long> parallel_retrieves_{0};
+  std::atomic<long long> prepared_hits_{0};
+  std::atomic<long long> prepared_misses_{0};
+  std::atomic<long long> mask_hits_{0};
+  std::atomic<long long> mask_misses_{0};
+  std::atomic<long long> invalidations_{0};
+  std::atomic<long long> meta_tuples_pruned_{0};
+  std::atomic<long long> mask_derivation_micros_{0};
+  std::atomic<long long> data_eval_micros_{0};
+  std::atomic<long long> mask_apply_micros_{0};
+  std::atomic<long long> total_micros_{0};
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_AUTHZ_AUTHZ_CACHE_H_

@@ -238,6 +238,30 @@ ConjunctiveQuery ConjunctiveQuery::WithAllColumnsProjected() const {
   return wide;
 }
 
+std::string ConjunctiveQuery::CanonicalSignature() const {
+  std::ostringstream out;
+  for (const MembershipAtom& atom : atoms_) {
+    out << atom.relation << ":" << atom.occurrence << ";";
+  }
+  out << "|t:";
+  for (const ColumnRef& ref : targets_) {
+    out << FlatIndex(ref) << ",";
+  }
+  out << "|c:";
+  for (const CalculusCondition& c : conditions_) {
+    out << FlatIndex(c.lhs) << " " << ComparatorToString(c.op) << " ";
+    if (c.rhs_is_column) {
+      out << "#" << FlatIndex(c.rhs_column);
+    } else {
+      // Type-tagged so that int 5 and string "5" cannot collide.
+      out << ValueTypeToString(c.rhs_const.type()) << ":"
+          << c.rhs_const.ToDisplayString(false);
+    }
+    out << ";";
+  }
+  return out.str();
+}
+
 std::string ConjunctiveQuery::ToString() const {
   std::ostringstream out;
   out << name_ << ": atoms [";

@@ -116,6 +116,13 @@ class ConjunctiveQuery {
 
   std::string ToString() const;
 
+  // A canonical, name-independent signature: atoms in order, target flat
+  // indices, and conditions over flat indices with type-tagged constants.
+  // Two queries with equal signatures (over the same database scheme)
+  // run the identical S'/S pipeline, which is what lets the
+  // authorization cache key derived masks by (user, signature).
+  std::string CanonicalSignature() const;
+
  private:
   std::string name_;
   std::vector<MembershipAtom> atoms_;

@@ -1,0 +1,45 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace viewauth {
+
+ThreadPool::ThreadPool(int threads) {
+  workers_.reserve(static_cast<size_t>(std::max(1, threads)));
+  for (int i = 0; i < std::max(1, threads); ++i) {
+    workers_.emplace_back([this] { Worker(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Worker() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool([] {
+    unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<int>(std::clamp(hw, 2u, 8u));
+  }());
+  return pool;
+}
+
+}  // namespace viewauth

@@ -1,0 +1,64 @@
+// A small fixed-size thread pool used by the authorizer's parallel
+// meta-evaluation: the S' meta-plan and the S data plan run concurrently,
+// and per-relation meta pruning/self-join preparation fans out across
+// workers.
+//
+// Tasks submitted here must never block on other pool tasks' futures —
+// only caller (session) threads wait, so the pool cannot deadlock even
+// with a single worker: queued tasks always drain in submission order.
+
+#ifndef VIEWAUTH_COMMON_THREAD_POOL_H_
+#define VIEWAUTH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace viewauth {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Schedules `fn` for execution and returns the future of its result.
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+ private:
+  void Worker();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+// The process-wide pool shared by every engine and authorizer. Sized to
+// the hardware (between 2 and 8 workers); constructed on first use and
+// alive for the remainder of the process.
+ThreadPool& GlobalThreadPool();
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_COMMON_THREAD_POOL_H_

@@ -11,7 +11,8 @@ namespace viewauth {
 
 Engine::Engine() {
   catalog_ = std::make_unique<ViewCatalog>(&db_.schema());
-  authorizer_ = std::make_unique<Authorizer>(&db_, catalog_.get());
+  authorizer_ =
+      std::make_unique<Authorizer>(&db_, catalog_.get(), &authz_cache_);
 }
 
 Result<std::string> Engine::Execute(const std::string& statement_text) {
@@ -20,6 +21,14 @@ Result<std::string> Engine::Execute(const std::string& statement_text) {
 }
 
 Result<std::string> Engine::ExecuteParsed(const Statement& statement) {
+  // Retrieves run under the shared state lock, so concurrent sessions
+  // evaluate in parallel; every other statement may mutate engine state
+  // and takes the lock exclusively.
+  if (std::holds_alternative<RetrieveStmt>(statement)) {
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    return ExecuteRetrieve(std::get<RetrieveStmt>(statement));
+  }
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
   return std::visit(
       [this](const auto& stmt) -> Result<std::string> {
         using T = std::decay_t<decltype(stmt)>;
@@ -100,6 +109,7 @@ Result<std::string> Engine::ExplainRetrieve(
   if (retrieve == nullptr) {
     return Status::InvalidArgument("explain expects a retrieve statement");
   }
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
   const std::string& user =
       retrieve->as_user.empty() ? session_user_ : retrieve->as_user;
   VIEWAUTH_ASSIGN_OR_RETURN(
@@ -111,6 +121,7 @@ Result<std::string> Engine::ExplainRetrieve(
 }
 
 Result<std::string> Engine::DumpScript() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
   std::ostringstream out;
   // Schema.
   for (const std::string& name : db_.schema().relation_names()) {
@@ -190,6 +201,7 @@ Result<std::string> Engine::ExecuteRelation(const RelationStmt& stmt) {
       RelationSchema schema,
       RelationSchema::Make(stmt.name, std::move(attributes), std::move(key)));
   VIEWAUTH_RETURN_NOT_OK(db_.CreateRelation(std::move(schema)));
+  authz_cache_.Invalidate();
   return "created relation " + stmt.name;
 }
 
@@ -403,6 +415,7 @@ Result<std::string> Engine::ExecuteModify(const ModifyStmt& stmt) {
 Result<std::string> Engine::ExecuteDrop(const DropStmt& stmt) {
   if (stmt.is_view) {
     VIEWAUTH_RETURN_NOT_OK(catalog_->DropView(stmt.name));
+    authz_cache_.Invalidate();
     return "dropped view " + stmt.name;
   }
   // Restrict semantics: a relation referenced by any stored view cannot
@@ -419,20 +432,24 @@ Result<std::string> Engine::ExecuteDrop(const DropStmt& stmt) {
     }
   }
   VIEWAUTH_RETURN_NOT_OK(db_.DropRelation(stmt.name));
+  authz_cache_.Invalidate();
   return "dropped relation " + stmt.name;
 }
 
 Result<std::string> Engine::ExecuteMember(const MemberStmt& stmt) {
   if (stmt.remove) {
     VIEWAUTH_RETURN_NOT_OK(catalog_->RemoveMember(stmt.user, stmt.group));
+    authz_cache_.Invalidate();
     return "removed " + stmt.user + " from " + stmt.group;
   }
   VIEWAUTH_RETURN_NOT_OK(catalog_->AddMember(stmt.user, stmt.group));
+  authz_cache_.Invalidate();
   return "added " + stmt.user + " to " + stmt.group;
 }
 
 Result<std::string> Engine::ExecuteView(const ViewStmt& stmt) {
   VIEWAUTH_RETURN_NOT_OK(catalog_->DefineView(stmt));
+  authz_cache_.Invalidate();
   return "defined view " + stmt.name;
 }
 
@@ -457,6 +474,7 @@ AccessMode ToAccessMode(GrantMode mode) {
 Result<std::string> Engine::ExecutePermit(const PermitStmt& stmt) {
   VIEWAUTH_RETURN_NOT_OK(
       catalog_->Permit(stmt.view, stmt.user, ToAccessMode(stmt.mode)));
+  authz_cache_.Invalidate();
   std::string out = "permitted " + stmt.view + " to " + stmt.user;
   if (stmt.mode != GrantMode::kRetrieve) {
     out += " for " + std::string(GrantModeToString(stmt.mode));
@@ -467,6 +485,7 @@ Result<std::string> Engine::ExecutePermit(const PermitStmt& stmt) {
 Result<std::string> Engine::ExecuteDeny(const DenyStmt& stmt) {
   VIEWAUTH_RETURN_NOT_OK(
       catalog_->Deny(stmt.view, stmt.user, ToAccessMode(stmt.mode)));
+  authz_cache_.Invalidate();
   std::string out = "denied " + stmt.view + " to " + stmt.user;
   if (stmt.mode != GrantMode::kRetrieve) {
     out += " for " + std::string(GrantModeToString(stmt.mode));
@@ -546,6 +565,7 @@ Result<std::string> Engine::ExecuteRetrieve(const RetrieveStmt& stmt) {
   if (result.denied) {
     out << "permission denied: no permitted view covers this request";
     audit.outcome = AuditOutcome::kDenied;
+    std::lock_guard<std::mutex> guard(result_mutex_);
     audit_log_.Record(std::move(audit));
     last_result_ = std::move(result);
     return out.str();
@@ -568,6 +588,9 @@ Result<std::string> Engine::ExecuteRetrieve(const RetrieveStmt& stmt) {
   audit.affected = result.answer.size();
   audit.withheld = result.raw_answer.size() - result.answer.size();
   if (audit.withheld < 0) audit.withheld = 0;
+  // Retrieves hold the state lock shared, so concurrent sessions can
+  // reach this point together; the result mutex orders their updates.
+  std::lock_guard<std::mutex> guard(result_mutex_);
   audit_log_.Record(std::move(audit));
   last_result_ = std::move(result);
   return out.str();

@@ -14,9 +14,12 @@
 #define VIEWAUTH_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "authz/audit_log.h"
+#include "authz/authz_cache.h"
 #include "authz/authorizer.h"
 #include "common/result.h"
 #include "meta/view_store.h"
@@ -68,6 +71,11 @@ class Engine {
   const DatabaseInstance& db() const { return db_; }
   ViewCatalog& catalog() { return *catalog_; }
   const Authorizer& authorizer() const { return *authorizer_; }
+  // The mask-pipeline cache and its observability counters (the REPL's
+  // \stats command reads the snapshot).
+  AuthzCache& authz_cache() { return authz_cache_; }
+  AuthzStats authz_stats() const { return authz_cache_.Snapshot(); }
+  void ResetAuthzStats() { authz_cache_.ResetStats(); }
   // Every user-attributed decision (retrieves, guarded updates) lands in
   // the audit log; administrative statements do not.
   const AuditLog& audit_log() const { return audit_log_; }
@@ -87,11 +95,19 @@ class Engine {
 
   DatabaseInstance db_;
   std::unique_ptr<ViewCatalog> catalog_;
+  AuthzCache authz_cache_;
   std::unique_ptr<Authorizer> authorizer_;
   AuthorizationOptions options_;
   std::string session_user_ = "admin";
   std::optional<AuthorizationResult> last_result_;
   AuditLog audit_log_;
+  // Statement-level locking: retrieves (and explains/dumps) take the
+  // state lock shared, so concurrent sessions read in parallel; every
+  // mutating statement takes it exclusive. Mutable so const reads
+  // (DumpScript) can lock.
+  mutable std::shared_mutex state_mutex_;
+  // Serializes audit/last_result_ updates between concurrent retrieves.
+  std::mutex result_mutex_;
 };
 
 }  // namespace viewauth

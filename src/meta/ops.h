@@ -20,6 +20,7 @@
 #ifndef VIEWAUTH_META_OPS_H_
 #define VIEWAUTH_META_OPS_H_
 
+#include <atomic>
 #include <vector>
 
 #include "meta/meta_tuple.h"
@@ -29,13 +30,14 @@ namespace viewauth {
 
 // Allocates fresh variable ids for synthetic variables introduced by
 // base-mode selections. Ids start high to stay clear of catalog ids.
+// Atomic: the catalog's allocator is shared by concurrent sessions.
 class VarAllocator {
  public:
   explicit VarAllocator(VarId first = 1000000) : next_(first) {}
-  VarId Next() { return next_++; }
+  VarId Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
-  VarId next_;
+  std::atomic<VarId> next_;
 };
 
 struct MetaOpOptions {

@@ -76,7 +76,6 @@ Status ViewCatalog::DefineView(const ViewStmt& stmt) {
   groups_.emplace(stmt.name, std::move(keys));
   view_order_.push_back(stmt.name);
   ++catalog_version_;
-  derived_cache_.clear();
   return Status::OK();
 }
 
@@ -90,7 +89,6 @@ Status ViewCatalog::DefineView(std::string name,
   view_order_.push_back(name);
   CommitView(std::move(name), std::move(def));
   ++catalog_version_;
-  derived_cache_.clear();
   return Status::OK();
 }
 
@@ -322,7 +320,6 @@ Status ViewCatalog::DropView(std::string_view name) {
     return grant.view == name;
   });
   ++catalog_version_;
-  derived_cache_.clear();
   return Status::OK();
 }
 
@@ -349,7 +346,6 @@ Status ViewCatalog::Permit(std::string_view view, std::string_view user,
   if (IsPermitted(user, view, mode)) return Status::OK();  // idempotent
   permissions_.push_back(Grant{std::string(user), std::string(view), mode});
   ++catalog_version_;
-  derived_cache_.clear();
   return Status::OK();
 }
 
@@ -365,7 +361,6 @@ Status ViewCatalog::Deny(std::string_view view, std::string_view user,
   }
   permissions_.erase(it);
   ++catalog_version_;
-  derived_cache_.clear();
   return Status::OK();
 }
 
@@ -447,7 +442,6 @@ Status ViewCatalog::AddMember(std::string_view user,
   }
   group_members_[std::string(group)].insert(std::string(user));
   ++catalog_version_;
-  derived_cache_.clear();
   return Status::OK();
 }
 
@@ -462,7 +456,6 @@ Status ViewCatalog::RemoveMember(std::string_view user,
   }
   if (it->second.empty()) group_members_.erase(it);
   ++catalog_version_;
-  derived_cache_.clear();
   return Status::OK();
 }
 
@@ -471,21 +464,6 @@ bool ViewCatalog::IsMember(std::string_view user,
   auto it = group_members_.find(std::string(group));
   return it != group_members_.end() &&
          it->second.contains(std::string(user));
-}
-
-const MetaRelation* ViewCatalog::CachedMetaRelation(
-    const std::string& key) const {
-  auto it = derived_cache_.find(key);
-  return it == derived_cache_.end() ? nullptr : &it->second;
-}
-
-void ViewCatalog::StoreCachedMetaRelation(std::string key,
-                                          MetaRelation value) const {
-  // Bound the cache: authorization workloads touch few distinct
-  // (user, relation, options) combinations; a runaway key space would
-  // indicate synthetic churn, so just reset.
-  if (derived_cache_.size() > 256) derived_cache_.clear();
-  derived_cache_.emplace(std::move(key), std::move(value));
 }
 
 std::string ViewCatalog::VarName(VarId var) const {

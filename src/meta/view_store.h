@@ -162,15 +162,10 @@ class ViewCatalog {
     return group_members_;
   }
 
-  // --- Self-join cache ------------------------------------------------
-  // The paper: "self-joins need not be generated for every query; once
-  // generated, they should be stored with the original view definitions,
-  // until these definitions are modified." The authorizer caches its
-  // pruned-and-self-joined per-relation meta-relations here; any view or
-  // permission mutation invalidates every entry.
-  const MetaRelation* CachedMetaRelation(const std::string& key) const;
-  void StoreCachedMetaRelation(std::string key, MetaRelation value) const;
-  // Bumped on every mutation; part of cache keys built by callers.
+  // Bumped on every mutation (view definition/drop, permit, deny, group
+  // membership). The authorization cache (authz/authz_cache.h) folds it
+  // into its generation, so any catalog change invalidates every cached
+  // prepared meta-relation and mask.
   long long catalog_version() const { return catalog_version_; }
 
  private:
@@ -195,8 +190,6 @@ class ViewCatalog {
   // Group name -> members.
   std::map<std::string, std::set<std::string>, std::less<>> group_members_;
   long long catalog_version_ = 0;
-  // Cache of derived per-relation meta-relations; see CachedMetaRelation.
-  mutable std::map<std::string, MetaRelation> derived_cache_;
 };
 
 }  // namespace viewauth

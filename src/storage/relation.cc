@@ -4,6 +4,42 @@
 
 namespace viewauth {
 
+Relation::Relation(const Relation& other)
+    : schema_(other.schema_),
+      rows_(other.rows_),
+      index_(other.index_),
+      version_(other.version_) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  rows_ = other.rows_;
+  index_ = other.index_;
+  version_ = other.version_;
+  indexed_version_ = -1;
+  column_indexes_.clear();
+  ordered_indexes_.clear();
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      rows_(std::move(other.rows_)),
+      index_(std::move(other.index_)),
+      version_(other.version_) {}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  rows_ = std::move(other.rows_);
+  index_ = std::move(other.index_);
+  version_ = other.version_;
+  indexed_version_ = -1;
+  column_indexes_.clear();
+  ordered_indexes_.clear();
+  return *this;
+}
+
 Status Relation::ValidateTuple(const Tuple& tuple) const {
   if (tuple.arity() != schema_.arity()) {
     return Status::SchemaMismatch(
@@ -69,6 +105,11 @@ void Relation::Clear() {
 }
 
 const Relation::ColumnIndex& Relation::IndexOn(int column) const {
+  // Serialize lazy builds: concurrent read-only sessions may race to
+  // index the same relation. Map nodes are stable, so the returned
+  // reference stays valid after unlock as long as no mutation intervenes
+  // (mutations are externally excluded from readers).
+  std::lock_guard<std::mutex> lock(index_mutex_);
   if (indexed_version_ != version_) {
     column_indexes_.clear();
     ordered_indexes_.clear();
@@ -87,6 +128,7 @@ const Relation::ColumnIndex& Relation::IndexOn(int column) const {
 }
 
 const Relation::OrderedIndex& Relation::OrderedIndexOn(int column) const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
   if (indexed_version_ != version_) {
     column_indexes_.clear();
     ordered_indexes_.clear();
@@ -135,12 +177,14 @@ Status DatabaseInstance::CreateRelation(RelationSchema schema) {
   // passing schema.name() and std::move(schema) in one call would race.
   std::string name = schema.name();
   relations_.emplace(std::move(name), Relation(std::move(schema)));
+  ++ddl_version_;
   return Status::OK();
 }
 
 Status DatabaseInstance::DropRelation(std::string_view name) {
   VIEWAUTH_RETURN_NOT_OK(schema_.DropRelation(name));
   relations_.erase(relations_.find(name));
+  ++ddl_version_;
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #define VIEWAUTH_STORAGE_RELATION_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -21,6 +22,13 @@ class Relation {
  public:
   Relation() = default;
   explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  // Copies and moves transfer the data but not the lazily-built indexes
+  // (each copy rebuilds its own on demand, under its own lock).
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   const RelationSchema& schema() const { return schema_; }
 
@@ -49,7 +57,10 @@ class Relation {
 
   // A hash index over one column: value -> indices into rows(). Built
   // lazily on first use and rebuilt after mutations (cheap version
-  // check). Index lookups use strict Value equality, so callers must
+  // check). Building is mutex-guarded, so concurrent read-only sessions
+  // may share one relation; mutations must still be externally excluded
+  // from readers (the engine's statement locking provides this).
+  // Index lookups use strict Value equality, so callers must
   // coerce probe constants to the column's type (the engine's literal
   // coercion already guarantees this for stored data).
   using ColumnIndex = std::unordered_multimap<Value, int, ValueHash>;
@@ -73,8 +84,10 @@ class Relation {
   std::vector<Tuple> rows_;
   std::unordered_set<Tuple, TupleHash> index_;
   // Lazily-built per-column indexes, keyed by column; `version_` detects
-  // staleness after Insert/Erase/Clear.
+  // staleness after Insert/Erase/Clear. `index_mutex_` serializes builds
+  // from concurrent readers.
   long long version_ = 0;
+  mutable std::mutex index_mutex_;
   mutable long long indexed_version_ = -1;
   mutable std::map<int, ColumnIndex> column_indexes_;
   mutable std::map<int, OrderedIndex> ordered_indexes_;
@@ -99,9 +112,15 @@ class DatabaseInstance {
 
   const DatabaseSchema& schema() const { return schema_; }
 
+  // Bumped on every relation create/drop; the authorization cache folds
+  // it into its generation so DDL invalidates cached masks (data
+  // mutations deliberately do not bump it — masks are data-independent).
+  long long ddl_version() const { return ddl_version_; }
+
  private:
   DatabaseSchema schema_;
   std::map<std::string, Relation, std::less<>> relations_;
+  long long ddl_version_ = 0;
 };
 
 }  // namespace viewauth

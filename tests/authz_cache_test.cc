@@ -1,0 +1,253 @@
+// The authorization cache: hits on repeated queries, invalidation on
+// every entitlement-changing event (permit, deny, view drop/redefinition,
+// DDL), per-user isolation, and the generation-counter soundness argument
+// for callers that mutate the catalog directly (no engine involved).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "authz/authorizer.h"
+#include "authz/authz_cache.h"
+#include "engine/engine.h"
+#include "parser/parser.h"
+
+namespace viewauth {
+namespace {
+
+// An engine with the test schema loaded: EMPLOYEE(NAME key, SALARY) with
+// two rows, a NAME-only view granted to Brown.
+void SetupEngine(Engine* engine) {
+  auto out = engine->ExecuteScript(R"(
+    relation EMPLOYEE (NAME string key, SALARY int)
+    insert into EMPLOYEE values (Jones, 26000)
+    insert into EMPLOYEE values (Smith, 22000)
+    view NAMES (EMPLOYEE.NAME)
+    permit NAMES to Brown
+  )");
+  ASSERT_TRUE(out.ok()) << out.status();
+  engine->ResetAuthzStats();
+}
+
+constexpr const char* kQuery =
+    "retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY) as Brown";
+
+TEST(AuthzCacheTest, RepeatQueryHitsMaskCache) {
+  Engine engine;
+  SetupEngine(&engine);
+
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  AuthzStats stats = engine.authz_stats();
+  EXPECT_EQ(stats.retrieves, 1);
+  EXPECT_EQ(stats.mask_misses, 1);
+  EXPECT_EQ(stats.mask_hits, 0);
+  EXPECT_EQ(stats.prepared_misses, 1);
+
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  stats = engine.authz_stats();
+  EXPECT_EQ(stats.retrieves, 2);
+  EXPECT_EQ(stats.mask_misses, 1);
+  // The repeat is served from the mask cache, before the prepared layer
+  // is even consulted.
+  EXPECT_EQ(stats.mask_hits, 1);
+  EXPECT_EQ(stats.prepared_misses, 1);
+  EXPECT_EQ(stats.prepared_hits, 0);
+}
+
+TEST(AuthzCacheTest, PermitInvalidatesAndWidensDelivery) {
+  Engine engine;
+  SetupEngine(&engine);
+
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  ASSERT_NE(engine.last_result(), nullptr);
+  EXPECT_FALSE(engine.last_result()->full_access);
+
+  // A new grant must be visible immediately: the cached NAME-only mask
+  // may not be served again.
+  ASSERT_TRUE(engine
+                  .ExecuteScript("view ALL_E (EMPLOYEE.NAME, "
+                                 "EMPLOYEE.SALARY)\npermit ALL_E to Brown")
+                  .ok());
+  EXPECT_GE(engine.authz_stats().invalidations, 1);
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  EXPECT_TRUE(engine.last_result()->full_access);
+  EXPECT_EQ(engine.authz_stats().mask_hits, 0);
+  EXPECT_EQ(engine.authz_stats().mask_misses, 2);
+}
+
+TEST(AuthzCacheTest, DenyInvalidatesAndNarrowsDelivery) {
+  Engine engine;
+  SetupEngine(&engine);
+  ASSERT_TRUE(engine
+                  .ExecuteScript("view ALL_E (EMPLOYEE.NAME, "
+                                 "EMPLOYEE.SALARY)\npermit ALL_E to Brown")
+                  .ok());
+
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  EXPECT_TRUE(engine.last_result()->full_access);
+
+  ASSERT_TRUE(engine.Execute("deny ALL_E to Brown").ok());
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  // Back to the NAME-only view: the stale full-access mask was dropped.
+  EXPECT_FALSE(engine.last_result()->full_access);
+  EXPECT_FALSE(engine.last_result()->denied);
+}
+
+TEST(AuthzCacheTest, ViewRedefinitionInvalidates) {
+  Engine engine;
+  SetupEngine(&engine);
+
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  EXPECT_FALSE(engine.last_result()->full_access);
+
+  // Redefine NAMES to cover both columns; the regrant and new definition
+  // must take effect on the very next retrieve.
+  ASSERT_TRUE(engine.Execute("drop view NAMES").ok());
+  ASSERT_TRUE(engine
+                  .ExecuteScript("view NAMES (EMPLOYEE.NAME, "
+                                 "EMPLOYEE.SALARY)\npermit NAMES to Brown")
+                  .ok());
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  EXPECT_TRUE(engine.last_result()->full_access);
+}
+
+TEST(AuthzCacheTest, DdlInvalidates) {
+  Engine engine;
+  SetupEngine(&engine);
+
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  const long long before = engine.authz_stats().invalidations;
+  ASSERT_TRUE(
+      engine.Execute("relation DEPT (DNAME string key, HEAD string)").ok());
+  EXPECT_GT(engine.authz_stats().invalidations, before);
+  // The repeat after DDL re-derives.
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  EXPECT_EQ(engine.authz_stats().mask_hits, 0);
+  EXPECT_EQ(engine.authz_stats().mask_misses, 2);
+}
+
+TEST(AuthzCacheTest, PerUserIsolation) {
+  Engine engine;
+  SetupEngine(&engine);
+  ASSERT_TRUE(engine
+                  .ExecuteScript("view ALL_E (EMPLOYEE.NAME, "
+                                 "EMPLOYEE.SALARY)\npermit ALL_E to Klein")
+                  .ok());
+  engine.ResetAuthzStats();
+
+  // Same query text, different users: distinct cache entries, distinct
+  // masks.
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  EXPECT_FALSE(engine.last_result()->full_access);
+  ASSERT_TRUE(
+      engine.Execute("retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY) as Klein")
+          .ok());
+  EXPECT_TRUE(engine.last_result()->full_access);
+  AuthzStats stats = engine.authz_stats();
+  EXPECT_EQ(stats.mask_misses, 2);
+  EXPECT_EQ(stats.mask_hits, 0);
+
+  // Each user's repeat hits their own entry and keeps their own mask.
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  EXPECT_FALSE(engine.last_result()->full_access);
+  ASSERT_TRUE(
+      engine.Execute("retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY) as Klein")
+          .ok());
+  EXPECT_TRUE(engine.last_result()->full_access);
+  stats = engine.authz_stats();
+  EXPECT_EQ(stats.mask_misses, 2);
+  EXPECT_EQ(stats.mask_hits, 2);
+}
+
+TEST(AuthzCacheTest, StatsCountersAreConsistent) {
+  Engine engine;
+  SetupEngine(&engine);
+
+  constexpr int kRepeats = 5;
+  for (int i = 0; i < kRepeats; ++i) {
+    ASSERT_TRUE(engine.Execute(kQuery).ok());
+  }
+  const AuthzStats stats = engine.authz_stats();
+  EXPECT_EQ(stats.retrieves, kRepeats);
+  EXPECT_EQ(stats.parallel_retrieves, kRepeats);
+  EXPECT_EQ(stats.mask_hits + stats.mask_misses, kRepeats);
+  EXPECT_EQ(stats.mask_misses, 1);
+  EXPECT_GE(stats.total_micros, stats.mask_apply_micros);
+  EXPECT_FALSE(stats.ToString().empty());
+
+  engine.ResetAuthzStats();
+  const AuthzStats zeroed = engine.authz_stats();
+  EXPECT_EQ(zeroed.retrieves, 0);
+  EXPECT_EQ(zeroed.mask_hits, 0);
+  EXPECT_EQ(zeroed.total_micros, 0);
+}
+
+TEST(AuthzCacheTest, CacheDisabledOptionBypassesCache) {
+  Engine engine;
+  SetupEngine(&engine);
+  engine.options().enable_authz_cache = false;
+
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  ASSERT_TRUE(engine.Execute(kQuery).ok());
+  const AuthzStats stats = engine.authz_stats();
+  EXPECT_EQ(stats.retrieves, 2);
+  EXPECT_EQ(stats.mask_hits, 0);
+  EXPECT_EQ(stats.mask_misses, 0);
+  EXPECT_EQ(stats.prepared_hits, 0);
+  EXPECT_EQ(stats.prepared_misses, 0);
+}
+
+// The soundness backstop: callers that bypass the engine and mutate the
+// catalog (or schema) directly never see a stale entry, because every
+// entry is generation-checked at lookup.
+TEST(AuthzCacheTest, DirectCatalogMutationIsCaughtByGenerationCheck) {
+  DatabaseInstance db;
+  ASSERT_TRUE(db.CreateRelation(RelationSchema::Make(
+                                    "EMPLOYEE",
+                                    {{"NAME", ValueType::kString},
+                                     {"SALARY", ValueType::kInt64}},
+                                    {0})
+                                    .value())
+                  .ok());
+  ASSERT_TRUE(
+      db.Insert("EMPLOYEE",
+                Tuple({Value::String("Jones"), Value::Int64(26000)}))
+          .ok());
+  ViewCatalog catalog(&db.schema());
+  auto parse_view = [&](const std::string& text) {
+    auto stmt = ParseStatement(text);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    return std::get<ViewStmt>(*stmt);
+  };
+  ASSERT_TRUE(catalog.DefineView(parse_view("view NAMES (EMPLOYEE.NAME)"))
+                  .ok());
+  ASSERT_TRUE(catalog.Permit("NAMES", "Brown").ok());
+
+  AuthzCache cache;
+  Authorizer authorizer(&db, &catalog, &cache);
+  auto stmt = ParseStatement("retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)");
+  ASSERT_TRUE(stmt.ok());
+  auto query = ConjunctiveQuery::FromRetrieve(db.schema(),
+                                              std::get<RetrieveStmt>(*stmt));
+  ASSERT_TRUE(query.ok());
+
+  auto first = authorizer.Retrieve("Brown", *query);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->full_access);
+
+  // Direct catalog mutation — no engine, nobody calls Invalidate().
+  ASSERT_TRUE(catalog
+                  .DefineView(parse_view(
+                      "view ALL_E (EMPLOYEE.NAME, EMPLOYEE.SALARY)"))
+                  .ok());
+  ASSERT_TRUE(catalog.Permit("ALL_E", "Brown").ok());
+
+  auto second = authorizer.Retrieve("Brown", *query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->full_access);
+  // The stale entry was detected and dropped at lookup.
+  EXPECT_GE(cache.Snapshot().invalidations, 1);
+}
+
+}  // namespace
+}  // namespace viewauth

@@ -1,0 +1,322 @@
+// Differential soundness: the cached + parallel + optimized pipeline must
+// be observationally identical to a fresh canonical single-threaded run.
+//
+// Promoted from the EXP-S1 randomized campaign (bench/exp_fuzz_soundness)
+// into the test tier: hundreds of deterministic seeded scenarios — random
+// schemas, views, grants, queries, option combinations — each executed
+// through two independent authorizers:
+//   * the CANONICAL run: no cache, no parallelism, canonical data plan;
+//   * the FAST run: authorization cache + parallel meta-evaluation +
+//     optimized data plan, executed TWICE so the repeat is served from
+//     the cache.
+// Every observable — delivered answer, raw answer, mask (compared by
+// alpha-normalized structural keys), inferred permits (synthetic w-vars
+// normalized), denied/full-access flags — must agree across all three
+// executions.
+
+#include <algorithm>
+#include <random>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "authz/authorizer.h"
+#include "authz/authz_cache.h"
+#include "calculus/conjunctive_query.h"
+#include "meta/view_store.h"
+#include "parser/ast.h"
+#include "storage/relation.h"
+
+namespace viewauth {
+namespace {
+
+constexpr const char* kColumns[] = {"A", "B", "C", "D"};
+
+// Synthetic variables (base-mode selection conjoins) get fresh ids from
+// the catalog allocator; their numbering depends on execution history, so
+// permit texts are compared with every w-var collapsed.
+std::string NormalizeSyntheticVars(const std::string& text) {
+  static const std::regex kWVar("w[0-9]+");
+  return std::regex_replace(text, kWVar, "w#");
+}
+
+// Everything observable about one authorization, in comparable form.
+struct Observed {
+  bool denied = false;
+  bool full_access = false;
+  std::vector<Tuple> answer;
+  std::vector<Tuple> raw_answer;
+  std::vector<std::string> mask_keys;
+  std::vector<std::string> permits;
+
+  bool operator==(const Observed& other) const = default;
+};
+
+Observed Summarize(const AuthorizationResult& result) {
+  Observed o;
+  o.denied = result.denied;
+  o.full_access = result.full_access;
+  o.answer = result.answer.SortedRows();
+  o.raw_answer = result.raw_answer.SortedRows();
+  for (const MetaTuple& tuple : result.mask.tuples()) {
+    o.mask_keys.push_back(tuple.StructuralKey(/*include_provenance=*/false));
+  }
+  std::sort(o.mask_keys.begin(), o.mask_keys.end());
+  for (const InferredPermit& permit : result.permits) {
+    o.permits.push_back(NormalizeSyntheticVars(permit.ToString()));
+  }
+  std::sort(o.permits.begin(), o.permits.end());
+  return o;
+}
+
+// Runs one scenario through the canonical and fast pipelines over two
+// independently built (but identically defined) catalogs, and reports a
+// divergence via gtest on the caller's line.
+struct ScenarioSetup {
+  const DatabaseInstance* db;
+  ViewCatalog* canonical_catalog;
+  ViewCatalog* fast_catalog;
+};
+
+::testing::AssertionResult PipelinesAgree(const ScenarioSetup& setup,
+                                          const ConjunctiveQuery& query,
+                                          AuthorizationOptions options) {
+  AuthorizationOptions canonical_options = options;
+  canonical_options.enable_authz_cache = false;
+  canonical_options.use_meta_cache = false;
+  canonical_options.parallel_meta_evaluation = false;
+  canonical_options.use_optimized_data_plan = false;
+
+  AuthorizationOptions fast_options = options;
+  fast_options.enable_authz_cache = true;
+  fast_options.use_meta_cache = true;
+  fast_options.parallel_meta_evaluation = true;
+  fast_options.use_optimized_data_plan = true;
+
+  Authorizer canonical(setup.db, setup.canonical_catalog);
+  AuthzCache cache;
+  Authorizer fast(setup.db, setup.fast_catalog, &cache);
+
+  auto canonical_result = canonical.Retrieve("u", query, canonical_options);
+  auto cold = fast.Retrieve("u", query, fast_options);
+  auto warm = fast.Retrieve("u", query, fast_options);  // cache-served
+  if (!canonical_result.ok()) {
+    return ::testing::AssertionFailure()
+           << "canonical retrieve failed: " << canonical_result.status();
+  }
+  if (!cold.ok() || !warm.ok()) {
+    return ::testing::AssertionFailure()
+           << "fast retrieve failed: "
+           << (cold.ok() ? warm.status() : cold.status());
+  }
+  const AuthzStats stats = cache.Snapshot();
+  if (stats.mask_hits < 1) {
+    return ::testing::AssertionFailure()
+           << "repeat retrieve was not served from the mask cache";
+  }
+
+  const Observed expected = Summarize(*canonical_result);
+  const Observed cold_obs = Summarize(*cold);
+  const Observed warm_obs = Summarize(*warm);
+  auto describe = [&](const Observed& got, const char* label) {
+    return ::testing::AssertionFailure()
+           << label << " run diverged on query " << query.ToString()
+           << ": denied " << expected.denied << "/" << got.denied
+           << ", full_access " << expected.full_access << "/"
+           << got.full_access << ", answer rows " << expected.answer.size()
+           << "/" << got.answer.size() << ", mask tuples "
+           << expected.mask_keys.size() << "/" << got.mask_keys.size()
+           << ", permits " << expected.permits.size() << "/"
+           << got.permits.size();
+  };
+  if (!(cold_obs == expected)) return describe(cold_obs, "cold fast");
+  if (!(warm_obs == expected)) return describe(warm_obs, "warm (cached) fast");
+  return ::testing::AssertionSuccess();
+}
+
+TEST(DifferentialSoundness, SingleRelationScenarios) {
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<int> val(0, 7);
+  std::uniform_int_distribution<int> rows(1, 14);
+  std::uniform_int_distribution<int> col(0, 3);
+  std::uniform_int_distribution<int> ncond(0, 2);
+  std::uniform_int_distribution<int> nviews(1, 4);
+  std::uniform_int_distribution<int> opd(0, 5);
+
+  int executed = 0;
+  for (int scenario = 0; scenario < 260; ++scenario) {
+    DatabaseInstance db;
+    ASSERT_TRUE(db.CreateRelation(RelationSchema::Make(
+                                      "R",
+                                      {{"A", ValueType::kInt64},
+                                       {"B", ValueType::kInt64},
+                                       {"C", ValueType::kInt64},
+                                       {"D", ValueType::kInt64}})
+                                      .value())
+                    .ok());
+    for (int i = rows(rng); i > 0; --i) {
+      (void)db.Insert("R", Tuple({Value::Int64(val(rng)),
+                                  Value::Int64(val(rng)),
+                                  Value::Int64(val(rng)),
+                                  Value::Int64(val(rng))}));
+    }
+
+    // Random views; both catalogs get the identical definition sequence
+    // so their variable ids line up.
+    ViewCatalog canonical_catalog(&db.schema());
+    ViewCatalog fast_catalog(&db.schema());
+    const int view_count = nviews(rng);
+    for (int v = 0; v < view_count; ++v) {
+      std::set<int> view_targets;
+      while (view_targets.empty()) {
+        for (int c = 0; c < 4; ++c) {
+          if (rng() % 2 == 0) view_targets.insert(c);
+        }
+      }
+      std::vector<AttributeRef> targets;
+      for (int c : view_targets) {
+        targets.push_back(AttributeRef{"R", 1, kColumns[c]});
+      }
+      std::vector<Condition> conditions;
+      for (int i = ncond(rng); i > 0; --i) {
+        Condition cond;
+        cond.lhs = AttributeRef{"R", 1, kColumns[col(rng)]};
+        cond.op = static_cast<Comparator>(opd(rng));
+        cond.rhs = ConditionOperand::Const(Value::Int64(val(rng)));
+        conditions.push_back(std::move(cond));
+      }
+      std::string name = "V" + std::to_string(v);
+      auto view =
+          ConjunctiveQuery::Build(db.schema(), name, targets, conditions);
+      if (!view.ok()) continue;
+      if (!canonical_catalog.DefineView(name, *view).ok()) continue;
+      ASSERT_TRUE(fast_catalog.DefineView(name, *view).ok());
+      ASSERT_TRUE(canonical_catalog.Permit(name, "u").ok());
+      ASSERT_TRUE(fast_catalog.Permit(name, "u").ok());
+    }
+
+    // Random query.
+    std::set<int> target_set;
+    while (target_set.empty()) {
+      for (int c = 0; c < 4; ++c) {
+        if (rng() % 2 == 0) target_set.insert(c);
+      }
+    }
+    std::vector<AttributeRef> targets;
+    for (int c : target_set) {
+      targets.push_back(AttributeRef{"R", 1, kColumns[c]});
+    }
+    std::vector<Condition> conditions;
+    for (int i = ncond(rng); i > 0; --i) {
+      Condition cond;
+      cond.lhs = AttributeRef{"R", 1, kColumns[col(rng)]};
+      cond.op = static_cast<Comparator>(opd(rng));
+      cond.rhs = ConditionOperand::Const(Value::Int64(val(rng)));
+      conditions.push_back(std::move(cond));
+    }
+    auto query = ConjunctiveQuery::Build(db.schema(), "q", targets,
+                                         conditions);
+    if (!query.ok()) continue;
+
+    AuthorizationOptions options;
+    options.four_case = rng() % 2 == 0;
+    options.padding = rng() % 2 == 0;
+    options.subsumption = rng() % 2 == 0;
+    options.extended_masks = rng() % 2 == 0;
+
+    ScenarioSetup setup{&db, &canonical_catalog, &fast_catalog};
+    EXPECT_TRUE(PipelinesAgree(setup, *query, options))
+        << "scenario " << scenario;
+    ++executed;
+    if (HasFailure()) break;  // one divergence is enough detail
+  }
+  // The promoted tier's contract: at least 200 executed comparisons.
+  EXPECT_GE(executed, 200);
+}
+
+TEST(DifferentialSoundness, TwoRelationJoinScenarios) {
+  std::mt19937 rng(8062026);
+  std::uniform_int_distribution<int> val(0, 7);
+  std::uniform_int_distribution<int> rows(1, 14);
+
+  int executed = 0;
+  for (int scenario = 0; scenario < 120; ++scenario) {
+    DatabaseInstance db;
+    ASSERT_TRUE(db.CreateRelation(RelationSchema::Make(
+                                      "R1",
+                                      {{"K", ValueType::kInt64},
+                                       {"A", ValueType::kInt64}},
+                                      {0})
+                                      .value())
+                    .ok());
+    ASSERT_TRUE(db.CreateRelation(RelationSchema::Make(
+                                      "R2",
+                                      {{"K", ValueType::kInt64},
+                                       {"B", ValueType::kInt64}},
+                                      {0})
+                                      .value())
+                    .ok());
+    std::set<int64_t> keys;
+    for (int i = rows(rng); i > 0; --i) keys.insert(val(rng));
+    for (int64_t k : keys) {
+      (void)db.Insert("R1", Tuple({Value::Int64(k), Value::Int64(val(rng))}));
+      if (rng() % 4 != 0) {
+        (void)db.Insert("R2",
+                        Tuple({Value::Int64(k), Value::Int64(val(rng))}));
+      }
+    }
+
+    const int64_t view_lo = val(rng);
+    auto make_join_query = [&](const std::string& name, int64_t lo) {
+      std::vector<AttributeRef> targets{AttributeRef{"R1", 1, "K"},
+                                        AttributeRef{"R1", 1, "A"},
+                                        AttributeRef{"R2", 1, "B"}};
+      std::vector<Condition> conditions;
+      Condition join;
+      join.lhs = AttributeRef{"R1", 1, "K"};
+      join.op = Comparator::kEq;
+      join.rhs = ConditionOperand::Attr(AttributeRef{"R2", 1, "K"});
+      conditions.push_back(join);
+      Condition range;
+      range.lhs = AttributeRef{"R1", 1, "A"};
+      range.op = Comparator::kGe;
+      range.rhs = ConditionOperand::Const(Value::Int64(lo));
+      conditions.push_back(range);
+      return ConjunctiveQuery::Build(db.schema(), name, targets, conditions);
+    };
+
+    ViewCatalog canonical_catalog(&db.schema());
+    ViewCatalog fast_catalog(&db.schema());
+    auto view = make_join_query("VJ", view_lo);
+    ASSERT_TRUE(view.ok());
+    if (!canonical_catalog.DefineView("VJ", *view).ok()) continue;
+    ASSERT_TRUE(fast_catalog.DefineView("VJ", *view).ok());
+    ASSERT_TRUE(canonical_catalog.Permit("VJ", "u").ok());
+    ASSERT_TRUE(fast_catalog.Permit("VJ", "u").ok());
+
+    auto query = make_join_query("q", view_lo + (rng() % 3));
+    ASSERT_TRUE(query.ok());
+
+    AuthorizationOptions options;
+    options.four_case = rng() % 2 == 0;
+    options.padding = rng() % 2 == 0;
+    options.subsumption = rng() % 2 == 0;
+    options.extended_masks = rng() % 2 == 0;
+    // Self-joins exercised here: multi-relation queries take the
+    // parallel per-relation preparation path.
+    options.self_joins = rng() % 2 == 0;
+
+    ScenarioSetup setup{&db, &canonical_catalog, &fast_catalog};
+    EXPECT_TRUE(PipelinesAgree(setup, *query, options))
+        << "join scenario " << scenario;
+    ++executed;
+    if (HasFailure()) break;
+  }
+  EXPECT_GE(executed, 100);
+}
+
+}  // namespace
+}  // namespace viewauth

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full pre-merge check: the regular build + tests, then the whole suite
+# again under ThreadSanitizer to catch data races in the concurrent
+# retrieve/mutation paths (engine locking, authorization cache, thread
+# pool).
+#
+# Usage: tools/check.sh [extra ctest args...]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier 1: regular build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS" "$@"
+
+echo
+echo "== tier 2: ThreadSanitizer build + ctest =="
+cmake -B build-tsan -S . -DVIEWAUTH_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" "$@"
+
+echo
+echo "all checks passed"
