@@ -26,6 +26,10 @@ void PrintHelp() {
                "retrieve/\n"
                "                         delete/modify/drop/member/"
                "unmember\n"
+               "  analyze                lint the catalog: dead permits, "
+               "shadowed\n"
+               "                         denies, schema drift, coverage "
+               "gaps\n"
                "  user <name>            switch session user (now used for "
                "retrieves)\n"
                "  dump                   print a script reproducing the "
@@ -36,7 +40,8 @@ void PrintHelp() {
                "self_joins,\n"
                "                         subsumption, extended_masks, "
                "cache,\n"
-               "                         parallel\n"
+               "                         parallel, analyze (warn on "
+               "permit/deny)\n"
                "  stats (or \\stats)      show cache/pipeline statistics\n"
                "  stats reset            zero the statistics counters\n"
                "  help, quit\n";
@@ -51,6 +56,7 @@ void PrintOptions(const AuthorizationOptions& options) {
             << " extended_masks=" << onoff(options.extended_masks)
             << " cache=" << onoff(options.enable_authz_cache)
             << " parallel=" << onoff(options.parallel_meta_evaluation)
+            << " analyze=" << onoff(options.analyze_grants)
             << "\n";
 }
 
@@ -138,6 +144,7 @@ int main() {
         else if (parts[0] == "extended_masks") o.extended_masks = on;
         else if (parts[0] == "cache") o.enable_authz_cache = on;
         else if (parts[0] == "parallel") o.parallel_meta_evaluation = on;
+        else if (parts[0] == "analyze") o.analyze_grants = on;
         else std::cout << "unknown option '" << parts[0] << "'\n";
         PrintOptions(o);
       } else {

@@ -1,0 +1,85 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace viewauth {
+
+std::string_view SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream out;
+  out << SeverityToString(severity) << ": [" << check << "] " << location
+      << ": " << message;
+  return out.str();
+}
+
+void AnalysisReport::Add(Severity severity, std::string check,
+                         std::string location, std::string message) {
+  diagnostics_.push_back(Diagnostic{severity, std::move(check),
+                                    std::move(location), std::move(message)});
+}
+
+int AnalysisReport::CountOf(Severity severity) const {
+  return static_cast<int>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [severity](const Diagnostic& d) {
+                      return d.severity == severity;
+                    }));
+}
+
+std::string AnalysisReport::SummaryLine() const {
+  if (diagnostics_.empty()) return "catalog analysis: no findings";
+  std::vector<std::string> parts;
+  auto count_part = [&](Severity s, std::string_view noun) {
+    int n = CountOf(s);
+    if (n == 0) return;
+    std::string part = std::to_string(n) + " " + std::string(noun);
+    if (n != 1) part += "s";
+    parts.push_back(std::move(part));
+  };
+  count_part(Severity::kError, "error");
+  count_part(Severity::kWarning, "warning");
+  count_part(Severity::kNote, "note");
+  return "catalog analysis: " + Join(parts, ", ");
+}
+
+std::string AnalysisReport::ToString(bool include_coverage) const {
+  std::ostringstream out;
+  // Stable most-severe-first ordering for display.
+  std::vector<const Diagnostic*> ordered;
+  ordered.reserve(diagnostics_.size());
+  for (const Diagnostic& d : diagnostics_) ordered.push_back(&d);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return static_cast<int>(a->severity) >
+                            static_cast<int>(b->severity);
+                   });
+  for (const Diagnostic* d : ordered) {
+    out << d->ToString() << "\n";
+  }
+  if (include_coverage && !coverage_.empty()) {
+    out << "projection coverage (user x relation -> reachable columns):\n";
+    for (const CoverageEntry& entry : coverage_) {
+      out << "  " << entry.user << " x " << entry.relation << " -> "
+          << (entry.columns.empty() ? "(none)" : Join(entry.columns, ", "))
+          << "\n";
+    }
+  }
+  out << SummaryLine();
+  return out.str();
+}
+
+}  // namespace viewauth

@@ -1,0 +1,87 @@
+// Structured diagnostics for the static authorization-catalog analyzer.
+//
+// A Diagnostic is one finding: a severity, a stable check identifier, a
+// catalog location (the entity the finding is anchored to — a view, a
+// grant, a relation), and a human-readable message. An AnalysisReport
+// collects the findings of one analyzer run plus the per-user projection
+// coverage map, and renders both.
+//
+// Severities follow compiler convention: errors are findings that make a
+// catalog entry ineffective or unsound in intent (a permit that grants
+// nothing, a deny whose effect is still granted, a view over a dropped
+// relation); warnings are redundancies and suspicious-but-harmless
+// states; notes are informational (coverage gaps).
+
+#ifndef VIEWAUTH_ANALYSIS_DIAGNOSTIC_H_
+#define VIEWAUTH_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace viewauth {
+
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+
+std::string_view SeverityToString(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kNote;
+  // Stable check identifier: "unsat-view", "subsumed-permit",
+  // "shadowed-deny", "coverage-gap", "vacuous-comparison",
+  // "schema-drift".
+  std::string check;
+  // The catalog location the finding anchors to, rendered in the
+  // surface language ("view ELP", "permit SAE to Brown",
+  // "relation EMPLOYEE").
+  std::string location;
+  std::string message;
+
+  bool operator==(const Diagnostic&) const = default;
+
+  // "error: [unsat-view] view BAD: ...".
+  std::string ToString() const;
+};
+
+// One row of the projection-coverage report: the columns of `relation`
+// that `user` can actually receive under some permitted view. An empty
+// column list means the user can name the relation (a permitted view is
+// defined over it) but never sees any of its values.
+struct CoverageEntry {
+  std::string user;
+  std::string relation;
+  std::vector<std::string> columns;
+};
+
+class AnalysisReport {
+ public:
+  std::vector<Diagnostic>& diagnostics() { return diagnostics_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  std::vector<CoverageEntry>& coverage() { return coverage_; }
+  const std::vector<CoverageEntry>& coverage() const { return coverage_; }
+
+  void Add(Severity severity, std::string check, std::string location,
+           std::string message);
+
+  int CountOf(Severity severity) const;
+  int errors() const { return CountOf(Severity::kError); }
+  int warnings() const { return CountOf(Severity::kWarning); }
+  bool HasErrors() const { return errors() > 0; }
+  bool HasFindings() const { return !diagnostics_.empty(); }
+
+  // Findings ordered most-severe-first (stable within a severity),
+  // followed by the coverage table when requested, followed by a
+  // one-line summary ("catalog analysis: 2 errors, 1 warning" or
+  // "catalog analysis: no findings").
+  std::string ToString(bool include_coverage = false) const;
+  std::string SummaryLine() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::vector<CoverageEntry> coverage_;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_ANALYSIS_DIAGNOSTIC_H_

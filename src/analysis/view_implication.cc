@@ -1,0 +1,119 @@
+#include "analysis/view_implication.h"
+
+#include <map>
+
+namespace viewauth {
+
+PositionView PositionViewOf(const ViewDefinition& def) {
+  PositionView out;
+  out.relations = def.tuple_relations;
+
+  // First pass over the cells: declare position types, pin constants,
+  // star projections, and record where each view variable lives.
+  std::map<VarId, std::vector<int>> positions_of_var;
+  int position = 0;
+  for (size_t a = 0; a < def.tuples.size(); ++a) {
+    const MetaTuple& tuple = def.tuples[a];
+    const RelationSchema& schema =
+        def.query.atom_schema(static_cast<int>(a));
+    for (int i = 0; i < tuple.arity(); ++i, ++position) {
+      const MetaCell& cell = tuple.cells()[static_cast<size_t>(i)];
+      out.constraints.DeclareTermType(position, schema.attribute(i).type);
+      if (cell.projected) out.projected.insert(position);
+      switch (cell.kind) {
+        case CellKind::kBlank:
+          break;
+        case CellKind::kConst:
+          out.constraints.AddTermConst(position, Comparator::kEq,
+                                       cell.constant);
+          break;
+        case CellKind::kVar:
+          positions_of_var[cell.var].push_back(position);
+          break;
+      }
+    }
+  }
+
+  // Shared variables equate their positions.
+  for (const auto& [var, positions] : positions_of_var) {
+    (void)var;
+    for (size_t i = 1; i < positions.size(); ++i) {
+      out.constraints.AddTermTerm(positions[0], Comparator::kEq,
+                                  positions[i]);
+    }
+  }
+
+  // Rewrite the view's comparison store from variables to positions. The
+  // canonical export collapses solver-derived consequences, so the
+  // rewritten set is equivalent to the stored one.
+  if (def.tuples.empty()) return out;
+  const ConstraintSet& store = def.tuples.front().constraints();
+  auto position_of = [&](VarId var) -> int {
+    auto it = positions_of_var.find(var);
+    if (it == positions_of_var.end()) return -1;
+    return it->second.front();
+  };
+  for (const ConstraintAtom& atom : store.ExportAtoms()) {
+    int lhs = position_of(atom.lhs);
+    if (lhs < 0) {
+      out.well_formed = false;  // vacuous comparison: unbound variable
+      continue;
+    }
+    if (atom.rhs_is_term) {
+      int rhs = position_of(atom.rhs_term);
+      if (rhs < 0) {
+        out.well_formed = false;
+        continue;
+      }
+      out.constraints.AddTermTerm(lhs, atom.op, rhs);
+    } else {
+      out.constraints.AddTermConst(lhs, atom.op, atom.rhs_const);
+    }
+  }
+  return out;
+}
+
+bool BranchImplied(const PositionView& specific,
+                   const PositionView& general) {
+  if (!specific.well_formed || !general.well_formed) return false;
+  if (specific.relations != general.relations) return false;
+  // Projection containment: every delivered position of the narrow view
+  // is delivered by the broad one.
+  for (int position : specific.projected) {
+    if (!general.projected.contains(position)) return false;
+  }
+  // Selection implication: every row the narrow view selects, the broad
+  // view selects. Unsatisfiable specifics are vacuously implied (and
+  // flagged separately by the unsat-view check).
+  return specific.constraints.ImpliesAll(general.constraints) ==
+         Truth::kTrue;
+}
+
+bool BranchImplied(const ViewDefinition& specific,
+                   const ViewDefinition& general) {
+  return BranchImplied(PositionViewOf(specific), PositionViewOf(general));
+}
+
+bool ViewSubsumes(const std::vector<const ViewDefinition*>& general,
+                  const std::vector<const ViewDefinition*>& specific) {
+  if (specific.empty() || general.empty()) return false;
+  std::vector<PositionView> general_positions;
+  general_positions.reserve(general.size());
+  for (const ViewDefinition* def : general) {
+    general_positions.push_back(PositionViewOf(*def));
+  }
+  for (const ViewDefinition* narrow : specific) {
+    PositionView narrow_position = PositionViewOf(*narrow);
+    bool covered = false;
+    for (const PositionView& broad : general_positions) {
+      if (BranchImplied(narrow_position, broad)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace viewauth

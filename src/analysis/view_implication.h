@@ -1,0 +1,70 @@
+// Implication between compiled view definitions over projected schemes.
+//
+// The paper's Section 4.2 machinery decides implication between a query
+// selection and one meta-tuple's predicate. The catalog analyzer needs
+// the same question one level up: does one *stored view* deliver
+// everything another does? That is conjunctive-query containment
+// restricted to views with the same membership-atom structure, and it
+// reduces to the ConstraintSet decision procedures once both views'
+// predicates are expressed over a shared vocabulary:
+//
+//   * every flat product column (position) of the view's atoms becomes a
+//     term;
+//   * a constant cell pins its position; a variable shared between cells
+//     equates its positions; the view's COMPARISON store is rewritten
+//     from view variables to positions;
+//   * the projection is the set of starred positions.
+//
+// `specific` is then contained in `general` exactly when the atom
+// structures agree, the specific projection is a subset of the general
+// one, and the specific position-constraints imply the general ones
+// (every row specific selects, general also selects). The check is
+// sound: kUnknown implications count as "not implied", so the analyzer
+// only ever reports redundancies it can prove.
+
+#ifndef VIEWAUTH_ANALYSIS_VIEW_IMPLICATION_H_
+#define VIEWAUTH_ANALYSIS_VIEW_IMPLICATION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "meta/view_store.h"
+#include "predicate/constraint.h"
+
+namespace viewauth {
+
+// A view branch's grant, re-expressed over position terms.
+struct PositionView {
+  // The branch's selection predicate over terms 0..N-1 (flat product
+  // columns of its atoms, in atom order).
+  ConstraintSet constraints;
+  // Starred (delivered) positions.
+  std::set<int> projected;
+  // Relation name of each atom, in order (the scheme signature two
+  // branches must share to be comparable positionally).
+  std::vector<std::string> relations;
+  // False when some constraint variable is bound by no cell (a vacuous
+  // comparison); such a branch is excluded from implication reasoning
+  // because its predicate cannot be faithfully re-expressed.
+  bool well_formed = true;
+};
+
+// Re-expresses a compiled branch over position terms.
+PositionView PositionViewOf(const ViewDefinition& def);
+
+// Does `general` deliver everything `specific` does? Sound; false on
+// structural mismatch, unprovable implication, or ill-formed input.
+bool BranchImplied(const PositionView& specific, const PositionView& general);
+bool BranchImplied(const ViewDefinition& specific,
+                   const ViewDefinition& general);
+
+// Grant-level subsumption: every branch of `specific` is implied by some
+// branch of `general` (branches of a disjunctive view are independent
+// entitlements, so per-branch cover suffices).
+bool ViewSubsumes(const std::vector<const ViewDefinition*>& general,
+                  const std::vector<const ViewDefinition*>& specific);
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_ANALYSIS_VIEW_IMPLICATION_H_

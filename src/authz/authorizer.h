@@ -68,6 +68,12 @@ struct AuthorizationOptions {
   // Evaluate the S' meta-plan and the S data plan concurrently, and fan
   // per-relation meta preparation out across the shared thread pool.
   bool parallel_meta_evaluation = true;
+  // Run the static catalog analyzer (src/analysis) after every permit and
+  // deny and append any finding anchored to the touched grant to the
+  // statement's output — e.g. a permit that is subsumed the moment it is
+  // issued, or a deny whose effect a group grant still re-grants. Off by
+  // default; the REPL exposes it as `set analyze on`.
+  bool analyze_grants = false;
 };
 
 // A trace of the mask-derivation pipeline, for EXPLAIN-style output and

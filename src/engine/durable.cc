@@ -9,7 +9,8 @@ namespace viewauth {
 namespace {
 
 bool IsMutating(const Statement& stmt) {
-  return !std::holds_alternative<RetrieveStmt>(stmt);
+  return !std::holds_alternative<RetrieveStmt>(stmt) &&
+         !std::holds_alternative<AnalyzeStmt>(stmt);
 }
 
 }  // namespace

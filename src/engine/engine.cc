@@ -28,6 +28,10 @@ Result<std::string> Engine::ExecuteParsed(const Statement& statement) {
     std::shared_lock<std::shared_mutex> lock(state_mutex_);
     return ExecuteRetrieve(std::get<RetrieveStmt>(statement));
   }
+  if (std::holds_alternative<AnalyzeStmt>(statement)) {
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    return ExecuteAnalyze(std::get<AnalyzeStmt>(statement));
+  }
   std::unique_lock<std::shared_mutex> lock(state_mutex_);
   return std::visit(
       [this](const auto& stmt) -> Result<std::string> {
@@ -50,6 +54,8 @@ Result<std::string> Engine::ExecuteParsed(const Statement& statement) {
           return ExecuteDrop(stmt);
         } else if constexpr (std::is_same_v<T, MemberStmt>) {
           return ExecuteMember(stmt);
+        } else if constexpr (std::is_same_v<T, AnalyzeStmt>) {
+          return ExecuteAnalyze(stmt);
         } else {
           return ExecuteRetrieve(stmt);
         }
@@ -479,6 +485,7 @@ Result<std::string> Engine::ExecutePermit(const PermitStmt& stmt) {
   if (stmt.mode != GrantMode::kRetrieve) {
     out += " for " + std::string(GrantModeToString(stmt.mode));
   }
+  out += GrantAnalysisNotes(stmt.view, stmt.user);
   return out;
 }
 
@@ -489,6 +496,33 @@ Result<std::string> Engine::ExecuteDeny(const DenyStmt& stmt) {
   std::string out = "denied " + stmt.view + " to " + stmt.user;
   if (stmt.mode != GrantMode::kRetrieve) {
     out += " for " + std::string(GrantModeToString(stmt.mode));
+  }
+  out += GrantAnalysisNotes(stmt.view, stmt.user);
+  return out;
+}
+
+Result<std::string> Engine::ExecuteAnalyze(const AnalyzeStmt& stmt) {
+  (void)stmt;
+  return AnalyzeCatalogLocked().ToString(/*include_coverage=*/true);
+}
+
+AnalysisReport Engine::AnalyzeCatalog(const AnalysisOptions& options) const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return AnalyzeCatalogLocked(options);
+}
+
+AnalysisReport Engine::AnalyzeCatalogLocked(
+    const AnalysisOptions& options) const {
+  return CatalogAnalyzer(catalog_.get()).Analyze(options);
+}
+
+std::string Engine::GrantAnalysisNotes(const std::string& view,
+                                       const std::string& user) const {
+  if (!options_.analyze_grants) return {};
+  CatalogAnalyzer analyzer(catalog_.get());
+  std::string out;
+  for (const Diagnostic& diagnostic : analyzer.AnalyzeGrant(view, user)) {
+    out += "\n" + diagnostic.ToString();
   }
   return out;
 }

@@ -18,6 +18,7 @@
 #include <shared_mutex>
 #include <string>
 
+#include "analysis/catalog_analyzer.h"
 #include "authz/audit_log.h"
 #include "authz/authz_cache.h"
 #include "authz/authorizer.h"
@@ -62,6 +63,12 @@ class Engine {
   // restores an equivalent state.
   Result<std::string> DumpScript() const;
 
+  // Runs the static catalog analyzer (src/analysis) over the current
+  // views, grants, group memberships and recorded denies. Read-only;
+  // takes the state lock shared. The surface-language `analyze`
+  // statement and the viewauth_lint tool both go through here.
+  AnalysisReport AnalyzeCatalog(const AnalysisOptions& options = {}) const;
+
   // Structured access to the most recent retrieve's result.
   const AuthorizationResult* last_result() const {
     return last_result_ ? &*last_result_ : nullptr;
@@ -92,6 +99,14 @@ class Engine {
   Result<std::string> ExecuteModify(const ModifyStmt& stmt);
   Result<std::string> ExecuteDrop(const DropStmt& stmt);
   Result<std::string> ExecuteMember(const MemberStmt& stmt);
+  Result<std::string> ExecuteAnalyze(const AnalyzeStmt& stmt);
+  // AnalyzeCatalog without taking the state lock, for callers that
+  // already hold it (ExecuteParsed branches).
+  AnalysisReport AnalyzeCatalogLocked(const AnalysisOptions& options = {}) const;
+  // When options_.analyze_grants is set, the analyzer findings anchored
+  // to (view, user) rendered as report lines; empty otherwise.
+  std::string GrantAnalysisNotes(const std::string& view,
+                                 const std::string& user) const;
 
   DatabaseInstance db_;
   std::unique_ptr<ViewCatalog> catalog_;

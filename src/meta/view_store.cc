@@ -319,6 +319,9 @@ Status ViewCatalog::DropView(std::string_view name) {
   std::erase_if(permissions_, [&name](const Grant& grant) {
     return grant.view == name;
   });
+  std::erase_if(revocations_, [&name](const Grant& grant) {
+    return grant.view == name;
+  });
   ++catalog_version_;
   return Status::OK();
 }
@@ -343,8 +346,11 @@ Status ViewCatalog::Permit(std::string_view view, std::string_view user,
     return Status::NotFound("view '" + std::string(view) +
                             "' does not exist");
   }
+  const Grant grant{std::string(user), std::string(view), mode};
+  // Re-granting supersedes an earlier deny of the same grant.
+  if (std::erase(revocations_, grant) > 0) ++catalog_version_;
   if (IsPermitted(user, view, mode)) return Status::OK();  // idempotent
-  permissions_.push_back(Grant{std::string(user), std::string(view), mode});
+  permissions_.push_back(grant);
   ++catalog_version_;
   return Status::OK();
 }
@@ -359,7 +365,12 @@ Status ViewCatalog::Deny(std::string_view view, std::string_view user,
                             std::string(AccessModeToString(mode)) +
                             " permit for view '" + std::string(view) + "'");
   }
+  const Grant revoked = *it;
   permissions_.erase(it);
+  if (std::find(revocations_.begin(), revocations_.end(), revoked) ==
+      revocations_.end()) {
+    revocations_.push_back(revoked);
+  }
   ++catalog_version_;
   return Status::OK();
 }

@@ -150,6 +150,14 @@ class ViewCatalog {
   // Every grant, in grant order (used by persistence and audits).
   const std::vector<Grant>& grants() const { return permissions_; }
 
+  // A recorded deny: the administrator revoked this exact grant and has
+  // not re-issued it since. The static analyzer (src/analysis) uses the
+  // record to detect shadowed denies — revocations whose effect is still
+  // re-granted by a group grant or by a broader permitted view. A later
+  // Permit of the same (user, view, mode) clears the record; dropping
+  // the view clears its records.
+  const std::vector<Grant>& revocations() const { return revocations_; }
+
   // --- Group membership -------------------------------------------------
   // Views may be permitted to groups; a user holds a grant when it names
   // the user directly or a group the user belongs to. Groups are flat
@@ -183,6 +191,8 @@ class ViewCatalog {
   std::vector<std::string> view_order_;
   // Grants in grant order.
   std::vector<Grant> permissions_;
+  // Revoked grants that were not re-issued (see revocations()).
+  std::vector<Grant> revocations_;
   VarId next_var_ = 1;
   AtomId next_atom_ = 1;
   std::map<AtomId, AtomInfo> atom_info_;

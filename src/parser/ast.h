@@ -176,9 +176,15 @@ struct DropStmt {
   std::string ToString() const;
 };
 
+// analyze — run the static catalog analyzer (src/analysis) and print its
+// report. Read-only with respect to both data and catalog.
+struct AnalyzeStmt {
+  std::string ToString() const;
+};
+
 using Statement = std::variant<RelationStmt, InsertStmt, ViewStmt, PermitStmt,
                                DenyStmt, RetrieveStmt, DeleteStmt,
-                               ModifyStmt, DropStmt, MemberStmt>;
+                               ModifyStmt, DropStmt, MemberStmt, AnalyzeStmt>;
 
 std::string StatementToString(const Statement& stmt);
 

@@ -18,9 +18,9 @@ bool IsKeyword(const Token& token, std::string_view keyword) {
 
 bool IsStatementStart(const Token& token) {
   static constexpr std::string_view kStarts[] = {
-      "relation", "insert", "view",     "permit", "deny",
-      "modify",   "drop",   "retrieve", "delete", "member",
-      "unmember"};
+      "relation", "insert",   "view",   "permit",  "deny",
+      "modify",   "drop",     "retrieve", "delete", "member",
+      "unmember", "analyze"};
   for (std::string_view kw : kStarts) {
     if (IsKeyword(token, kw)) return true;
   }
@@ -106,6 +106,10 @@ class ParserImpl {
     if (IsKeyword(t, "drop")) return ParseDrop();
     if (IsKeyword(t, "member")) return ParseMember(false);
     if (IsKeyword(t, "unmember")) return ParseMember(true);
+    if (IsKeyword(t, "analyze")) {
+      Advance();  // analyze
+      return Statement{AnalyzeStmt{}};
+    }
     return Error("expected a statement keyword, found " + t.Describe());
   }
 

@@ -478,6 +478,90 @@ const ConstraintSet::Solved& ConstraintSet::Normalized() const {
 
 bool ConstraintSet::IsSatisfiable() const { return !Normalized().unsat; }
 
+Truth ConstraintSet::DeepCheckSatisfiable(long long limit) const {
+  const Solved& s = Normalized();
+  if (s.unsat) return Truth::kFalse;
+  std::vector<TermId> terms = MentionedTerms();
+  if (terms.empty()) return Truth::kTrue;
+
+  // Group the mentioned terms into solver classes; enumeration assigns
+  // one value per class (equalities are sound, so every model agrees
+  // within a class).
+  std::map<TermId, std::vector<TermId>> classes;
+  for (TermId t : terms) classes[s.FindConst(t)].push_back(t);
+
+  struct ClassDomain {
+    std::vector<TermId> members;
+    std::vector<Value> values;
+  };
+  std::vector<ClassDomain> domains;
+  long long combinations = 1;
+  for (auto& [root, members] : classes) {
+    ClassDomain domain;
+    domain.members = members;
+    auto pin = s.pin.find(root);
+    if (pin != s.pin.end()) {
+      domain.values.push_back(pin->second);
+      domains.push_back(std::move(domain));
+      continue;
+    }
+    // Without a pin, a finite domain requires an all-integer class with
+    // both bounds derived. (The derived bounds are necessary conditions,
+    // so every model lies inside them.)
+    for (TermId member : members) {
+      auto type = term_types_.find(member);
+      if (type == term_types_.end() || type->second != ValueType::kInt64) {
+        return Truth::kUnknown;
+      }
+    }
+    auto lo = s.lower.find(root);
+    auto up = s.upper.find(root);
+    if (lo == s.lower.end() || !lo->second.value.has_value() ||
+        up == s.upper.end() || !up->second.value.has_value() ||
+        !lo->second.value->is_numeric() || !up->second.value->is_numeric()) {
+      return Truth::kUnknown;
+    }
+    // Integer tightening normally leaves closed Int64 bounds; re-derive
+    // the closed endpoints defensively for strict or fractional ones.
+    double lo_raw = lo->second.value->AsDouble();
+    double hi_raw = up->second.value->AsDouble();
+    int64_t lo_int = static_cast<int64_t>(std::ceil(lo_raw));
+    if (lo->second.strict && lo_int == static_cast<int64_t>(lo_raw)) ++lo_int;
+    int64_t hi_int = static_cast<int64_t>(std::floor(hi_raw));
+    if (up->second.strict && hi_int == static_cast<int64_t>(hi_raw)) --hi_int;
+    if (lo_int > hi_int) return Truth::kFalse;
+    long long width = hi_int - lo_int + 1;
+    if (width > limit || combinations > limit / width) {
+      return Truth::kUnknown;
+    }
+    combinations *= width;
+    for (int64_t v = lo_int; v <= hi_int; ++v) {
+      domain.values.push_back(Value::Int64(v));
+    }
+    domains.push_back(std::move(domain));
+  }
+
+  // Odometer over the class domains, testing the source atoms directly.
+  std::vector<size_t> index(domains.size(), 0);
+  std::map<TermId, Value> assignment;
+  while (true) {
+    for (size_t i = 0; i < domains.size(); ++i) {
+      for (TermId member : domains[i].members) {
+        assignment[member] = domains[i].values[index[i]];
+      }
+    }
+    if (Satisfied(assignment)) return Truth::kTrue;
+    size_t pos = 0;
+    while (pos < domains.size() &&
+           ++index[pos] == domains[pos].values.size()) {
+      index[pos] = 0;
+      ++pos;
+    }
+    if (pos == domains.size()) break;
+  }
+  return Truth::kFalse;
+}
+
 Truth ConstraintSet::Implies(const ConstraintAtom& atom) const {
   const Solved& s = Normalized();
   if (s.unsat) return Truth::kTrue;  // vacuous

@@ -100,6 +100,19 @@ class ConstraintSet {
 
   bool IsSatisfiable() const;
 
+  // A deeper, analyzer-grade satisfiability check. IsSatisfiable() is
+  // sound but incomplete on integer domains: pigeonhole consequences of
+  // pairwise disequalities (three integer terms confined to a two-value
+  // range, say) escape the bound-propagation procedure. This variant
+  // additionally enumerates total assignments when every mentioned term
+  // lies in an integer class with finite derived bounds, proving such
+  // sets unsatisfiable. `limit` caps the number of candidate
+  // assignments; beyond it (or with unbounded/non-integer terms) the
+  // answer is kUnknown. kFalse: proven unsatisfiable. kTrue: a model
+  // exists. Too slow for the per-query masking path; used by the static
+  // catalog analyzer (src/analysis), where thoroughness beats latency.
+  Truth DeepCheckSatisfiable(long long limit = 100000) const;
+
   // Does this set entail `atom`? kTrue: every model satisfies it.
   // kFalse: no model satisfies it (the atom contradicts the set).
   // kUnknown: neither is provable.

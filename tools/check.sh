@@ -1,27 +1,95 @@
 #!/usr/bin/env bash
-# Full pre-merge check: the regular build + tests, then the whole suite
-# again under ThreadSanitizer to catch data races in the concurrent
-# retrieve/mutation paths (engine locking, authorization cache, thread
-# pool).
+# The single pre-merge gate. Runs, in order:
+#
+#   1. configure + build with warnings-as-errors (and the compile
+#      database for clang-tidy)
+#   2. the regular test suite (differential tier excluded)
+#   3. the differential-soundness tier (slow, randomized)
+#   4. clang-tidy via tools/lint.sh (SKIPPED when not installed)
+#   5. the full suite under ThreadSanitizer
+#   6. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
+#
+# Prints a summary table and exits nonzero if any step failed.
 #
 # Usage: tools/check.sh [extra ctest args...]
+#   VIEWAUTH_CHECK_SKIP_SANITIZERS=1 skips steps 5-6 (quick local runs).
 
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== tier 1: regular build + ctest =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS" "$@"
+STEP_NAMES=()
+STEP_RESULTS=()
+FAILED=0
+
+run_step() {
+  local name="$1"
+  shift
+  echo
+  echo "== ${name} =="
+  local status=0
+  "$@" || status=$?
+  STEP_NAMES+=("$name")
+  if [ "$status" -eq 0 ]; then
+    STEP_RESULTS+=("PASS")
+  else
+    STEP_RESULTS+=("FAIL")
+    FAILED=1
+  fi
+  return 0
+}
+
+configure_and_build() {
+  cmake -B build -S . -DVIEWAUTH_WERROR=ON >/dev/null &&
+    cmake --build build -j "$JOBS"
+}
+
+run_step "build (Werror)" configure_and_build
+
+if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
+  run_step "unit tests" \
+    ctest --test-dir build --output-on-failure -j "$JOBS" \
+      -E Differential "$@"
+  run_step "differential soundness" \
+    ctest --test-dir build --output-on-failure -j "$JOBS" \
+      -R Differential "$@"
+  run_step "clang-tidy" tools/lint.sh build
+else
+  echo "build failed; skipping test and lint steps"
+fi
+
+if [ "${VIEWAUTH_CHECK_SKIP_SANITIZERS:-0}" != "1" ]; then
+  tsan_tier() {
+    cmake -B build-tsan -S . -DVIEWAUTH_WERROR=ON \
+      -DVIEWAUTH_SANITIZE=thread >/dev/null &&
+      cmake --build build-tsan -j "$JOBS" &&
+      TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+        ctest --test-dir build-tsan --output-on-failure -j "$JOBS" "$@"
+  }
+  asan_tier() {
+    cmake -B build-asan -S . -DVIEWAUTH_WERROR=ON \
+      -DVIEWAUTH_SANITIZE=address,undefined >/dev/null &&
+      cmake --build build-asan -j "$JOBS" &&
+      ASAN_OPTIONS="halt_on_error=1:detect_leaks=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
+        UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
+        ctest --test-dir build-asan --output-on-failure -j "$JOBS" "$@"
+  }
+  run_step "thread sanitizer" tsan_tier "$@"
+  run_step "address+ub sanitizer" asan_tier "$@"
+else
+  echo
+  echo "(sanitizer tiers skipped: VIEWAUTH_CHECK_SKIP_SANITIZERS=1)"
+fi
 
 echo
-echo "== tier 2: ThreadSanitizer build + ctest =="
-cmake -B build-tsan -S . -DVIEWAUTH_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS"
-TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
-  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" "$@"
+echo "== summary =="
+for i in "${!STEP_NAMES[@]}"; do
+  printf '  %-24s %s\n' "${STEP_NAMES[$i]}" "${STEP_RESULTS[$i]}"
+done
 
-echo
+if [ "$FAILED" -ne 0 ]; then
+  echo "some checks FAILED"
+  exit 1
+fi
 echo "all checks passed"

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# clang-tidy over the project sources, driven by the CMake compile
+# database. Usage:
+#
+#   tools/lint.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build and must have been configured (the root
+# CMakeLists exports compile_commands.json unconditionally). Exits 0 with
+# a SKIPPED notice when clang-tidy is not installed, so the check.sh gate
+# stays runnable on minimal toolchains; exits nonzero on any finding
+# (.clang-tidy sets WarningsAsErrors: '*').
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  echo "lint: SKIPPED (clang-tidy not installed)"
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "lint: no compile database at $BUILD_DIR/compile_commands.json" >&2
+  echo "lint: configure first: cmake -B $BUILD_DIR -S $ROOT" >&2
+  exit 2
+fi
+
+# Project sources only: src/ and tools/ (tests and benches are out of
+# lint scope — see .clang-tidy).
+mapfile -t FILES < <(find "$ROOT/src" "$ROOT/tools" \
+    -name '*.cc' -o -name '*.cpp' | sort)
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "lint: no sources found" >&2
+  exit 2
+fi
+
+echo "lint: clang-tidy over ${#FILES[@]} files"
+STATUS=0
+"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}" || STATUS=$?
+if [ "$STATUS" -eq 0 ]; then
+  echo "lint: clean"
+else
+  echo "lint: findings reported (exit $STATUS)" >&2
+fi
+exit "$STATUS"

@@ -1,0 +1,112 @@
+// viewauth_lint: static analyzer over authorization catalogs.
+//
+// Loads one or more catalogs — durable statement logs or DumpScript
+// output, i.e. plain-text surface-language scripts — replays each into a
+// fresh engine (data statements included, so schema drops replay
+// faithfully), runs the catalog analyzer, and prints its report.
+//
+// Usage:
+//   viewauth_lint [--strict] [--no-coverage] [--quiet] CATALOG...
+//   viewauth_lint < catalog.script
+//
+//   --strict       exit nonzero on warnings too, not just errors
+//   --no-coverage  omit the projection-coverage table
+//   --quiet        print only the per-catalog summary line
+//
+// Exit status: 0 when every catalog is clean (of errors; of warnings too
+// under --strict), 1 when some finding crosses the threshold, 2 when a
+// catalog fails to load.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/catalog_analyzer.h"
+#include "engine/engine.h"
+
+namespace {
+
+using viewauth::AnalysisOptions;
+using viewauth::AnalysisReport;
+using viewauth::Engine;
+
+int RunOne(const std::string& label, const std::string& script,
+           const AnalysisOptions& options, bool strict, bool quiet,
+           bool show_coverage) {
+  Engine engine;
+  auto loaded = engine.ExecuteScript(script);
+  if (!loaded.ok()) {
+    std::cerr << label << ": failed to load catalog: " << loaded.status()
+              << "\n";
+    return 2;
+  }
+  AnalysisReport report = engine.AnalyzeCatalog(options);
+  if (quiet) {
+    std::cout << label << ": " << report.SummaryLine() << "\n";
+  } else {
+    std::cout << label << ":\n" << report.ToString(show_coverage) << "\n";
+  }
+  const bool failed =
+      report.HasErrors() || (strict && report.warnings() > 0);
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  bool quiet = false;
+  bool show_coverage = true;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--no-coverage") {
+      show_coverage = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: viewauth_lint [--strict] [--no-coverage] "
+                   "[--quiet] CATALOG...\n"
+                   "reads stdin when no catalog path is given\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  AnalysisOptions options;
+  options.include_coverage = show_coverage;
+
+  int exit_code = 0;
+  auto fold = [&exit_code](int code) {
+    // Load failures dominate; otherwise any finding beats clean.
+    exit_code = std::max(exit_code, code);
+  };
+
+  if (paths.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    fold(RunOne("<stdin>", buffer.str(), options, strict, quiet,
+                show_coverage));
+    return exit_code;
+  }
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << path << ": cannot open\n";
+      fold(2);
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    fold(RunOne(path, buffer.str(), options, strict, quiet, show_coverage));
+  }
+  return exit_code;
+}
