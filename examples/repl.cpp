@@ -1,19 +1,28 @@
 // Interactive REPL over the viewauth engine: type statements, see masked
 // results. Starts with the paper's Figure 1 database loaded.
 //
-// Usage:   ./build/examples/repl
+// Usage:   ./build/examples/repl [STATE.log]
+//   With a log path the session is durable: mutations are framed,
+//   checksummed and fsynced to STATE.log, and the log is opened in
+//   salvage mode (a torn tail from a crash is truncated and reported,
+//   not fatal). A fresh log is seeded with the paper's database.
+//
 //   > user Brown                        -- switch the session user
 //   > retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)
 //   > permit SAE to Klein               -- administration works too
 //   > dump                              -- print the persistence script
+//   > compact                           -- rewrite the log (durable only)
+//   > stats                             -- cache + durability statistics
 //   > options                           -- show refinement switches
 //   > set extended_masks on
 //   > quit
 
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/str_util.h"
+#include "engine/durable.h"
 #include "engine/engine.h"
 
 using namespace viewauth;
@@ -42,8 +51,11 @@ void PrintHelp() {
                "cache,\n"
                "                         parallel, analyze (warn on "
                "permit/deny)\n"
-               "  stats (or \\stats)      show cache/pipeline statistics\n"
+               "  stats (or \\stats)      show cache/pipeline/durability "
+               "statistics\n"
                "  stats reset            zero the statistics counters\n"
+               "  compact                rewrite the statement log "
+               "(durable sessions)\n"
                "  help, quit\n";
 }
 
@@ -60,11 +72,7 @@ void PrintOptions(const AuthorizationOptions& options) {
             << "\n";
 }
 
-}  // namespace
-
-int main() {
-  Engine engine;
-  auto setup = engine.ExecuteScript(R"(
+constexpr const char* kPaperSetup = R"(
     relation EMPLOYEE (NAME string key, TITLE string, SALARY int)
     relation PROJECT (NUMBER string key, SPONSOR string, BUDGET int)
     relation ASSIGNMENT (E_NAME string key, P_NO string key)
@@ -94,13 +102,63 @@ int main() {
     permit EST to Brown
     permit ELP to Klein
     permit EST to Klein
-  )");
-  if (!setup.ok()) {
-    std::cerr << setup.status() << "\n";
-    return 1;
+  )";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2 || (argc == 2 && (std::string(argv[1]) == "--help" ||
+                                 std::string(argv[1]) == "-h"))) {
+    std::cout << "usage: repl [STATE.log]\n";
+    return argc > 2 ? 1 : 0;
   }
-  std::cout << "viewauth repl — the paper's database is loaded "
-               "(users: Brown, Klein).\nType 'help' for commands.\n";
+
+  // With a log path the session is durable: every mutation is framed,
+  // checksummed and fsynced before it is acknowledged. Salvage mode so a
+  // torn tail from a crash truncates (with a report) rather than refusing
+  // to start.
+  std::unique_ptr<DurableEngine> durable;
+  Engine fallback;
+  if (argc == 2) {
+    DurableOptions options;
+    options.recovery = RecoveryMode::kSalvage;
+    auto opened = DurableEngine::Open(argv[1], options);
+    if (!opened.ok()) {
+      std::cerr << "repl: " << opened.status() << "\n";
+      return 1;
+    }
+    durable = std::move(*opened);
+    const RecoveryReport& report = durable->recovery_report();
+    if (report.salvaged) {
+      std::cerr << "repl: salvaged '" << argv[1]
+                << "': " << report.ToString() << "\n";
+    }
+    bool seeded = false;
+    if (report.records_replayed == 0 &&
+        durable->engine().db().schema().relation_names().empty()) {
+      auto result = durable->ExecuteScript(kPaperSetup);
+      if (!result.ok()) {
+        std::cerr << "repl: seeding paper database: " << result.status()
+                  << "\n";
+        return 1;
+      }
+      seeded = true;
+    }
+    std::cout << "viewauth repl — durable log '" << argv[1] << "' ("
+              << LogFormatToString(durable->format()) << ", "
+              << report.records_replayed << " records replayed"
+              << (seeded ? ", seeded with the paper's database" : "")
+              << ").\nType 'help' for commands.\n";
+  } else {
+    auto setup = fallback.ExecuteScript(kPaperSetup);
+    if (!setup.ok()) {
+      std::cerr << setup.status() << "\n";
+      return 1;
+    }
+    std::cout << "viewauth repl — the paper's database is loaded "
+                 "(users: Brown, Klein).\nType 'help' for commands.\n";
+  }
+  Engine& engine = durable ? durable->engine() : fallback;
   engine.SetSessionUser("Brown");
 
   std::string line;
@@ -123,6 +181,19 @@ int main() {
       std::cout << engine.audit_log().ToString(20);
     } else if (trimmed == "stats" || trimmed == "\\stats") {
       std::cout << engine.authz_stats().ToString();
+      if (durable) std::cout << durable->stats().ToString();
+    } else if (trimmed == "compact") {
+      if (!durable) {
+        std::cout << "compact: no durable log (start with: repl STATE.log)\n";
+      } else {
+        Status compacted = durable->Compact();
+        if (compacted.ok()) {
+          std::cout << "log compacted (" << durable->stats().log_bytes
+                    << " bytes)\n";
+        } else {
+          std::cout << compacted << "\n";
+        }
+      }
     } else if (trimmed == "stats reset") {
       engine.ResetAuthzStats();
       std::cout << "statistics reset\n";
@@ -151,7 +222,7 @@ int main() {
         std::cout << "usage: set <option> on|off\n";
       }
     } else {
-      auto out = engine.Execute(line);
+      auto out = durable ? durable->Execute(line) : engine.Execute(line);
       if (out.ok()) {
         if (!out->empty()) std::cout << *out << "\n";
       } else {

@@ -1,12 +1,15 @@
 // viewauth_cli: batch front-end over the engine.
 //
 // Usage:
-//   viewauth_cli [--db STATE.log] [SCRIPT...]
+//   viewauth_cli [--db STATE.log] [--salvage] [SCRIPT...]
 //
 // Executes each SCRIPT file in order (falling back to stdin when none is
 // given) and prints the statements' outputs. With --db, state persists in
 // a durable statement log: rerunning the tool against the same log
-// continues where the last run left off.
+// continues where the last run left off. --salvage opens the log in
+// salvage recovery mode, truncating a torn or corrupt tail (e.g. after a
+// crash) instead of refusing to open; anything dropped is reported on
+// stderr.
 //
 // Example:
 //   viewauth_cli --db company.log setup.va
@@ -35,6 +38,7 @@ int Fail(const Status& status) {
 
 int main(int argc, char** argv) {
   std::string db_path;
+  bool salvage = false;
   std::vector<std::string> scripts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -44,8 +48,11 @@ int main(int argc, char** argv) {
         return 1;
       }
       db_path = argv[++i];
+    } else if (arg == "--salvage") {
+      salvage = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: viewauth_cli [--db STATE.log] [SCRIPT...]\n";
+      std::cout
+          << "usage: viewauth_cli [--db STATE.log] [--salvage] [SCRIPT...]\n";
       return 0;
     } else {
       scripts.push_back(std::move(arg));
@@ -73,8 +80,15 @@ int main(int argc, char** argv) {
   }
 
   if (!db_path.empty()) {
-    auto durable = DurableEngine::Open(db_path);
+    DurableOptions options;
+    options.recovery =
+        salvage ? RecoveryMode::kSalvage : RecoveryMode::kStrict;
+    auto durable = DurableEngine::Open(db_path, options);
     if (!durable.ok()) return Fail(durable.status());
+    if ((*durable)->recovery_report().salvaged) {
+      std::cerr << "viewauth_cli: salvaged '" << db_path << "': "
+                << (*durable)->recovery_report().ToString() << "\n";
+    }
     // Statement-at-a-time so each output prints as it happens; the
     // parser splits the program for us.
     auto statements = ParseProgram(input);

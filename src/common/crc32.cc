@@ -1,0 +1,33 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace viewauth {
+
+namespace {
+
+constexpr std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::string_view data) {
+  crc = ~crc;
+  for (unsigned char byte : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace viewauth

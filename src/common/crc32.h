@@ -1,0 +1,26 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320): the checksum used
+// to frame statement-log records. Both a one-shot helper and an
+// incremental form are provided; feeding a buffer in pieces through
+// Crc32Update yields exactly the one-shot value.
+
+#ifndef VIEWAUTH_COMMON_CRC32_H_
+#define VIEWAUTH_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace viewauth {
+
+// Extends a running checksum with `data`. Start from kCrc32Init and the
+// final value is the standard CRC32 of the concatenated input.
+inline constexpr uint32_t kCrc32Init = 0;
+uint32_t Crc32Update(uint32_t crc, std::string_view data);
+
+// One-shot CRC32 of `data` ("123456789" -> 0xCBF43926).
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32Update(kCrc32Init, data);
+}
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_COMMON_CRC32_H_

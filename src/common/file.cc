@@ -1,0 +1,268 @@
+#include "common/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace viewauth {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+
+// The directory that contains `path` ("." when the path has no slash).
+std::string DirectoryOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal(ErrnoMessage("open directory '" + dir + "'"));
+  }
+  Status status;
+  if (::fsync(fd) != 0) {
+    status = Status::Internal(ErrnoMessage("fsync directory '" + dir + "'"));
+  }
+  ::close(fd);
+  return status;
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) {
+      return Status::Internal("append to closed file '" + path_ + "'");
+    }
+    while (!data.empty()) {
+      ssize_t n = ::write(fd_, data.data(), data.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(ErrnoMessage("write '" + path_ + "'"));
+      }
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }  // write() is unbuffered
+
+  Status Sync() override {
+    if (fd_ < 0) {
+      return Status::Internal("fsync of closed file '" + path_ + "'");
+    }
+    if (::fsync(fd_) != 0) {
+      return Status::Internal(ErrnoMessage("fsync '" + path_ + "'"));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::Internal(ErrnoMessage("close '" + path_ + "'"));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override {
+    int flags = O_WRONLY | O_CREAT |
+                (mode == WriteMode::kAppend ? O_APPEND : O_TRUNC);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Status::Internal(ErrnoMessage("open '" + path + "' for write"));
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("file '" + path + "' does not exist");
+      }
+      return Status::Internal(ErrnoMessage("open '" + path + "' for read"));
+    }
+    std::string contents;
+    char buffer[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status status =
+            Status::Internal(ErrnoMessage("read '" + path + "'"));
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      contents.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return contents;
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::Internal(
+          ErrnoMessage("rename '" + from + "' to '" + to + "'"));
+    }
+    return SyncDirectory(DirectoryOf(to));
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("file '" + path + "' does not exist");
+      }
+      return Status::Internal(ErrnoMessage("unlink '" + path + "'"));
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Status::Internal(ErrnoMessage("truncate '" + path + "'"));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+FileSystem* FileSystem::Default() {
+  static PosixFileSystem* const fs = new PosixFileSystem();
+  return fs;
+}
+
+// Applies the shared crash budget to one file's appends. At namespace
+// scope (not anonymous) so the friend declaration in file.h applies.
+class FaultInjectingFile : public WritableFile {
+ public:
+  FaultInjectingFile(std::unique_ptr<WritableFile> base,
+                     FaultInjectingFileSystem* fs)
+      : base_(std::move(base)), fs_(fs) {}
+
+  Status Append(std::string_view data) override {
+    if (fs_->crashed_) return fs_->CrashedStatus();
+    if (fs_->crash_after_bytes_ >= 0) {
+      uint64_t budget = static_cast<uint64_t>(fs_->crash_after_bytes_);
+      uint64_t remaining =
+          budget > fs_->bytes_written_ ? budget - fs_->bytes_written_ : 0;
+      if (data.size() > remaining) {
+        // Torn write: the prefix reaches the disk, then the "machine"
+        // dies.
+        Status ignored = base_->Append(data.substr(0, remaining));
+        (void)ignored;
+        fs_->bytes_written_ += remaining;
+        fs_->crashed_ = true;
+        return Status::Internal(
+            "injected crash: write torn after " +
+            std::to_string(remaining) + " of " +
+            std::to_string(data.size()) + " bytes");
+      }
+    }
+    VIEWAUTH_RETURN_NOT_OK(base_->Append(data));
+    fs_->bytes_written_ += data.size();
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (fs_->crashed_) return fs_->CrashedStatus();
+    return base_->Flush();
+  }
+
+  Status Sync() override {
+    if (fs_->crashed_) return fs_->CrashedStatus();
+    if (fs_->fail_next_sync_) {
+      fs_->fail_next_sync_ = false;
+      return Status::Internal("injected fsync failure");
+    }
+    ++fs_->sync_count_;
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectingFileSystem* fs_;
+};
+
+Status FaultInjectingFileSystem::CrashedStatus() const {
+  return Status::Internal("injected crash: filesystem is down");
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFileSystem::NewWritableFile(
+    const std::string& path, WriteMode mode) {
+  if (crashed_) return CrashedStatus();
+  VIEWAUTH_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                            base_->NewWritableFile(path, mode));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectingFile>(std::move(base), this));
+}
+
+Result<std::string> FaultInjectingFileSystem::ReadFileToString(
+    const std::string& path) {
+  if (crashed_) return CrashedStatus();
+  return base_->ReadFileToString(path);
+}
+
+bool FaultInjectingFileSystem::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingFileSystem::RenameFile(const std::string& from,
+                                            const std::string& to) {
+  if (crashed_) return CrashedStatus();
+  if (fail_next_rename_) {
+    fail_next_rename_ = false;
+    return Status::Internal("injected rename failure");
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingFileSystem::RemoveFile(const std::string& path) {
+  if (crashed_) return CrashedStatus();
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingFileSystem::TruncateFile(const std::string& path,
+                                              uint64_t size) {
+  if (crashed_) return CrashedStatus();
+  return base_->TruncateFile(path, size);
+}
+
+}  // namespace viewauth

@@ -1,0 +1,128 @@
+// A minimal injectable file layer, in the LevelDB/RocksDB Env idiom.
+//
+// Durable components (the statement log) perform all I/O through the
+// FileSystem interface instead of <fstream>, so that tests can substitute
+// a FaultInjectingFileSystem and exercise short writes, fsync failures,
+// and hard crash cut-offs deterministically. The real implementation
+// (FileSystem::Default()) is a thin POSIX wrapper that supports the three
+// primitives crash-safety is built from:
+//
+//   * append + fsync        -- make a record durable before acking it
+//   * atomic rename         -- replace a file with a fully written copy
+//   * directory fsync       -- make the rename itself durable
+//
+// The fault-injecting wrapper models a process/machine crash as a global
+// budget of appended bytes: once the budget is exhausted the write is
+// truncated mid-record and every subsequent operation fails, exactly as
+// if the process had died. Reopening the same path with the real
+// filesystem then simulates the post-crash restart.
+
+#ifndef VIEWAUTH_COMMON_FILE_H_
+#define VIEWAUTH_COMMON_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace viewauth {
+
+// A sequentially writable file. Not thread-safe.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  // Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  // Pushes buffered data to the OS (no-op for unbuffered implementations).
+  virtual Status Flush() = 0;
+
+  // Makes previously appended data durable (fsync).
+  virtual Status Sync() = 0;
+
+  // Closes the file; further operations are invalid.
+  virtual Status Close() = 0;
+};
+
+enum class WriteMode {
+  kAppend,    // open at end, create if absent
+  kTruncate,  // discard existing contents, create if absent
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  // The process-wide POSIX implementation.
+  static FileSystem* Default();
+
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) = 0;
+
+  // Whole-file read; NotFound when the file does not exist.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  // Atomically replaces `to` with `from`, then fsyncs the containing
+  // directory so the replacement survives a crash.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  // Truncates the file at `path` to exactly `size` bytes.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+};
+
+// Test double that forwards to a base filesystem while injecting faults
+// on demand. All controls and counters live on the filesystem object and
+// are shared by every file it opens, so a byte budget spans an entire
+// multi-file operation (e.g. log appends followed by a compaction dump).
+class FaultInjectingFileSystem : public FileSystem {
+ public:
+  explicit FaultInjectingFileSystem(FileSystem* base) : base_(base) {}
+
+  // Hard crash after exactly `n` more appended bytes: the append that
+  // crosses the budget writes only the first remaining bytes (a torn
+  // write), then the filesystem enters the crashed state where every
+  // operation — reads, writes, syncs, renames — fails. Negative
+  // disables.
+  void set_crash_after_bytes(int64_t n) { crash_after_bytes_ = n; }
+
+  // One-shot transient faults (not a crash: later operations succeed).
+  void FailNextSync() { fail_next_sync_ = true; }
+  void FailNextRename() { fail_next_rename_ = true; }
+
+  bool crashed() const { return crashed_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t sync_count() const { return sync_count_; }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+
+ private:
+  friend class FaultInjectingFile;
+
+  Status CrashedStatus() const;
+
+  FileSystem* base_;
+  int64_t crash_after_bytes_ = -1;
+  bool fail_next_sync_ = false;
+  bool fail_next_rename_ = false;
+  bool crashed_ = false;
+  uint64_t bytes_written_ = 0;
+  uint64_t sync_count_ = 0;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_COMMON_FILE_H_

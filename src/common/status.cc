@@ -20,6 +20,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kSchemaMismatch:
       return "Schema mismatch";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -34,6 +34,10 @@ enum class StatusCode {
   kInternal = 6,
   // Schema-level inconsistency (type mismatch, key violation).
   kSchemaMismatch = 7,
+  // The component is temporarily unable to serve the request (e.g. a
+  // durable engine whose log failed has entered read-only degraded
+  // mode). Retrying without operator intervention will not succeed.
+  kUnavailable = 8,
 };
 
 // Returns a stable human-readable name, e.g. "Invalid argument".
@@ -77,6 +81,9 @@ class Status {
   static Status SchemaMismatch(std::string msg) {
     return Status(StatusCode::kSchemaMismatch, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -103,6 +110,7 @@ class Status {
   bool IsSchemaMismatch() const {
     return code() == StatusCode::kSchemaMismatch;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   // "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -1,88 +1,525 @@
 #include "engine/durable.h"
 
+#include <charconv>
+#include <cstdio>
 #include <sstream>
 
+#include "common/crc32.h"
+#include "common/str_util.h"
 #include "parser/parser.h"
 
 namespace viewauth {
 
 namespace {
 
+constexpr std::string_view kMagic = "#viewauth-log v2\n";
+
 bool IsMutating(const Statement& stmt) {
   return !std::holds_alternative<RetrieveStmt>(stmt) &&
          !std::holds_alternative<AnalyzeStmt>(stmt);
 }
 
+// "@<seq> <len> <crc32-hex>\n<payload>\n"
+std::string FrameRecord(uint64_t seq, std::string_view payload) {
+  char header[64];
+  std::snprintf(header, sizeof(header), "@%llu %zu %08x\n",
+                static_cast<unsigned long long>(seq), payload.size(),
+                Crc32(payload));
+  std::string record(header);
+  record.append(payload);
+  record.push_back('\n');
+  return record;
+}
+
+// Parses "@<seq> <len> <8-hex-crc>" (the header line without its '\n').
+bool ParseRecordHeader(std::string_view line, uint64_t* seq, uint64_t* len,
+                       uint32_t* crc) {
+  if (line.size() < 5 || line[0] != '@') return false;
+  const char* end = line.data() + line.size();
+  auto seq_result = std::from_chars(line.data() + 1, end, *seq, 10);
+  if (seq_result.ec != std::errc() || seq_result.ptr == end ||
+      *seq_result.ptr != ' ') {
+    return false;
+  }
+  auto len_result = std::from_chars(seq_result.ptr + 1, end, *len, 10);
+  if (len_result.ec != std::errc() || len_result.ptr == end ||
+      *len_result.ptr != ' ') {
+    return false;
+  }
+  const char* crc_begin = len_result.ptr + 1;
+  if (end - crc_begin != 8) return false;
+  auto crc_result = std::from_chars(crc_begin, end, *crc, 16);
+  return crc_result.ec == std::errc() && crc_result.ptr == end;
+}
+
+struct FramedScan {
+  std::vector<std::string> payloads;
+  uint64_t last_seq = 0;
+  // Offset of the first damaged byte; file size when the log is clean.
+  size_t valid_bytes = 0;
+  bool damaged = false;
+  // True when no fully valid record follows the damage (the crash-
+  // truncation shape); false means interior corruption.
+  bool damage_is_tail = true;
+  uint64_t damaged_records = 0;
+  std::string detail;
+};
+
+FramedScan ScanFramedLog(std::string_view contents) {
+  FramedScan scan;
+  size_t pos = kMagic.size();
+  scan.valid_bytes = pos;
+  uint64_t expected_seq = 0;  // 0 = first record establishes the base
+  auto damage = [&](std::string detail) {
+    scan.damaged = true;
+    scan.detail = std::move(detail);
+  };
+  while (pos < contents.size()) {
+    size_t header_end = contents.find('\n', pos);
+    if (header_end == std::string_view::npos) {
+      damage("truncated record header at offset " + std::to_string(pos));
+      break;
+    }
+    uint64_t seq = 0;
+    uint64_t len = 0;
+    uint32_t crc = 0;
+    if (!ParseRecordHeader(contents.substr(pos, header_end - pos), &seq,
+                           &len, &crc)) {
+      damage("malformed record header at offset " + std::to_string(pos));
+      break;
+    }
+    size_t payload_begin = header_end + 1;
+    size_t avail = contents.size() - payload_begin;
+    if (len >= avail) {  // the payload plus its '\n' terminator is cut off
+      damage("truncated payload for record seq " + std::to_string(seq));
+      break;
+    }
+    std::string_view payload = contents.substr(payload_begin, len);
+    if (contents[payload_begin + len] != '\n') {
+      damage("missing terminator for record seq " + std::to_string(seq));
+      break;
+    }
+    if (Crc32(payload) != crc) {
+      damage("checksum mismatch for record seq " + std::to_string(seq));
+      break;
+    }
+    if (expected_seq != 0 && seq != expected_seq) {
+      damage("sequence gap: expected seq " + std::to_string(expected_seq) +
+             ", found " + std::to_string(seq));
+      break;
+    }
+    scan.payloads.emplace_back(payload);
+    scan.last_seq = seq;
+    expected_seq = seq + 1;
+    pos = payload_begin + len + 1;
+    scan.valid_bytes = pos;
+  }
+  if (!scan.damaged) return scan;
+
+  // Classify the damage: if any fully valid record follows it, this is
+  // interior corruption (unsalvageable); otherwise it is a torn tail.
+  // Along the way, count record headers in the damaged region so the
+  // report can say how many records are being dropped.
+  uint64_t header_like = 0;
+  bool later_valid_record = false;
+  for (size_t p = scan.valid_bytes; p < contents.size(); ++p) {
+    bool at_line_start = p == scan.valid_bytes || contents[p - 1] == '\n';
+    if (!at_line_start || contents[p] != '@') continue;
+    ++header_like;
+    size_t header_end = contents.find('\n', p);
+    if (header_end == std::string_view::npos) continue;
+    uint64_t seq = 0;
+    uint64_t len = 0;
+    uint32_t crc = 0;
+    if (!ParseRecordHeader(contents.substr(p, header_end - p), &seq, &len,
+                           &crc)) {
+      continue;
+    }
+    size_t payload_begin = header_end + 1;
+    if (payload_begin > contents.size() ||
+        len >= contents.size() - payload_begin) {
+      continue;
+    }
+    if (contents[payload_begin + len] != '\n') continue;
+    if (Crc32(contents.substr(payload_begin, len)) != crc) continue;
+    later_valid_record = true;
+    break;
+  }
+  scan.damage_is_tail = !later_valid_record;
+  scan.damaged_records = header_like == 0 ? 1 : header_like;
+  return scan;
+}
+
 }  // namespace
+
+std::string_view LogFormatToString(LogFormat format) {
+  switch (format) {
+    case LogFormat::kLegacyText:
+      return "legacy-text";
+    case LogFormat::kFramedV2:
+      return "framed-v2";
+  }
+  return "unknown";
+}
+
+std::string RecoveryReport::ToString() const {
+  std::ostringstream out;
+  out << "format=" << LogFormatToString(format) << " records="
+      << records_replayed;
+  if (format == LogFormat::kFramedV2) out << " last_seq=" << last_good_seq;
+  if (salvaged) {
+    out << " salvaged: dropped " << dropped_records << " record"
+        << (dropped_records == 1 ? "" : "s") << " (" << dropped_bytes
+        << " bytes): " << detail;
+  }
+  return out.str();
+}
+
+std::string DurableStats::ToString() const {
+  std::ostringstream out;
+  out << "durability:\n"
+      << "  format              " << LogFormatToString(format) << "\n"
+      << "  state               " << (degraded ? "DEGRADED" : "ok") << "\n"
+      << "  appends             " << appends << " (" << append_bytes
+      << " bytes)\n"
+      << "  compactions         " << compactions << "\n"
+      << "  log bytes           " << log_bytes << "\n"
+      << "  recovery            " << recovery.ToString() << "\n";
+  return out.str();
+}
 
 Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
     const std::string& path) {
-  auto engine = std::make_unique<Engine>();
+  return Open(path, DurableOptions{});
+}
 
-  // Replay an existing log, if any.
-  {
-    std::ifstream in(path);
-    if (in.good()) {
-      std::stringstream buffer;
-      buffer << in.rdbuf();
-      const std::string contents = buffer.str();
-      if (!contents.empty()) {
-        auto replay = engine->ExecuteScript(contents);
-        if (!replay.ok()) {
-          return Status::Internal("statement log '" + path +
-                                  "' does not replay cleanly: " +
-                                  replay.status().ToString());
-        }
-      }
-    }
+Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
+    const std::string& path, const DurableOptions& options) {
+  FileSystem* fs = options.fs != nullptr ? options.fs : FileSystem::Default();
+
+  // A crash between writing <path>.tmp and the rename commit leaves a
+  // stale temp file behind; it was never the live log, so drop it.
+  const std::string tmp_path = path + ".tmp";
+  if (fs->FileExists(tmp_path)) (void)fs->RemoveFile(tmp_path);
+
+  std::string contents;
+  if (fs->FileExists(path)) {
+    VIEWAUTH_ASSIGN_OR_RETURN(contents, fs->ReadFileToString(path));
   }
 
-  std::unique_ptr<DurableEngine> durable(
-      new DurableEngine(path, std::move(engine)));
-  durable->log_.open(path, std::ios::app);
-  if (!durable->log_.good()) {
-    return Status::Internal("cannot open statement log '" + path +
-                            "' for writing");
+  std::unique_ptr<DurableEngine> durable(new DurableEngine(
+      path, options, fs, std::make_unique<Engine>()));
+  durable->options_.fs = fs;
+  const bool salvage = options.recovery == RecoveryMode::kSalvage;
+  bool needs_magic = false;
+
+  if (contents.empty()) {
+    // Fresh (or zero-length) log: initialize as framed V2.
+    durable->format_ = LogFormat::kFramedV2;
+    needs_magic = true;
+  } else if (StartsWith(contents, kMagic)) {
+    VIEWAUTH_RETURN_NOT_OK(durable->RecoverFramed(contents));
+  } else if (StartsWith(kMagic, contents)) {
+    // The file is a proper prefix of the magic line: a crash during log
+    // creation. Nothing was ever committed.
+    if (!salvage) {
+      return Status::Internal(
+          "statement log '" + path +
+          "' has a truncated header (reopen in salvage mode to reset it)");
+    }
+    VIEWAUTH_RETURN_NOT_OK(fs->TruncateFile(path, 0));
+    durable->format_ = LogFormat::kFramedV2;
+    durable->recovery_.salvaged = true;
+    durable->recovery_.dropped_bytes = contents.size();
+    durable->recovery_.detail = "truncated log header";
+    needs_magic = true;
+  } else if (contents[0] == '#') {
+    return Status::Internal("statement log '" + path +
+                            "' has an unrecognized header line");
+  } else {
+    VIEWAUTH_RETURN_NOT_OK(durable->RecoverLegacy(contents));
+  }
+  durable->recovery_.format = durable->format_;
+
+  VIEWAUTH_ASSIGN_OR_RETURN(
+      durable->log_, fs->NewWritableFile(path, WriteMode::kAppend));
+  if (needs_magic) {
+    VIEWAUTH_RETURN_NOT_OK(durable->log_->Append(kMagic));
+    if (durable->options_.sync_every_append) {
+      VIEWAUTH_RETURN_NOT_OK(durable->log_->Sync());
+    }
+    durable->log_bytes_ = kMagic.size();
   }
   return durable;
 }
 
-Status DurableEngine::AppendToLog(const std::string& line) {
-  log_ << line << "\n";
-  log_.flush();
-  if (!log_.good()) {
-    return Status::Internal("write to statement log '" + path_ +
-                            "' failed");
+Status DurableEngine::RecoverFramed(const std::string& contents) {
+  format_ = LogFormat::kFramedV2;
+  FramedScan scan = ScanFramedLog(contents);
+  if (scan.damaged) {
+    if (!scan.damage_is_tail) {
+      return Status::Internal("statement log '" + path_ +
+                              "' has interior corruption (" + scan.detail +
+                              " with valid records after it); refusing to "
+                              "drop interior records in any recovery mode");
+    }
+    if (options_.recovery == RecoveryMode::kStrict) {
+      return Status::Internal(
+          "statement log '" + path_ + "' has a damaged tail: " +
+          scan.detail + " (reopen in salvage mode to truncate it)");
+    }
+    VIEWAUTH_RETURN_NOT_OK(fs_->TruncateFile(path_, scan.valid_bytes));
+    recovery_.salvaged = true;
+    recovery_.dropped_records = scan.damaged_records;
+    recovery_.dropped_bytes = contents.size() - scan.valid_bytes;
+    recovery_.detail = scan.detail;
   }
+  for (size_t i = 0; i < scan.payloads.size(); ++i) {
+    auto stmt = ParseStatement(scan.payloads[i]);
+    Status executed =
+        stmt.ok() ? engine_->ExecuteParsed(*stmt).status() : stmt.status();
+    if (!executed.ok()) {
+      return Status::Internal(
+          "statement log '" + path_ + "' record " + std::to_string(i + 1) +
+          " does not replay cleanly: " + executed.ToString());
+    }
+    durable_statements_.push_back(StatementToString(*stmt));
+  }
+  recovery_.records_replayed = scan.payloads.size();
+  recovery_.last_good_seq = scan.last_seq;
+  next_seq_ = scan.payloads.empty() ? 1 : scan.last_seq + 1;
+  log_bytes_ = scan.valid_bytes;
   return Status::OK();
+}
+
+Status DurableEngine::RecoverLegacy(const std::string& contents) {
+  format_ = LogFormat::kLegacyText;
+  std::string effective = contents;
+  auto parsed = ParseProgram(effective);
+  if (!parsed.ok()) {
+    // A torn append leaves a final line without its '\n'. If dropping
+    // that partial line yields a clean log, the damage is a pure tail;
+    // anything else (including damage in newline-terminated content) is
+    // interior corruption.
+    bool tail_candidate = !effective.empty() && effective.back() != '\n';
+    if (options_.recovery == RecoveryMode::kStrict) {
+      return Status::Internal(
+          "statement log '" + path_ + "' does not replay cleanly: " +
+          parsed.status().ToString() +
+          (tail_candidate ? " (reopen in salvage mode to drop the torn "
+                            "final line)"
+                          : ""));
+    }
+    if (!tail_candidate) {
+      return Status::Internal("statement log '" + path_ +
+                              "' has interior corruption: " +
+                              parsed.status().ToString());
+    }
+    size_t cut = effective.find_last_of('\n');
+    effective = cut == std::string::npos ? std::string()
+                                         : effective.substr(0, cut + 1);
+    parsed = ParseProgram(effective);
+    if (!parsed.ok()) {
+      return Status::Internal("statement log '" + path_ +
+                              "' has interior corruption: " +
+                              parsed.status().ToString());
+    }
+    VIEWAUTH_RETURN_NOT_OK(fs_->TruncateFile(path_, effective.size()));
+    recovery_.salvaged = true;
+    recovery_.dropped_records = 1;
+    recovery_.dropped_bytes = contents.size() - effective.size();
+    recovery_.detail = "torn final line";
+  }
+  for (const Statement& stmt : *parsed) {
+    auto executed = engine_->ExecuteParsed(stmt);
+    if (!executed.ok()) {
+      return Status::Internal("statement log '" + path_ +
+                              "' does not replay cleanly: " +
+                              executed.status().ToString());
+    }
+    durable_statements_.push_back(StatementToString(stmt));
+  }
+  recovery_.records_replayed = parsed->size();
+  log_bytes_ = effective.size();
+  return Status::OK();
+}
+
+Status DurableEngine::AppendRecord(const std::string& statement_text) {
+  if (log_ == nullptr) {
+    return Status::Internal("statement log '" + path_ + "' is closed");
+  }
+  std::string record = format_ == LogFormat::kLegacyText
+                           ? statement_text + "\n"
+                           : FrameRecord(next_seq_, statement_text);
+  VIEWAUTH_RETURN_NOT_OK(log_->Append(record));
+  if (options_.sync_every_append) VIEWAUTH_RETURN_NOT_OK(log_->Sync());
+  if (format_ == LogFormat::kFramedV2) ++next_seq_;
+  log_bytes_ += record.size();
+  ++appends_;
+  append_bytes_ += record.size();
+  return Status::OK();
+}
+
+void DurableEngine::EnterDegraded(const std::string& reason, bool rollback) {
+  degraded_ = true;
+  degraded_reason_ = reason;
+  if (log_ != nullptr) {
+    (void)log_->Close();
+    log_.reset();
+  }
+  // Best effort: clip any torn bytes so the on-disk log ends at the
+  // durable prefix. If the device is gone this fails silently and the
+  // next Open salvages instead.
+  (void)fs_->TruncateFile(path_, log_bytes_);
+  if (!rollback) return;
+  // The failed mutation already executed in memory; rebuild the engine
+  // from the durable statement prefix so it is not visible as committed.
+  auto fresh = std::make_unique<Engine>();
+  fresh->options() = engine_->options();
+  fresh->SetSessionUser(engine_->session_user());
+  auto replay = fresh->ExecuteScript(Join(durable_statements_, "\n"));
+  if (replay.ok()) {
+    engine_ = std::move(fresh);
+  } else {
+    degraded_reason_ += "; in-memory rollback failed (" +
+                        replay.status().ToString() +
+                        "), the uncommitted mutation may remain visible";
+  }
 }
 
 Result<std::string> DurableEngine::Execute(
     const std::string& statement_text) {
   VIEWAUTH_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement_text));
+  return ExecuteParsedDurable(stmt);
+}
+
+Result<std::string> DurableEngine::ExecuteScript(
+    const std::string& script_text) {
+  VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Statement> statements,
+                            ParseProgram(script_text));
+  std::ostringstream out;
+  for (const Statement& stmt : statements) {
+    VIEWAUTH_ASSIGN_OR_RETURN(std::string output,
+                              ExecuteParsedDurable(stmt));
+    if (!output.empty()) out << output << "\n";
+  }
+  return out.str();
+}
+
+Result<std::string> DurableEngine::ExecuteParsedDurable(
+    const Statement& stmt) {
+  const bool mutating = IsMutating(stmt);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mutating && degraded_) {
+    return Status::Unavailable("statement log '" + path_ +
+                               "' is in read-only degraded mode: " +
+                               degraded_reason_);
+  }
   VIEWAUTH_ASSIGN_OR_RETURN(std::string output,
                             engine_->ExecuteParsed(stmt));
-  if (IsMutating(stmt)) {
-    VIEWAUTH_RETURN_NOT_OK(AppendToLog(StatementToString(stmt)));
+  if (mutating) {
+    const std::string line = StatementToString(stmt);
+    Status appended = AppendRecord(line);
+    if (!appended.ok()) {
+      EnterDegraded("log append failed: " + appended.ToString(),
+                    /*rollback=*/true);
+      return Status::Unavailable(
+          "mutation was not committed (log append failed: " +
+          appended.ToString() + "); the engine is now read-only");
+    }
+    durable_statements_.push_back(line);
   }
   return output;
 }
 
 Status DurableEngine::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (degraded_) {
+    return Status::Unavailable("statement log '" + path_ +
+                               "' is in read-only degraded mode: " +
+                               degraded_reason_);
+  }
   VIEWAUTH_ASSIGN_OR_RETURN(std::string script, engine_->DumpScript());
-  log_.close();
-  std::ofstream rewritten(path_, std::ios::trunc);
-  rewritten << script;
-  rewritten.flush();
-  if (!rewritten.good()) {
-    return Status::Internal("compaction of '" + path_ + "' failed");
+  VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Statement> statements,
+                            ParseProgram(script));
+  std::string buffer(kMagic);
+  std::vector<std::string> lines;
+  lines.reserve(statements.size());
+  uint64_t seq = 0;
+  for (const Statement& stmt : statements) {
+    std::string line = StatementToString(stmt);
+    buffer += FrameRecord(++seq, line);
+    lines.push_back(std::move(line));
   }
-  rewritten.close();
-  log_.open(path_, std::ios::app);
-  if (!log_.good()) {
-    return Status::Internal("cannot reopen statement log '" + path_ + "'");
+
+  // Stage the replacement; any failure here leaves the original log and
+  // the open append handle untouched.
+  const std::string tmp_path = path_ + ".tmp";
+  Status written;
+  {
+    auto file = fs_->NewWritableFile(tmp_path, WriteMode::kTruncate);
+    if (!file.ok()) {
+      return Status::Internal("compaction of '" + path_ +
+                              "' failed to stage: " +
+                              file.status().ToString());
+    }
+    written = (*file)->Append(buffer);
+    if (written.ok()) written = (*file)->Sync();
+    Status closed = (*file)->Close();
+    if (written.ok()) written = closed;
   }
+  if (!written.ok()) {
+    (void)fs_->RemoveFile(tmp_path);
+    return Status::Internal("compaction of '" + path_ + "' failed: " +
+                            written.ToString());
+  }
+  Status renamed = fs_->RenameFile(tmp_path, path_);
+  if (!renamed.ok()) {
+    (void)fs_->RemoveFile(tmp_path);
+    return Status::Internal("compaction of '" + path_ +
+                            "' failed to commit: " + renamed.ToString());
+  }
+
+  // The rename committed: the compact log is the live one. The old
+  // append handle points at the unlinked previous file; swap it out.
+  if (log_ != nullptr) (void)log_->Close();
+  log_.reset();
+  durable_statements_ = std::move(lines);
+  next_seq_ = seq + 1;
+  format_ = LogFormat::kFramedV2;
+  log_bytes_ = buffer.size();
+  ++compactions_;
+  auto reopened = fs_->NewWritableFile(path_, WriteMode::kAppend);
+  if (!reopened.ok()) {
+    // The compacted state is fully durable, but nothing more can be
+    // appended: fail stop without rolling back.
+    EnterDegraded("cannot reopen statement log after compaction: " +
+                      reopened.status().ToString(),
+                  /*rollback=*/false);
+    return Status::Unavailable(
+        "compaction committed but the log could not be reopened; the "
+        "engine is now read-only: " + reopened.status().ToString());
+  }
+  log_ = std::move(*reopened);
   return Status::OK();
+}
+
+bool DurableEngine::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+DurableStats DurableEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DurableStats stats;
+  stats.format = format_;
+  stats.degraded = degraded_;
+  stats.appends = appends_;
+  stats.append_bytes = append_bytes_;
+  stats.compactions = compactions_;
+  stats.log_bytes = log_bytes_;
+  stats.recovery = recovery_;
+  return stats;
 }
 
 }  // namespace viewauth

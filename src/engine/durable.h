@@ -1,53 +1,203 @@
-// DurableEngine: an Engine whose state survives restarts.
+// DurableEngine: an Engine whose state survives restarts and crashes.
 //
 // Every successfully executed *mutating* statement (relation / insert /
-// view / permit / deny / delete / modify) is appended, in its normalized
-// rendering, to a plain-text statement log. Opening the same path replays
-// the log through a fresh engine, reproducing the state. Retrieves are
-// not logged (they do not change state; the audit log covers them).
+// view / permit / deny / delete / modify / drop / member) is appended to
+// a statement log before the result is acknowledged. Opening the same
+// path replays the log through a fresh engine, reproducing the state.
+// Retrieves and analyzes are not logged (they do not change state; the
+// audit log covers them).
 //
-// The format is deliberately the surface language itself: the log is
-// human-readable, diffable, and exactly what Engine::DumpScript would
-// emit for the same state modulo statement order.
+// Log formats
+//   Framed V2 (written by this version): the file starts with the magic
+//   line "#viewauth-log v2", followed by one framed record per
+//   statement:
+//
+//       @<seq> <payload-length> <crc32-hex>\n
+//       <normalized statement text>\n
+//
+//   `seq` increases by exactly 1 per record and the CRC32 covers the
+//   payload bytes, so torn tails, bit flips, and lost records are all
+//   detected on replay.
+//
+//   Legacy V1 (plain text): one normalized statement per line, exactly
+//   what Engine::DumpScript emits. Legacy logs are still replayed and
+//   appended to in their own format, and are upgraded to framed V2 by
+//   the first Compact().
+//
+// Recovery
+//   Open() takes a RecoveryMode. kStrict fails on any damage. kSalvage
+//   truncates a torn or corrupt *tail* (the classic crash-during-append
+//   shape), replays the valid prefix, and reports what was dropped in a
+//   RecoveryReport; corruption in the *middle* of the log — damage
+//   followed by further valid records — is fatal in both modes, because
+//   dropping interior records would silently change the catalog.
+//
+// Fail-stop
+//   If an append (or its fsync) fails, the engine rolls its in-memory
+//   state back to the durable prefix and enters a read-only degraded
+//   state: the failed mutation is NOT visible as committed, further
+//   mutations and compactions return Status::Unavailable, and retrieves
+//   keep working against the last durable state.
+//
+// Compaction
+//   Compact() dumps the current state as framed V2 into `<path>.tmp`,
+//   fsyncs it, atomically renames it over the log, and fsyncs the
+//   directory. On any failure before the rename commits, the original
+//   log and the open append handle are left untouched, so the engine
+//   remains fully usable.
 
 #ifndef VIEWAUTH_ENGINE_DURABLE_H_
 #define VIEWAUTH_ENGINE_DURABLE_H_
 
-#include <fstream>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
+#include "common/file.h"
 #include "common/result.h"
 #include "engine/engine.h"
 
 namespace viewauth {
 
+enum class LogFormat {
+  kLegacyText,  // plain statement-per-line (pre-V2)
+  kFramedV2,    // magic header + framed, checksummed records
+};
+
+std::string_view LogFormatToString(LogFormat format);
+
+enum class RecoveryMode {
+  // Any damage — torn tail, checksum mismatch, sequence gap — fails Open.
+  kStrict,
+  // A damaged tail is truncated and reported; the valid prefix replays.
+  // Mid-log corruption (valid records after the damage) is still fatal.
+  kSalvage,
+};
+
+// What Open() found and did while replaying the log.
+struct RecoveryReport {
+  LogFormat format = LogFormat::kFramedV2;
+  // True when salvage dropped a damaged tail (always false in kStrict:
+  // damage fails the open instead).
+  bool salvaged = false;
+  uint64_t records_replayed = 0;
+  // Sequence number of the last valid record (framed logs only).
+  uint64_t last_good_seq = 0;
+  uint64_t dropped_records = 0;
+  uint64_t dropped_bytes = 0;
+  // Human-readable description of the damage, empty for a clean open.
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+// Counters surfaced by the REPL's \stats command.
+struct DurableStats {
+  LogFormat format = LogFormat::kFramedV2;
+  bool degraded = false;
+  uint64_t appends = 0;
+  uint64_t append_bytes = 0;
+  uint64_t compactions = 0;
+  uint64_t log_bytes = 0;
+  RecoveryReport recovery;
+
+  std::string ToString() const;
+};
+
+struct DurableOptions {
+  RecoveryMode recovery = RecoveryMode::kStrict;
+  // Defaults to FileSystem::Default(); tests inject faults here. The
+  // filesystem must outlive the engine.
+  FileSystem* fs = nullptr;
+  // fsync after every appended record. Disable only for bulk loads where
+  // losing the tail on a crash is acceptable.
+  bool sync_every_append = true;
+};
+
 class DurableEngine {
  public:
-  // Opens (creating if absent) the statement log at `path`, replaying any
-  // existing contents. Fails if the existing log does not replay cleanly.
+  // Opens (creating if absent) the statement log at `path` in kStrict
+  // mode, replaying any existing contents. Fails if the existing log
+  // does not replay cleanly.
   static Result<std::unique_ptr<DurableEngine>> Open(const std::string& path);
 
+  static Result<std::unique_ptr<DurableEngine>> Open(
+      const std::string& path, const DurableOptions& options);
+
   // Executes one statement; successful mutating statements are appended
-  // to the log and flushed before the result is returned.
+  // to the log (and fsynced) before the result is returned. In degraded
+  // mode mutating statements return Status::Unavailable.
   Result<std::string> Execute(const std::string& statement_text);
 
-  // Rewrites the log as the compact DumpScript of the current state
-  // (compaction: dropped rows and revoked grants disappear).
+  // Parses and executes a whole script through the same durable path.
+  Result<std::string> ExecuteScript(const std::string& script_text);
+
+  // Rewrites the log as the compact framed-V2 DumpScript of the current
+  // state (compaction: dropped rows and revoked grants disappear; legacy
+  // logs are upgraded to the framed format). Crash-safe: the original
+  // log is replaced atomically or not at all.
   Status Compact();
 
   Engine& engine() { return *engine_; }
   const std::string& path() const { return path_; }
 
- private:
-  DurableEngine(std::string path, std::unique_ptr<Engine> engine)
-      : path_(std::move(path)), engine_(std::move(engine)) {}
+  // True after an append failure: mutations return Unavailable,
+  // retrieves still work against the last durable state.
+  bool degraded() const;
+  const std::string& degraded_reason() const { return degraded_reason_; }
 
-  Status AppendToLog(const std::string& line);
+  LogFormat format() const { return format_; }
+  const RecoveryReport& recovery_report() const { return recovery_; }
+  DurableStats stats() const;
+
+ private:
+  DurableEngine(std::string path, DurableOptions options, FileSystem* fs,
+                std::unique_ptr<Engine> engine)
+      : path_(std::move(path)),
+        options_(options),
+        fs_(fs),
+        engine_(std::move(engine)) {}
+
+  Result<std::string> ExecuteParsedDurable(const Statement& statement);
+
+  // Replays a framed-V2 / legacy plain-text log body, applying the
+  // configured recovery mode (salvage truncates a damaged tail on disk)
+  // and filling in recovery_, durable_statements_, next_seq_, log_bytes_.
+  Status RecoverFramed(const std::string& contents);
+  Status RecoverLegacy(const std::string& contents);
+
+  // Frames (or legacy-renders) and appends one statement record,
+  // fsyncing when configured. Updates counters on success only.
+  Status AppendRecord(const std::string& statement_text);
+
+  // Transitions to read-only degraded mode. When `rollback` is set the
+  // in-memory engine is rebuilt from the durable statement prefix so an
+  // unlogged mutation does not remain visible.
+  void EnterDegraded(const std::string& reason, bool rollback);
 
   std::string path_;
+  DurableOptions options_;
+  FileSystem* fs_;
   std::unique_ptr<Engine> engine_;
-  std::ofstream log_;
+  std::unique_ptr<WritableFile> log_;
+  LogFormat format_ = LogFormat::kFramedV2;
+  // Normalized text of every statement durably in the log, in order —
+  // the replay source for fail-stop rollback.
+  std::vector<std::string> durable_statements_;
+  uint64_t next_seq_ = 1;
+  // Bytes of the log known to be durable (the append offset).
+  uint64_t log_bytes_ = 0;
+  RecoveryReport recovery_;
+  bool degraded_ = false;
+  std::string degraded_reason_;
+  uint64_t appends_ = 0;
+  uint64_t append_bytes_ = 0;
+  uint64_t compactions_ = 0;
+  // Guards the log handle, counters and degraded flag; Engine has its
+  // own finer-grained state lock for concurrent retrieves.
+  mutable std::mutex mu_;
 };
 
 }  // namespace viewauth

@@ -1,7 +1,8 @@
-// Unit tests for Status, Result and string utilities.
+// Unit tests for Status, Result, CRC32 and string utilities.
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/str_util.h"
@@ -29,6 +30,9 @@ TEST(Status, FactoriesCarryCodeAndMessage) {
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::SchemaMismatch("x").IsSchemaMismatch());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_EQ(Status::Unavailable("log gone").ToString(),
+            "Unavailable: log gone");
 }
 
 TEST(Status, CopyShares) {
@@ -121,6 +125,35 @@ TEST(StrUtil, StartsEndsWith) {
   EXPECT_FALSE(StartsWith("view", "viewauth"));
   EXPECT_TRUE(EndsWith("viewauth", "auth"));
   EXPECT_FALSE(EndsWith("auth", "viewauth"));
+}
+
+TEST(Crc32, KnownVectors) {
+  // The standard CRC32 (IEEE 802.3) check values.
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+  EXPECT_EQ(Crc32(std::string_view("\0", 1)), 0xD202EF8Du);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const std::string data = "permit SAE to Brown for delete";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = kCrc32Init;
+    crc = Crc32Update(crc, std::string_view(data).substr(0, split));
+    crc = Crc32Update(crc, std::string_view(data).substr(split));
+    EXPECT_EQ(crc, Crc32(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string data = "insert into EMPLOYEE values (Jones, manager, 26000)";
+  const uint32_t clean = Crc32(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(Crc32(data), clean) << "flip at byte " << i;
+    data[i] ^= 0x01;
+  }
 }
 
 TEST(StrUtil, FormatWithCommas) {

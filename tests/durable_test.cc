@@ -1,4 +1,6 @@
-// Tests for the durable (statement-logged) engine.
+// Tests for the durable (statement-logged) engine: framed-V2 logging,
+// legacy replay + upgrade, salvage recovery, crash-safe compaction and
+// fail-stop degraded mode.
 
 #include "engine/durable.h"
 
@@ -7,8 +9,32 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/file.h"
+
 namespace viewauth {
 namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+void AppendRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << bytes;
+}
+
+DurableOptions Salvage() {
+  DurableOptions options;
+  options.recovery = RecoveryMode::kSalvage;
+  return options;
+}
 
 class DurableTest : public ::testing::Test {
  protected:
@@ -130,6 +156,284 @@ TEST_F(DurableTest, CorruptLogFailsToOpen) {
   }
   auto durable = DurableEngine::Open(path_);
   EXPECT_TRUE(durable.status().IsInternal());
+}
+
+TEST_F(DurableTest, NewLogsAreFramedV2) {
+  {
+    auto durable = DurableEngine::Open(path_);
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    EXPECT_EQ((*durable)->format(), LogFormat::kFramedV2);
+    ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+    ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+  }
+  const std::string contents = ReadAll(path_);
+  EXPECT_TRUE(contents.rfind("#viewauth-log v2\n", 0) == 0) << contents;
+  EXPECT_NE(contents.find("@1 "), std::string::npos);
+  EXPECT_NE(contents.find("@2 "), std::string::npos);
+
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  const RecoveryReport& report = (*reopened)->recovery_report();
+  EXPECT_EQ(report.format, LogFormat::kFramedV2);
+  EXPECT_FALSE(report.salvaged);
+  EXPECT_EQ(report.records_replayed, 2u);
+  EXPECT_EQ(report.last_good_seq, 2u);
+  EXPECT_EQ((*reopened)->engine().db().GetRelation("T").value()->size(), 1);
+}
+
+TEST_F(DurableTest, TornHeaderTailSalvages) {
+  {
+    auto durable = DurableEngine::Open(path_);
+    ASSERT_TRUE(durable.ok());
+    ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+    ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+  }
+  AppendRaw(path_, "@3 27");  // a record header torn mid-way, no newline
+
+  auto strict = DurableEngine::Open(path_);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsInternal());
+  EXPECT_NE(strict.status().message().find("salvage"), std::string::npos);
+
+  auto salvaged = DurableEngine::Open(path_, Salvage());
+  ASSERT_TRUE(salvaged.ok()) << salvaged.status();
+  const RecoveryReport& report = (*salvaged)->recovery_report();
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_EQ(report.records_replayed, 2u);
+  EXPECT_EQ(report.dropped_records, 1u);
+  EXPECT_EQ(report.dropped_bytes, 5u);
+  EXPECT_NE(report.detail.find("truncated record header"),
+            std::string::npos);
+  EXPECT_EQ((*salvaged)->engine().db().GetRelation("T").value()->size(), 1);
+
+  // Salvage physically truncated the tail: a strict reopen now works,
+  // and appends continue from the salvaged sequence number.
+  ASSERT_TRUE((*salvaged)->Execute("insert into T values (2)").ok());
+  EXPECT_NE(ReadAll(path_).find("@3 "), std::string::npos);
+  auto strict_again = DurableEngine::Open(path_);
+  ASSERT_TRUE(strict_again.ok()) << strict_again.status();
+  EXPECT_EQ((*strict_again)->engine().db().GetRelation("T").value()->size(),
+            2);
+}
+
+TEST_F(DurableTest, TornPayloadTailSalvages) {
+  {
+    auto durable = DurableEngine::Open(path_);
+    ASSERT_TRUE(durable.ok());
+    ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+  }
+  // A full header whose payload (and terminator) never made it to disk.
+  AppendRaw(path_, "@2 26 00000000\ninsert into T val");
+
+  EXPECT_FALSE(DurableEngine::Open(path_).ok());
+  auto salvaged = DurableEngine::Open(path_, Salvage());
+  ASSERT_TRUE(salvaged.ok()) << salvaged.status();
+  EXPECT_TRUE((*salvaged)->recovery_report().salvaged);
+  EXPECT_EQ((*salvaged)->recovery_report().records_replayed, 1u);
+  EXPECT_NE((*salvaged)->recovery_report().detail.find("truncated payload"),
+            std::string::npos);
+}
+
+TEST_F(DurableTest, MidLogCorruptionIsFatalInBothModes) {
+  {
+    auto durable = DurableEngine::Open(path_);
+    ASSERT_TRUE(durable.ok());
+    ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+    ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+    ASSERT_TRUE((*durable)->Execute("insert into T values (2)").ok());
+  }
+  // Flip one byte inside the FIRST record's payload; later records stay
+  // valid, so this is interior corruption, not a torn tail.
+  std::string contents = ReadAll(path_);
+  size_t header_end = contents.find('\n', contents.find("@1 "));
+  ASSERT_NE(header_end, std::string::npos);
+  contents[header_end + 1] ^= 0x01;
+  WriteAll(path_, contents);
+
+  auto strict = DurableEngine::Open(path_);
+  ASSERT_FALSE(strict.ok());
+  auto salvage = DurableEngine::Open(path_, Salvage());
+  ASSERT_FALSE(salvage.ok());
+  EXPECT_NE(salvage.status().message().find("interior corruption"),
+            std::string::npos);
+}
+
+TEST_F(DurableTest, LegacyLogReplaysAndAppendsStayLegacy) {
+  WriteAll(path_,
+           "relation T (A string key, B int)\n"
+           "insert into T values (x, 1)\n"
+           "view VA (T.A, T.B) where T.B >= 1\n"
+           "permit VA to u\n");
+  auto durable = DurableEngine::Open(path_);
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  EXPECT_EQ((*durable)->format(), LogFormat::kLegacyText);
+  EXPECT_EQ((*durable)->recovery_report().records_replayed, 4u);
+  EXPECT_TRUE((*durable)->engine().catalog().IsPermitted("u", "VA"));
+
+  // Appends keep the legacy shape so the file stays consistently
+  // parseable without a compaction.
+  ASSERT_TRUE((*durable)->Execute("insert into T values (y, 2)").ok());
+  const std::string contents = ReadAll(path_);
+  EXPECT_EQ(contents.find('@'), std::string::npos);
+  EXPECT_NE(contents.find("insert into T values (y, 2)"),
+            std::string::npos);
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->engine().db().GetRelation("T").value()->size(), 2);
+}
+
+TEST_F(DurableTest, LegacyLogUpgradesToFramedOnCompact) {
+  WriteAll(path_,
+           "relation T (A int)\n"
+           "insert into T values (1)\n"
+           "insert into T values (2)\n");
+  auto durable = DurableEngine::Open(path_);
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  ASSERT_TRUE((*durable)->Compact().ok());
+  EXPECT_EQ((*durable)->format(), LogFormat::kFramedV2);
+  EXPECT_TRUE(ReadAll(path_).rfind("#viewauth-log v2\n", 0) == 0);
+
+  // Post-upgrade appends are framed and the log replays as V2.
+  ASSERT_TRUE((*durable)->Execute("insert into T values (3)").ok());
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->recovery_report().format, LogFormat::kFramedV2);
+  EXPECT_EQ((*reopened)->engine().db().GetRelation("T").value()->size(), 3);
+}
+
+TEST_F(DurableTest, LegacyTornFinalLineSalvages) {
+  WriteAll(path_,
+           "relation T (A int)\n"
+           "insert into T values (1)\n"
+           "insert into T val");  // torn mid-statement, no newline
+  auto strict = DurableEngine::Open(path_);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("salvage"), std::string::npos);
+
+  auto salvaged = DurableEngine::Open(path_, Salvage());
+  ASSERT_TRUE(salvaged.ok()) << salvaged.status();
+  const RecoveryReport& report = (*salvaged)->recovery_report();
+  EXPECT_EQ(report.format, LogFormat::kLegacyText);
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_EQ(report.records_replayed, 2u);
+  EXPECT_EQ(report.dropped_records, 1u);
+  EXPECT_EQ(report.dropped_bytes, 17u);
+  EXPECT_EQ((*salvaged)->engine().db().GetRelation("T").value()->size(), 1);
+}
+
+TEST_F(DurableTest, LegacyMidLogGarbageIsFatalEvenInSalvage) {
+  WriteAll(path_,
+           "relation T (A int)\n"
+           "utter garbage line\n"
+           "insert into T values (1)\n");
+  EXPECT_FALSE(DurableEngine::Open(path_).ok());
+  auto salvage = DurableEngine::Open(path_, Salvage());
+  ASSERT_FALSE(salvage.ok());
+  EXPECT_NE(salvage.status().message().find("interior corruption"),
+            std::string::npos);
+}
+
+TEST_F(DurableTest, CompactFailureLeavesLogAndAppendHandleUsable) {
+  FaultInjectingFileSystem fs(FileSystem::Default());
+  DurableOptions options;
+  options.fs = &fs;
+  auto durable = DurableEngine::Open(path_, options);
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+  ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+  const std::string before = ReadAll(path_);
+
+  // Failure while fsyncing the staged dump: the original log must be
+  // untouched and — the historical bug — the append handle still open.
+  fs.FailNextSync();
+  EXPECT_FALSE((*durable)->Compact().ok());
+  EXPECT_FALSE((*durable)->degraded());
+  EXPECT_EQ(ReadAll(path_), before);
+  EXPECT_FALSE(fs.FileExists(path_ + ".tmp"));
+  ASSERT_TRUE((*durable)->Execute("insert into T values (2)").ok());
+
+  // Failure at the rename commit: same guarantees.
+  fs.FailNextRename();
+  EXPECT_FALSE((*durable)->Compact().ok());
+  EXPECT_FALSE((*durable)->degraded());
+  EXPECT_FALSE(fs.FileExists(path_ + ".tmp"));
+  ASSERT_TRUE((*durable)->Execute("insert into T values (3)").ok());
+
+  // And with no fault injected, compaction goes through.
+  ASSERT_TRUE((*durable)->Compact().ok());
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->engine().db().GetRelation("T").value()->size(), 3);
+}
+
+TEST_F(DurableTest, AppendFailureIsFailStopAndRollsBack) {
+  FaultInjectingFileSystem fs(FileSystem::Default());
+  DurableOptions options;
+  options.fs = &fs;
+  auto durable = DurableEngine::Open(path_, options);
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+  ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+
+  // The next record tears 5 bytes in: the mutation must not survive.
+  fs.set_crash_after_bytes(static_cast<int64_t>(fs.bytes_written()) + 5);
+  auto failed = (*durable)->Execute("insert into T values (2)");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsUnavailable());
+  EXPECT_TRUE((*durable)->degraded());
+  EXPECT_FALSE((*durable)->degraded_reason().empty());
+
+  // Fail stop: the uncommitted insert was rolled back in memory...
+  EXPECT_EQ((*durable)->engine().db().GetRelation("T").value()->size(), 1);
+  // ...retrieves still work against the durable state...
+  EXPECT_TRUE((*durable)->Execute("retrieve (T.A) as nobody").ok());
+  // ...and every further mutation reports Unavailable.
+  auto next = (*durable)->Execute("insert into T values (3)");
+  EXPECT_TRUE(next.status().IsUnavailable());
+  EXPECT_TRUE((*durable)->Compact().IsUnavailable());
+
+  // A restart on the real filesystem salvages the torn record and lands
+  // exactly on the durable prefix.
+  auto reopened = DurableEngine::Open(path_, Salvage());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->engine().db().GetRelation("T").value()->size(), 1);
+}
+
+TEST_F(DurableTest, StaleCompactionTempIsRemovedOnOpen) {
+  WriteAll(path_ + ".tmp", "leftover staged compaction bytes");
+  auto durable = DurableEngine::Open(path_);
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  EXPECT_FALSE(FileSystem::Default()->FileExists(path_ + ".tmp"));
+}
+
+TEST_F(DurableTest, TornMagicHeaderSalvagesToFreshLog) {
+  WriteAll(path_, "#viewauth-log");  // crash while creating the log
+  auto strict = DurableEngine::Open(path_);
+  ASSERT_FALSE(strict.ok());
+  auto salvaged = DurableEngine::Open(path_, Salvage());
+  ASSERT_TRUE(salvaged.ok()) << salvaged.status();
+  EXPECT_TRUE((*salvaged)->recovery_report().salvaged);
+  EXPECT_EQ((*salvaged)->recovery_report().records_replayed, 0u);
+  ASSERT_TRUE((*salvaged)->Execute("relation T (A int)").ok());
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+}
+
+TEST_F(DurableTest, StatsReflectDurabilityState) {
+  auto durable = DurableEngine::Open(path_);
+  ASSERT_TRUE(durable.ok());
+  ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+  ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+  ASSERT_TRUE((*durable)->Compact().ok());
+  DurableStats stats = (*durable)->stats();
+  EXPECT_EQ(stats.format, LogFormat::kFramedV2);
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_EQ(stats.appends, 2u);
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_GT(stats.log_bytes, 0u);
+  const std::string rendered = stats.ToString();
+  EXPECT_NE(rendered.find("framed-v2"), std::string::npos);
+  EXPECT_NE(rendered.find("compactions"), std::string::npos);
 }
 
 }  // namespace

@@ -3,11 +3,14 @@
 #
 #   1. configure + build with warnings-as-errors (and the compile
 #      database for clang-tidy)
-#   2. the regular test suite (differential tier excluded)
+#   2. the regular test suite (differential + torture tiers excluded)
 #   3. the differential-soundness tier (slow, randomized)
-#   4. clang-tidy via tools/lint.sh (SKIPPED when not installed)
-#   5. the full suite under ThreadSanitizer
-#   6. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
+#   4. the crash-recovery torture tier (slow: a simulated crash at every
+#      byte boundary of log appends and compaction staging)
+#   5. clang-tidy via tools/lint.sh (SKIPPED when not installed)
+#   6. the full suite under ThreadSanitizer
+#   7. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
+#      (both sanitizer tiers include the torture tests)
 #
 # Prints a summary table and exits nonzero if any step failed.
 #
@@ -50,10 +53,13 @@ run_step "build (Werror)" configure_and_build
 if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
   run_step "unit tests" \
     ctest --test-dir build --output-on-failure -j "$JOBS" \
-      -E Differential "$@"
+      -E 'Differential|CrashTorture' "$@"
   run_step "differential soundness" \
     ctest --test-dir build --output-on-failure -j "$JOBS" \
       -R Differential "$@"
+  run_step "crash-recovery torture" \
+    ctest --test-dir build --output-on-failure -j "$JOBS" \
+      -R CrashTorture "$@"
   run_step "clang-tidy" tools/lint.sh build
 else
   echo "build failed; skipping test and lint steps"
