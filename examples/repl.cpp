@@ -158,29 +158,34 @@ int main(int argc, char** argv) {
     std::cout << "viewauth repl — the paper's database is loaded "
                  "(users: Brown, Klein).\nType 'help' for commands.\n";
   }
-  Engine& engine = durable ? durable->engine() : fallback;
-  engine.SetSessionUser("Brown");
+  // Re-fetch on every use: DurableEngine replaces its Engine during a
+  // fail-stop rollback, so a cached reference would dangle exactly when
+  // degraded mode is supposed to keep retrieves working.
+  auto engine = [&]() -> Engine& {
+    return durable ? durable->engine() : fallback;
+  };
+  engine().SetSessionUser("Brown");
 
   std::string line;
-  std::cout << engine.session_user() << "> " << std::flush;
+  std::cout << engine().session_user() << "> " << std::flush;
   while (std::getline(std::cin, line)) {
     std::string_view trimmed = StripWhitespace(line);
     if (trimmed.empty()) {
-      std::cout << engine.session_user() << "> " << std::flush;
+      std::cout << engine().session_user() << "> " << std::flush;
       continue;
     }
     if (trimmed == "quit" || trimmed == "exit") break;
     if (trimmed == "help") {
       PrintHelp();
     } else if (trimmed == "options") {
-      PrintOptions(engine.options());
+      PrintOptions(engine().options());
     } else if (trimmed == "dump") {
-      auto dump = engine.DumpScript();
+      auto dump = engine().DumpScript();
       std::cout << (dump.ok() ? *dump : dump.status().ToString()) << "\n";
     } else if (trimmed == "audit") {
-      std::cout << engine.audit_log().ToString(20);
+      std::cout << engine().audit_log().ToString(20);
     } else if (trimmed == "stats" || trimmed == "\\stats") {
-      std::cout << engine.authz_stats().ToString();
+      std::cout << engine().authz_stats().ToString();
       if (durable) std::cout << durable->stats().ToString();
     } else if (trimmed == "compact") {
       if (!durable) {
@@ -195,19 +200,20 @@ int main(int argc, char** argv) {
         }
       }
     } else if (trimmed == "stats reset") {
-      engine.ResetAuthzStats();
+      engine().ResetAuthzStats();
       std::cout << "statistics reset\n";
     } else if (StartsWith(trimmed, "explain ")) {
-      auto trace = engine.ExplainRetrieve(std::string(trimmed.substr(8)));
+      auto trace = engine().ExplainRetrieve(std::string(trimmed.substr(8)));
       std::cout << (trace.ok() ? *trace : trace.status().ToString()) << "\n";
     } else if (StartsWith(trimmed, "user ")) {
-      engine.SetSessionUser(std::string(StripWhitespace(trimmed.substr(5))));
+      engine().SetSessionUser(
+          std::string(StripWhitespace(trimmed.substr(5))));
     } else if (StartsWith(trimmed, "set ")) {
       std::vector<std::string> parts =
           Split(std::string(trimmed.substr(4)), ' ');
       if (parts.size() == 2) {
         bool on = parts[1] == "on";
-        AuthorizationOptions& o = engine.options();
+        AuthorizationOptions& o = engine().options();
         if (parts[0] == "four_case") o.four_case = on;
         else if (parts[0] == "padding") o.padding = on;
         else if (parts[0] == "self_joins") o.self_joins = on;
@@ -222,14 +228,14 @@ int main(int argc, char** argv) {
         std::cout << "usage: set <option> on|off\n";
       }
     } else {
-      auto out = durable ? durable->Execute(line) : engine.Execute(line);
+      auto out = durable ? durable->Execute(line) : engine().Execute(line);
       if (out.ok()) {
         if (!out->empty()) std::cout << *out << "\n";
       } else {
         std::cout << out.status() << "\n";
       }
     }
-    std::cout << engine.session_user() << "> " << std::flush;
+    std::cout << engine().session_user() << "> " << std::flush;
   }
   return 0;
 }

@@ -158,6 +158,10 @@ class PosixFileSystem : public FileSystem {
     }
     return Status::OK();
   }
+
+  Status SyncDirectoryOf(const std::string& path) override {
+    return SyncDirectory(DirectoryOf(path));
+  }
 };
 
 }  // namespace
@@ -263,6 +267,16 @@ Status FaultInjectingFileSystem::TruncateFile(const std::string& path,
                                               uint64_t size) {
   if (crashed_) return CrashedStatus();
   return base_->TruncateFile(path, size);
+}
+
+Status FaultInjectingFileSystem::SyncDirectoryOf(const std::string& path) {
+  if (crashed_) return CrashedStatus();
+  if (fail_next_sync_) {
+    fail_next_sync_ = false;
+    return Status::Internal("injected fsync failure");
+  }
+  ++sync_count_;
+  return base_->SyncDirectoryOf(path);
 }
 
 }  // namespace viewauth

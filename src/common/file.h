@@ -76,6 +76,11 @@ class FileSystem {
 
   // Truncates the file at `path` to exactly `size` bytes.
   virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  // Fsyncs the directory containing `path`, making a newly created
+  // file's directory entry durable (a freshly created file that is only
+  // fsynced itself can vanish with its directory entry on a crash).
+  virtual Status SyncDirectoryOf(const std::string& path) = 0;
 };
 
 // Test double that forwards to a base filesystem while injecting faults
@@ -108,6 +113,7 @@ class FaultInjectingFileSystem : public FileSystem {
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
   Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDirectoryOf(const std::string& path) override;
 
  private:
   friend class FaultInjectingFile;

@@ -247,6 +247,11 @@ Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
     VIEWAUTH_RETURN_NOT_OK(durable->log_->Append(kMagic));
     if (durable->options_.sync_every_append) {
       VIEWAUTH_RETURN_NOT_OK(durable->log_->Sync());
+      // The log may have just been created: fsync the directory so the
+      // file itself (not only its contents) survives a crash. Without
+      // this, records acknowledged as durable could vanish with the
+      // directory entry and the next Open would see a fresh empty log.
+      VIEWAUTH_RETURN_NOT_OK(fs->SyncDirectoryOf(path));
     }
     durable->log_bytes_ = kMagic.size();
   }
@@ -268,12 +273,9 @@ Status DurableEngine::RecoverFramed(const std::string& contents) {
           "statement log '" + path_ + "' has a damaged tail: " +
           scan.detail + " (reopen in salvage mode to truncate it)");
     }
-    VIEWAUTH_RETURN_NOT_OK(fs_->TruncateFile(path_, scan.valid_bytes));
-    recovery_.salvaged = true;
-    recovery_.dropped_records = scan.damaged_records;
-    recovery_.dropped_bytes = contents.size() - scan.valid_bytes;
-    recovery_.detail = scan.detail;
   }
+  // Replay before touching the file: a record that fails to parse or
+  // replay must fail the Open without side effects on disk.
   for (size_t i = 0; i < scan.payloads.size(); ++i) {
     auto stmt = ParseStatement(scan.payloads[i]);
     Status executed =
@@ -285,6 +287,13 @@ Status DurableEngine::RecoverFramed(const std::string& contents) {
     }
     durable_statements_.push_back(StatementToString(*stmt));
   }
+  if (scan.damaged) {
+    VIEWAUTH_RETURN_NOT_OK(fs_->TruncateFile(path_, scan.valid_bytes));
+    recovery_.salvaged = true;
+    recovery_.dropped_records = scan.damaged_records;
+    recovery_.dropped_bytes = contents.size() - scan.valid_bytes;
+    recovery_.detail = scan.detail;
+  }
   recovery_.records_replayed = scan.payloads.size();
   recovery_.last_good_seq = scan.last_seq;
   next_seq_ = scan.payloads.empty() ? 1 : scan.last_seq + 1;
@@ -295,6 +304,7 @@ Status DurableEngine::RecoverFramed(const std::string& contents) {
 Status DurableEngine::RecoverLegacy(const std::string& contents) {
   format_ = LogFormat::kLegacyText;
   std::string effective = contents;
+  bool salvaged_tail = false;
   auto parsed = ParseProgram(effective);
   if (!parsed.ok()) {
     // A torn append leaves a final line without its '\n'. If dropping
@@ -324,12 +334,10 @@ Status DurableEngine::RecoverLegacy(const std::string& contents) {
                               "' has interior corruption: " +
                               parsed.status().ToString());
     }
-    VIEWAUTH_RETURN_NOT_OK(fs_->TruncateFile(path_, effective.size()));
-    recovery_.salvaged = true;
-    recovery_.dropped_records = 1;
-    recovery_.dropped_bytes = contents.size() - effective.size();
-    recovery_.detail = "torn final line";
+    salvaged_tail = true;
   }
+  // Replay before touching the file: a statement that fails to replay
+  // must fail the Open without side effects on disk.
   for (const Statement& stmt : *parsed) {
     auto executed = engine_->ExecuteParsed(stmt);
     if (!executed.ok()) {
@@ -338,6 +346,13 @@ Status DurableEngine::RecoverLegacy(const std::string& contents) {
                               executed.status().ToString());
     }
     durable_statements_.push_back(StatementToString(stmt));
+  }
+  if (salvaged_tail) {
+    VIEWAUTH_RETURN_NOT_OK(fs_->TruncateFile(path_, effective.size()));
+    recovery_.salvaged = true;
+    recovery_.dropped_records = 1;
+    recovery_.dropped_bytes = contents.size() - effective.size();
+    recovery_.detail = "torn final line";
   }
   recovery_.records_replayed = parsed->size();
   log_bytes_ = effective.size();

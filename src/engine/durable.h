@@ -140,13 +140,19 @@ class DurableEngine {
   // log is replaced atomically or not at all.
   Status Compact();
 
+  // The underlying engine. A fail-stop rollback (degraded-mode entry)
+  // replaces the Engine object, so do not cache this reference across
+  // Execute calls — re-fetch it instead.
   Engine& engine() { return *engine_; }
   const std::string& path() const { return path_; }
 
   // True after an append failure: mutations return Unavailable,
   // retrieves still work against the last durable state.
   bool degraded() const;
-  const std::string& degraded_reason() const { return degraded_reason_; }
+  std::string degraded_reason() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return degraded_reason_;
+  }
 
   LogFormat format() const { return format_; }
   const RecoveryReport& recovery_report() const { return recovery_; }

@@ -258,6 +258,52 @@ TEST_F(DurableTest, MidLogCorruptionIsFatalInBothModes) {
             std::string::npos);
 }
 
+TEST_F(DurableTest, FailedSalvageReplayLeavesTheLogUntouched) {
+  {
+    auto durable = DurableEngine::Open(path_);
+    ASSERT_TRUE(durable.ok());
+    ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+    ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+  }
+  // Drop the first record (the DDL): the remaining framed record is
+  // structurally valid but no longer replays. Add a torn tail that a
+  // successful salvage would truncate away.
+  std::string contents = ReadAll(path_);
+  const std::string magic = contents.substr(0, contents.find('\n') + 1);
+  size_t second = contents.find("@2 ");
+  ASSERT_NE(second, std::string::npos);
+  WriteAll(path_, magic + contents.substr(second) + "@3 12");
+  const std::string before = ReadAll(path_);
+
+  auto salvaged = DurableEngine::Open(path_, Salvage());
+  ASSERT_FALSE(salvaged.ok());
+  EXPECT_NE(salvaged.status().message().find("does not replay cleanly"),
+            std::string::npos);
+  // The failed open had no side effects: the torn tail is still there.
+  EXPECT_EQ(ReadAll(path_), before);
+}
+
+TEST_F(DurableTest, FailedLegacySalvageReplayLeavesTheLogUntouched) {
+  // The first line parses but cannot replay (no relation T); the torn
+  // final line makes this a salvage candidate.
+  WriteAll(path_, "insert into T values (1)\nrelation T (A");
+  const std::string before = ReadAll(path_);
+  auto salvaged = DurableEngine::Open(path_, Salvage());
+  ASSERT_FALSE(salvaged.ok());
+  EXPECT_EQ(ReadAll(path_), before);
+}
+
+TEST_F(DurableTest, FreshLogCreationSyncsTheDirectory) {
+  FaultInjectingFileSystem fs(FileSystem::Default());
+  DurableOptions options;
+  options.fs = &fs;
+  auto durable = DurableEngine::Open(path_, options);
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  // One fsync for the magic line, one for the directory entry of the
+  // freshly created log file.
+  EXPECT_EQ(fs.sync_count(), 2u);
+}
+
 TEST_F(DurableTest, LegacyLogReplaysAndAppendsStayLegacy) {
   WriteAll(path_,
            "relation T (A string key, B int)\n"

@@ -144,6 +144,20 @@ TEST_F(FileTest, TransientSyncAndRenameFaultsAreOneShot) {
   EXPECT_TRUE(fs.FileExists(other_));
 }
 
+TEST_F(FileTest, SyncDirectoryOf) {
+  FileSystem* fs = FileSystem::Default();
+  auto file = fs->NewWritableFile(path_, WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_TRUE(fs->SyncDirectoryOf(path_).ok());
+
+  FaultInjectingFileSystem faulty(FileSystem::Default());
+  EXPECT_TRUE(faulty.SyncDirectoryOf(path_).ok());
+  faulty.FailNextSync();
+  EXPECT_TRUE(faulty.SyncDirectoryOf(path_).IsInternal());
+  EXPECT_TRUE(faulty.SyncDirectoryOf(path_).ok());  // one-shot fault
+}
+
 TEST_F(FileTest, ByteBudgetSpansMultipleFiles) {
   FaultInjectingFileSystem fs(FileSystem::Default());
   fs.set_crash_after_bytes(10);
