@@ -49,8 +49,8 @@ void PrintHelp() {
                "self_joins,\n"
                "                         subsumption, extended_masks, "
                "cache,\n"
-               "                         parallel, analyze (warn on "
-               "permit/deny)\n"
+               "                         parallel, latemat, analyze (warn "
+               "on permit/deny)\n"
                "  stats (or \\stats)      show cache/pipeline/durability "
                "statistics\n"
                "  stats reset            zero the statistics counters\n"
@@ -68,6 +68,7 @@ void PrintOptions(const AuthorizationOptions& options) {
             << " extended_masks=" << onoff(options.extended_masks)
             << " cache=" << onoff(options.enable_authz_cache)
             << " parallel=" << onoff(options.parallel_meta_evaluation)
+            << " latemat=" << onoff(options.use_latemat_data_plan)
             << " analyze=" << onoff(options.analyze_grants)
             << "\n";
 }
@@ -221,6 +222,7 @@ int main(int argc, char** argv) {
         else if (parts[0] == "extended_masks") o.extended_masks = on;
         else if (parts[0] == "cache") o.enable_authz_cache = on;
         else if (parts[0] == "parallel") o.parallel_meta_evaluation = on;
+        else if (parts[0] == "latemat") o.use_latemat_data_plan = on;
         else if (parts[0] == "analyze") o.analyze_grants = on;
         else std::cout << "unknown option '" << parts[0] << "'\n";
         PrintOptions(o);

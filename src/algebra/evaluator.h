@@ -18,10 +18,24 @@
 namespace viewauth {
 
 // Counters exposed for benchmarking and plan comparison.
+//
+// `rows_scanned` means "rows fetched from storage and examined" in every
+// strategy: a full scan counts every row of the relation, an index probe
+// or binary-searched range counts exactly the rows the index yields.
+// This makes the counter comparable across canonical / optimized /
+// late-materialized runs of the same query (asserted by
+// tests/latemat_test.cc).
 struct EvalStats {
   long long rows_scanned = 0;
   long long intermediate_rows = 0;  // rows produced by non-root operators
   long long output_rows = 0;
+  // Tuple objects actually constructed (copies, concats, projections).
+  // The late-materialized pipeline materializes only at the final
+  // projection; the older strategies materialize every intermediate.
+  long long tuples_materialized = 0;
+  // Projected join-key Tuples that in-place key hashing did not allocate
+  // (one per hash-join build row and one per probe row).
+  long long join_key_allocs_avoided = 0;
 };
 
 // Executes `plan` against `db`. The resulting relation has the schema

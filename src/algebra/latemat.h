@@ -1,0 +1,45 @@
+// Late-materialized evaluation of conjunctive queries.
+//
+// EvaluateOptimized (optimizer.h) already pushes selections onto scans,
+// orders joins greedily, and hash-joins on equality conditions — but it
+// carries materialized Tuples through every stage: each base row is
+// copied into the per-atom input, every hash-join build/probe row
+// allocates a projected key Tuple, and every joined row is a
+// Tuple::Concat. On the data-side hot path (the S plan of the paper's
+// Figure 2 architecture) that per-tuple allocation storm is the dominant
+// cost.
+//
+// This pipeline keeps the same plan shape (same pushdown, same greedy
+// join order, same hash-join semantics) but represents every
+// intermediate result as rows of base-relation *indices*: one uint32_t
+// per joined atom. Column accesses resolve through an
+// (atom, attr) -> base-row indirection; equality join keys are hashed in
+// place over the referenced Values (storage/key_view.h) instead of
+// allocating projected key Tuples; selections evaluate against the index
+// rows. Tuples are materialized exactly once, at the final projection.
+//
+// The answer relation is bit-identical to EvaluateCanonical /
+// EvaluateOptimized (the differential tier asserts this), which is what
+// keeps the commutative diagram of the paper's Figure 2 safe: the mask
+// derived from the canonical meta-plan applies to the answer regardless
+// of how the answer was computed.
+
+#ifndef VIEWAUTH_ALGEBRA_LATEMAT_H_
+#define VIEWAUTH_ALGEBRA_LATEMAT_H_
+
+#include <string>
+
+#include "algebra/evaluator.h"
+#include "calculus/conjunctive_query.h"
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace viewauth {
+
+Result<Relation> EvaluateLateMaterialized(
+    const ConjunctiveQuery& query, const DatabaseInstance& db,
+    const std::string& result_name = "ANSWER", EvalStats* stats = nullptr);
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_ALGEBRA_LATEMAT_H_

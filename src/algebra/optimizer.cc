@@ -5,6 +5,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "algebra/scan.h"
+
 namespace viewauth {
 
 namespace {
@@ -48,109 +50,20 @@ Result<Relation> EvaluateOptimized(const ConjunctiveQuery& query,
     }
   }
 
+  // Scans share the index-aware row-id selection (and its uniform
+  // rows_scanned accounting) with the late-materialized pipeline; this
+  // strategy then materializes the selected rows, as its joins carry
+  // whole tuples.
   std::vector<std::vector<Tuple>> inputs(num_atoms);
   for (int i = 0; i < num_atoms; ++i) {
     VIEWAUTH_ASSIGN_OR_RETURN(const Relation* rel,
                               db.GetRelation(query.atoms()[i].relation));
-    // Index probe: an equality-with-constant local predicate whose
-    // constant type matches the column's declared type exactly can use
-    // the relation's lazy hash index instead of scanning. (Double
-    // columns are excluded: they may store int64 values that compare
-    // equal but hash under a different strict type.)
-    int probe_column = -1;
-    Value probe_value;
-    for (const SelectionAtom& atom : local[i].atoms()) {
-      if (atom.rhs_is_column || atom.op != Comparator::kEq) continue;
-      ValueType column_type =
-          query.atom_schema(i).attribute(atom.lhs_column).type;
-      const bool exact =
-          (column_type == ValueType::kInt64 && atom.rhs_const.is_int64()) ||
-          (column_type == ValueType::kString && atom.rhs_const.is_string());
-      if (exact) {
-        probe_column = atom.lhs_column;
-        probe_value = atom.rhs_const;
-        break;
-      }
-    }
-    // Otherwise, a one-sided range predicate can binary-search the
-    // ordered index (same exact-type restriction).
-    int range_column = -1;
-    Comparator range_op = Comparator::kEq;
-    Value range_value;
-    if (probe_column < 0) {
-      for (const SelectionAtom& atom : local[i].atoms()) {
-        if (atom.rhs_is_column) continue;
-        if (atom.op != Comparator::kGe && atom.op != Comparator::kGt &&
-            atom.op != Comparator::kLe && atom.op != Comparator::kLt) {
-          continue;
-        }
-        ValueType column_type =
-            query.atom_schema(i).attribute(atom.lhs_column).type;
-        const bool exact =
-            (column_type == ValueType::kInt64 &&
-             atom.rhs_const.is_int64()) ||
-            (column_type == ValueType::kString &&
-             atom.rhs_const.is_string());
-        if (exact) {
-          range_column = atom.lhs_column;
-          range_op = atom.op;
-          range_value = atom.rhs_const;
-          break;
-        }
-      }
-    }
-
-    if (probe_column >= 0) {
-      const Relation::ColumnIndex& index = rel->IndexOn(probe_column);
-      auto [lo, hi] = index.equal_range(probe_value);
-      for (auto it = lo; it != hi; ++it) {
-        const Tuple& row = rel->rows()[static_cast<size_t>(it->second)];
-        if (stats != nullptr) ++stats->rows_scanned;
-        if (local[i].Matches(row)) inputs[i].push_back(row);
-      }
-    } else if (range_column >= 0) {
-      const Relation::OrderedIndex& index =
-          rel->OrderedIndexOn(range_column);
-      auto value_less = [](const std::pair<Value, int>& entry,
-                           const Value& probe) {
-        return entry.first < probe;
-      };
-      auto probe_less = [](const Value& probe,
-                           const std::pair<Value, int>& entry) {
-        return probe < entry.first;
-      };
-      Relation::OrderedIndex::const_iterator begin = index.begin();
-      Relation::OrderedIndex::const_iterator end = index.end();
-      switch (range_op) {
-        case Comparator::kGe:
-          begin = std::lower_bound(index.begin(), index.end(), range_value,
-                                   value_less);
-          break;
-        case Comparator::kGt:
-          begin = std::upper_bound(index.begin(), index.end(), range_value,
-                                   probe_less);
-          break;
-        case Comparator::kLe:
-          end = std::upper_bound(index.begin(), index.end(), range_value,
-                                 probe_less);
-          break;
-        case Comparator::kLt:
-          end = std::lower_bound(index.begin(), index.end(), range_value,
-                                 value_less);
-          break;
-        default:
-          break;
-      }
-      for (auto it = begin; it != end; ++it) {
-        const Tuple& row = rel->rows()[static_cast<size_t>(it->second)];
-        if (stats != nullptr) ++stats->rows_scanned;
-        if (local[i].Matches(row)) inputs[i].push_back(row);
-      }
-    } else {
-      if (stats != nullptr) stats->rows_scanned += rel->size();
-      for (const Tuple& row : rel->rows()) {
-        if (local[i].Matches(row)) inputs[i].push_back(row);
-      }
+    std::vector<uint32_t> ids =
+        SelectRowIds(*rel, query.atom_schema(i), local[i], stats);
+    inputs[i].reserve(ids.size());
+    for (uint32_t id : ids) inputs[i].push_back(rel->rows()[id]);
+    if (stats != nullptr) {
+      stats->tuples_materialized += static_cast<long long>(ids.size());
     }
   }
 
@@ -278,6 +191,8 @@ Result<Relation> EvaluateOptimized(const ConjunctiveQuery& query,
     }
     if (stats != nullptr) {
       stats->intermediate_rows += static_cast<long long>(joined_rows.size());
+      stats->tuples_materialized +=
+          static_cast<long long>(joined_rows.size());
     }
     current = std::move(joined_rows);
     position[next] = width;
@@ -297,7 +212,10 @@ Result<Relation> EvaluateOptimized(const ConjunctiveQuery& query,
   for (const Tuple& t : current) {
     result.InsertUnchecked(t.Project(out_cols));
   }
-  if (stats != nullptr) stats->output_rows = result.size();
+  if (stats != nullptr) {
+    stats->tuples_materialized += static_cast<long long>(current.size());
+    stats->output_rows = result.size();
+  }
   return result;
 }
 

@@ -1,0 +1,110 @@
+#include "algebra/scan.h"
+
+#include <algorithm>
+
+namespace viewauth {
+
+std::vector<uint32_t> SelectRowIds(const Relation& rel,
+                                   const RelationSchema& schema,
+                                   const ConjunctivePredicate& pred,
+                                   EvalStats* stats) {
+  std::vector<uint32_t> out;
+
+  // Index probe: an equality-with-constant atom whose constant type
+  // matches the column's declared type exactly can use the relation's
+  // lazy hash index instead of scanning. (Double columns are excluded:
+  // they may store int64 values that compare equal but hash under a
+  // different strict type.)
+  int probe_column = -1;
+  Value probe_value;
+  for (const SelectionAtom& atom : pred.atoms()) {
+    if (atom.rhs_is_column || atom.op != Comparator::kEq) continue;
+    ValueType column_type = schema.attribute(atom.lhs_column).type;
+    const bool exact =
+        (column_type == ValueType::kInt64 && atom.rhs_const.is_int64()) ||
+        (column_type == ValueType::kString && atom.rhs_const.is_string());
+    if (exact) {
+      probe_column = atom.lhs_column;
+      probe_value = atom.rhs_const;
+      break;
+    }
+  }
+
+  // Otherwise, a one-sided range atom can binary-search the ordered
+  // index (same exact-type restriction).
+  int range_column = -1;
+  Comparator range_op = Comparator::kEq;
+  Value range_value;
+  if (probe_column < 0) {
+    for (const SelectionAtom& atom : pred.atoms()) {
+      if (atom.rhs_is_column) continue;
+      if (atom.op != Comparator::kGe && atom.op != Comparator::kGt &&
+          atom.op != Comparator::kLe && atom.op != Comparator::kLt) {
+        continue;
+      }
+      ValueType column_type = schema.attribute(atom.lhs_column).type;
+      const bool exact =
+          (column_type == ValueType::kInt64 && atom.rhs_const.is_int64()) ||
+          (column_type == ValueType::kString && atom.rhs_const.is_string());
+      if (exact) {
+        range_column = atom.lhs_column;
+        range_op = atom.op;
+        range_value = atom.rhs_const;
+        break;
+      }
+    }
+  }
+
+  if (probe_column >= 0) {
+    const Relation::ColumnIndex& index = rel.IndexOn(probe_column);
+    auto [lo, hi] = index.equal_range(probe_value);
+    for (auto it = lo; it != hi; ++it) {
+      const uint32_t id = static_cast<uint32_t>(it->second);
+      if (stats != nullptr) ++stats->rows_scanned;
+      if (pred.Matches(rel.rows()[id])) out.push_back(id);
+    }
+  } else if (range_column >= 0) {
+    const Relation::OrderedIndex& index = rel.OrderedIndexOn(range_column);
+    auto value_less = [](const std::pair<Value, int>& entry,
+                         const Value& probe) { return entry.first < probe; };
+    auto probe_less = [](const Value& probe,
+                         const std::pair<Value, int>& entry) {
+      return probe < entry.first;
+    };
+    Relation::OrderedIndex::const_iterator begin = index.begin();
+    Relation::OrderedIndex::const_iterator end = index.end();
+    switch (range_op) {
+      case Comparator::kGe:
+        begin = std::lower_bound(index.begin(), index.end(), range_value,
+                                 value_less);
+        break;
+      case Comparator::kGt:
+        begin = std::upper_bound(index.begin(), index.end(), range_value,
+                                 probe_less);
+        break;
+      case Comparator::kLe:
+        end = std::upper_bound(index.begin(), index.end(), range_value,
+                               probe_less);
+        break;
+      case Comparator::kLt:
+        end = std::lower_bound(index.begin(), index.end(), range_value,
+                               value_less);
+        break;
+      default:
+        break;
+    }
+    for (auto it = begin; it != end; ++it) {
+      const uint32_t id = static_cast<uint32_t>(it->second);
+      if (stats != nullptr) ++stats->rows_scanned;
+      if (pred.Matches(rel.rows()[id])) out.push_back(id);
+    }
+  } else {
+    if (stats != nullptr) stats->rows_scanned += rel.size();
+    for (uint32_t id = 0; id < static_cast<uint32_t>(rel.size()); ++id) {
+      if (pred.Matches(rel.rows()[id])) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace viewauth

@@ -1,0 +1,36 @@
+// Index-aware single-relation scans shared by the data-side evaluation
+// strategies (optimizer.cc and latemat.cc).
+//
+// SelectRowIds returns the indices (into rel.rows()) of the rows matching
+// a conjunctive predicate, using the relation's lazy hash index for an
+// exact-typed equality-with-constant atom, or its ordered index for an
+// exact-typed one-sided range atom, and falling back to a full scan
+// otherwise.
+//
+// rows_scanned accounting contract (asserted by tests/latemat_test.cc):
+// the counter means "rows fetched from storage and examined" in every
+// strategy — a full scan counts every row of the relation, an index probe
+// or binary-searched range counts exactly the rows the index yields
+// (each of which is fetched and tested against the residual predicate).
+
+#ifndef VIEWAUTH_ALGEBRA_SCAN_H_
+#define VIEWAUTH_ALGEBRA_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/evaluator.h"
+#include "predicate/predicate.h"
+#include "schema/schema.h"
+#include "storage/relation.h"
+
+namespace viewauth {
+
+std::vector<uint32_t> SelectRowIds(const Relation& rel,
+                                   const RelationSchema& schema,
+                                   const ConjunctivePredicate& pred,
+                                   EvalStats* stats);
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_ALGEBRA_SCAN_H_

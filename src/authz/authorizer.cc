@@ -4,8 +4,10 @@
 #include <chrono>
 #include <future>
 #include <map>
+#include <memory>
 #include <set>
 
+#include "algebra/latemat.h"
 #include "algebra/optimizer.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
@@ -50,13 +52,38 @@ struct TimedEval {
 
 TimedEval EvaluateData(const ConjunctiveQuery& query,
                        const DatabaseInstance& db, const char* name,
-                       bool optimized) {
+                       const AuthorizationOptions& options) {
   TimedEval out;
   const auto start = SteadyClock::now();
-  out.relation = optimized ? EvaluateOptimized(query, db, name, &out.stats)
-                           : EvaluateCanonical(query, db, name, &out.stats);
+  if (!options.use_optimized_data_plan) {
+    out.relation = EvaluateCanonical(query, db, name, &out.stats);
+  } else if (options.use_latemat_data_plan) {
+    out.relation = EvaluateLateMaterialized(query, db, name, &out.stats);
+  } else {
+    out.relation = EvaluateOptimized(query, db, name, &out.stats);
+  }
   out.micros = MicrosSince(start);
   return out;
+}
+
+// The compiled form of a derived mask, cached under the same key and
+// generation as the mask itself (compiled_ is a separate map, so the key
+// may be shared). Compiling is cheap relative to derivation but still
+// worth caching: warm retrieves then skip even the one-pass compile.
+std::shared_ptr<const CompiledMask> ObtainCompiledMask(
+    AuthzCache* cache, bool use_cache, const std::string& key,
+    const AuthzGeneration& gen, const MetaRelation& mask) {
+  if (use_cache) {
+    if (std::shared_ptr<const CompiledMask> cached =
+            cache->LookupCompiledMask(key, gen)) {
+      return cached;
+    }
+  }
+  auto compiled =
+      std::make_shared<const CompiledMask>(CompiledMask::Compile(mask));
+  if (cache != nullptr) cache->CountMaskCompile();
+  if (use_cache) cache->StoreCompiledMask(key, gen, compiled);
+  return compiled;
 }
 
 }  // namespace
@@ -440,28 +467,26 @@ Result<MetaRelation> Authorizer::DeriveMask(
 }
 
 bool Authorizer::RowSatisfies(const MetaTuple& tuple, const Tuple& row) {
-  // Constant cells: direct comparison.
-  for (int i = 0; i < tuple.arity(); ++i) {
-    const MetaCell& cell = tuple.cells()[i];
-    if (cell.kind == CellKind::kConst &&
-        !row.at(i).Satisfies(Comparator::kEq, cell.constant)) {
-      return false;
-    }
-  }
-  std::set<VarId> vars = tuple.CellVars();
-  if (vars.empty() && tuple.constraints().atom_count() == 0) return true;
-
-  // Bind every cell variable to the row's value; a variable spanning
-  // several cells requires equal values.
+  // One pass over the cells: constant cells compare directly; every
+  // variable cell binds its variable to the row's value, a variable
+  // spanning several cells requiring equal values. (All checks are
+  // conjunctive, so the merged pass decides identically to checking
+  // constants first.)
   std::map<TermId, Value> assignment;
   for (int i = 0; i < tuple.arity(); ++i) {
     const MetaCell& cell = tuple.cells()[i];
-    if (cell.kind != CellKind::kVar) continue;
-    if (row.at(i).is_null()) return false;
-    auto [it, inserted] = assignment.emplace(cell.var, row.at(i));
-    if (!inserted && !it->second.Satisfies(Comparator::kEq, row.at(i))) {
-      return false;
+    if (cell.kind == CellKind::kConst) {
+      if (!row.at(i).Satisfies(Comparator::kEq, cell.constant)) return false;
+    } else if (cell.kind == CellKind::kVar) {
+      if (row.at(i).is_null()) return false;
+      auto [it, inserted] = assignment.emplace(cell.var, row.at(i));
+      if (!inserted && !it->second.Satisfies(Comparator::kEq, row.at(i))) {
+        return false;
+      }
     }
+  }
+  if (assignment.empty() && tuple.constraints().atom_count() == 0) {
+    return true;
   }
 
   // Fast path: when every constrained term has a cell binding, the atoms
@@ -486,17 +511,15 @@ bool Authorizer::RowSatisfies(const MetaTuple& tuple, const Tuple& row) {
 Relation Authorizer::ApplyMask(const Relation& answer,
                                const MetaRelation& mask,
                                bool drop_fully_masked_rows) {
-  Relation out(answer.schema());
-  if (mask.empty()) return out;
+  return ApplyMask(answer, CompiledMask::Compile(mask),
+                   drop_fully_masked_rows);
+}
 
-  // Precompute each tuple's projected columns.
-  std::vector<std::vector<int>> projected(mask.tuples().size());
-  for (size_t t = 0; t < mask.tuples().size(); ++t) {
-    const MetaTuple& tuple = mask.tuples()[t];
-    for (int i = 0; i < tuple.arity(); ++i) {
-      if (tuple.cells()[i].projected) projected[t].push_back(i);
-    }
-  }
+Relation Authorizer::ApplyMask(const Relation& answer,
+                               const CompiledMask& mask,
+                               bool drop_fully_masked_rows) {
+  Relation out(answer.schema());
+  if (mask.tuples.empty()) return out;
 
   // Each mask tuple is a separate permitted view of the answer; its rows
   // are delivered with exactly its projected columns. Portions from
@@ -506,19 +529,14 @@ Relation Authorizer::ApplyMask(const Relation& answer,
   // when a (self-)joined mask tuple grants the combination explicitly.
   for (const Tuple& row : answer.rows()) {
     bool any = false;
-    for (size_t t = 0; t < mask.tuples().size(); ++t) {
-      if (projected[t].empty()) continue;
-      if (!RowSatisfies(mask.tuples()[t], row)) continue;
+    for (const CompiledMaskTuple& tuple : mask.tuples) {
+      if (!tuple.any_projected()) continue;
+      if (!tuple.Satisfies(row)) continue;
       any = true;
-      std::vector<bool> permitted(static_cast<size_t>(row.arity()), false);
-      for (int col : projected[t]) {
-        permitted[static_cast<size_t>(col)] = true;
-      }
       std::vector<Value> values;
       values.reserve(static_cast<size_t>(row.arity()));
       for (int i = 0; i < row.arity(); ++i) {
-        values.push_back(permitted[static_cast<size_t>(i)] ? row.at(i)
-                                                           : Value::Null());
+        values.push_back(tuple.IsProjected(i) ? row.at(i) : Value::Null());
       }
       out.InsertUnchecked(Tuple(std::move(values)));
     }
@@ -535,17 +553,26 @@ Relation Authorizer::ApplyWideMask(const Relation& wide_answer,
                                    const std::vector<int>& target_columns,
                                    const RelationSchema& answer_schema,
                                    bool drop_fully_masked_rows) {
+  return ApplyWideMask(wide_answer, CompiledMask::Compile(wide_mask),
+                       target_columns, answer_schema, drop_fully_masked_rows);
+}
+
+Relation Authorizer::ApplyWideMask(const Relation& wide_answer,
+                                   const CompiledMask& wide_mask,
+                                   const std::vector<int>& target_columns,
+                                   const RelationSchema& answer_schema,
+                                   bool drop_fully_masked_rows) {
   Relation out(answer_schema);
   const int width = static_cast<int>(target_columns.size());
 
   // Per tuple: which answer positions it grants.
-  std::vector<std::vector<bool>> grants(wide_mask.tuples().size());
-  std::vector<bool> tuple_relevant(wide_mask.tuples().size(), false);
-  for (size_t t = 0; t < wide_mask.tuples().size(); ++t) {
-    const MetaTuple& tuple = wide_mask.tuples()[t];
+  std::vector<std::vector<bool>> grants(wide_mask.tuples.size());
+  std::vector<bool> tuple_relevant(wide_mask.tuples.size(), false);
+  for (size_t t = 0; t < wide_mask.tuples.size(); ++t) {
+    const CompiledMaskTuple& tuple = wide_mask.tuples[t];
     grants[t].assign(static_cast<size_t>(width), false);
     for (int i = 0; i < width; ++i) {
-      if (tuple.cells()[target_columns[static_cast<size_t>(i)]].projected) {
+      if (tuple.IsProjected(target_columns[static_cast<size_t>(i)])) {
         grants[t][static_cast<size_t>(i)] = true;
         tuple_relevant[t] = true;
       }
@@ -554,9 +581,9 @@ Relation Authorizer::ApplyWideMask(const Relation& wide_answer,
 
   for (const Tuple& wide_row : wide_answer.rows()) {
     bool any = false;
-    for (size_t t = 0; t < wide_mask.tuples().size(); ++t) {
+    for (size_t t = 0; t < wide_mask.tuples.size(); ++t) {
       if (!tuple_relevant[t]) continue;
-      if (!RowSatisfies(wide_mask.tuples()[t], wide_row)) continue;
+      if (!wide_mask.tuples[t].Satisfies(wide_row)) continue;
       any = true;
       std::vector<Value> values;
       values.reserve(static_cast<size_t>(width));
@@ -722,8 +749,7 @@ Result<AuthorizationResult> Authorizer::RetrieveExtended(
   std::future<TimedEval> data_future;
   if (options.parallel_meta_evaluation) {
     data_future = GlobalThreadPool().Submit([this, &wide_query, &options] {
-      return EvaluateData(wide_query, *db_, "WIDE",
-                          options.use_optimized_data_plan);
+      return EvaluateData(wide_query, *db_, "WIDE", options);
     });
   }
 
@@ -780,8 +806,7 @@ Result<AuthorizationResult> Authorizer::RetrieveExtended(
 
   TimedEval data = data_future.valid()
                        ? data_future.get()
-                       : EvaluateData(wide_query, *db_, "WIDE",
-                                      options.use_optimized_data_plan);
+                       : EvaluateData(wide_query, *db_, "WIDE", options);
   times->data_micros = data.micros;
   VIEWAUTH_RETURN_NOT_OK(data.relation.status());
   Relation wide_answer = std::move(*data.relation);
@@ -841,7 +866,12 @@ Result<AuthorizationResult> Authorizer::RetrieveExtended(
   }
 
   const auto apply_start = SteadyClock::now();
-  result.answer = ApplyWideMask(wide_answer, wide, target_columns,
+  std::shared_ptr<const CompiledMask> compiled = ObtainCompiledMask(
+      cache_, use_cache,
+      use_cache ? MaskCacheKey(user, query, options, /*wide=*/true)
+                : std::string(),
+      gen, wide);
+  result.answer = ApplyWideMask(wide_answer, *compiled, target_columns,
                                 answer_schema,
                                 options.drop_fully_masked_rows);
   result.permits = DescribeWideMask(wide, query);
@@ -876,8 +906,7 @@ Result<AuthorizationResult> Authorizer::RetrieveStandard(
   std::future<TimedEval> data_future;
   if (options.parallel_meta_evaluation) {
     data_future = GlobalThreadPool().Submit([this, &query, &options] {
-      return EvaluateData(query, *db_, "ANSWER",
-                          options.use_optimized_data_plan);
+      return EvaluateData(query, *db_, "ANSWER", options);
     });
   }
 
@@ -887,8 +916,7 @@ Result<AuthorizationResult> Authorizer::RetrieveStandard(
 
   TimedEval data = data_future.valid()
                        ? data_future.get()
-                       : EvaluateData(query, *db_, "ANSWER",
-                                      options.use_optimized_data_plan);
+                       : EvaluateData(query, *db_, "ANSWER", options);
   times->data_micros = data.micros;
 
   // The data future is drained either way, so unwinding on a mask error
@@ -939,7 +967,13 @@ Result<AuthorizationResult> Authorizer::RetrieveStandard(
   }
 
   const auto apply_start = SteadyClock::now();
-  result.answer = ApplyMask(result.raw_answer, result.mask,
+  const bool use_cache = cache_ != nullptr && options.enable_authz_cache;
+  std::shared_ptr<const CompiledMask> compiled = ObtainCompiledMask(
+      cache_, use_cache,
+      use_cache ? MaskCacheKey(user, query, options, /*wide=*/false)
+                : std::string(),
+      use_cache ? CurrentGeneration() : AuthzGeneration{}, result.mask);
+  result.answer = ApplyMask(result.raw_answer, *compiled,
                             options.drop_fully_masked_rows);
   result.permits = DescribeMask(result.mask);
   times->apply_micros = MicrosSince(apply_start);

@@ -48,6 +48,12 @@ struct AuthorizationOptions {
   // Evaluate the data side with the optimized strategy (the paper's
   // "different strategy" remark); the canonical plan is used when false.
   bool use_optimized_data_plan = true;
+  // Use the late-materialized join pipeline (algebra/latemat.h) as the
+  // optimized data plan: intermediate joins carry row indices instead of
+  // materialized tuples, and join keys hash in place. Same answers, bit
+  // for bit — the differential tier asserts it. Effective only when
+  // use_optimized_data_plan is true; the canonical plan ignores it.
+  bool use_latemat_data_plan = true;
   // The paper's conclusion (3), implemented: when true, masks may be
   // "expressed with additional attributes" — a mask tuple whose
   // restriction sits on a non-requested column is kept, the answer is
@@ -185,7 +191,11 @@ class Authorizer {
       const MetaRelation& wide_mask, const ConjunctiveQuery& query) const;
 
   // Step 5: masks `answer` (whose columns correspond to the mask's).
+  // Compiles the mask on the fly; the overload below takes a compiled
+  // mask (typically cached) and is the hot-path entry.
   static Relation ApplyMask(const Relation& answer, const MetaRelation& mask,
+                            bool drop_fully_masked_rows);
+  static Relation ApplyMask(const Relation& answer, const CompiledMask& mask,
                             bool drop_fully_masked_rows);
 
   // Extended-mask variant of step 5: `wide_answer` holds the
@@ -195,6 +205,11 @@ class Authorizer {
   // withheld. `answer_schema` names the delivered columns.
   static Relation ApplyWideMask(const Relation& wide_answer,
                                 const MetaRelation& wide_mask,
+                                const std::vector<int>& target_columns,
+                                const RelationSchema& answer_schema,
+                                bool drop_fully_masked_rows);
+  static Relation ApplyWideMask(const Relation& wide_answer,
+                                const CompiledMask& wide_mask,
                                 const std::vector<int>& target_columns,
                                 const RelationSchema& answer_schema,
                                 bool drop_fully_masked_rows);

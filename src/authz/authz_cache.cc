@@ -19,6 +19,7 @@ std::string AuthzStats::ToString() const {
       << prepared_misses << " miss(es)\n"
       << "  mask cache:       " << mask_hits << " hit(s), " << mask_misses
       << " miss(es)\n"
+      << "  mask compiles:    " << mask_compiles << "\n"
       << "  invalidations:    " << invalidations << "\n"
       << "  meta pruned:      " << meta_tuples_pruned << " tuple(s)\n"
       << "  wall times (us):  mask=" << mask_derivation_micros
@@ -73,17 +74,42 @@ void AuthzCache::StoreMask(std::string key, const AuthzGeneration& gen,
   Store(&masks_, std::move(key), gen, value);
 }
 
+std::shared_ptr<const CompiledMask> AuthzCache::LookupCompiledMask(
+    const std::string& key, const AuthzGeneration& gen) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = compiled_.find(key);
+  if (it != compiled_.end()) {
+    if (it->second.gen == gen) return it->second.value;
+    compiled_.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return nullptr;
+}
+
+void AuthzCache::StoreCompiledMask(std::string key,
+                                   const AuthzGeneration& gen,
+                                   std::shared_ptr<const CompiledMask> value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (compiled_.size() > kMaxEntries) compiled_.clear();
+  compiled_[std::move(key)] = CompiledEntry{gen, std::move(value)};
+}
+
 void AuthzCache::Invalidate() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (prepared_.empty() && masks_.empty()) return;
+  if (prepared_.empty() && masks_.empty() && compiled_.empty()) return;
   prepared_.clear();
   masks_.clear();
+  compiled_.clear();
   invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void AuthzCache::CountRetrieve(bool parallel) {
   retrieves_.fetch_add(1, std::memory_order_relaxed);
   if (parallel) parallel_retrieves_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AuthzCache::CountMaskCompile() {
+  mask_compiles_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void AuthzCache::CountPruned(long long tuples) {
@@ -110,6 +136,7 @@ AuthzStats AuthzCache::Snapshot() const {
   stats.prepared_misses = prepared_misses_.load(std::memory_order_relaxed);
   stats.mask_hits = mask_hits_.load(std::memory_order_relaxed);
   stats.mask_misses = mask_misses_.load(std::memory_order_relaxed);
+  stats.mask_compiles = mask_compiles_.load(std::memory_order_relaxed);
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
   stats.meta_tuples_pruned =
       meta_tuples_pruned_.load(std::memory_order_relaxed);
@@ -129,6 +156,7 @@ void AuthzCache::ResetStats() {
   prepared_misses_.store(0, std::memory_order_relaxed);
   mask_hits_.store(0, std::memory_order_relaxed);
   mask_misses_.store(0, std::memory_order_relaxed);
+  mask_compiles_.store(0, std::memory_order_relaxed);
   invalidations_.store(0, std::memory_order_relaxed);
   meta_tuples_pruned_.store(0, std::memory_order_relaxed);
   mask_derivation_micros_.store(0, std::memory_order_relaxed);

@@ -29,10 +29,12 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 
+#include "authz/compiled_mask.h"
 #include "meta/meta_tuple.h"
 
 namespace viewauth {
@@ -56,6 +58,7 @@ struct AuthzStats {
   long long prepared_misses = 0;
   long long mask_hits = 0;
   long long mask_misses = 0;
+  long long mask_compiles = 0;       // CompiledMask builds (cache misses)
   long long invalidations = 0;       // entries dropped by generation change
   long long meta_tuples_pruned = 0;  // hopeless + dangling tuples removed
   long long mask_derivation_micros = 0;  // S' (meta-plan) wall time
@@ -86,6 +89,15 @@ class AuthzCache {
   void StoreMask(std::string key, const AuthzGeneration& gen,
                  const MetaRelation& value);
 
+  // Compiled masks (authz/compiled_mask.h), cached alongside the derived
+  // masks under the same keys and generation discipline. Entries are
+  // shared (not copied) on lookup: a CompiledMask is immutable and owns
+  // everything it references. Returns null on miss or stale generation.
+  std::shared_ptr<const CompiledMask> LookupCompiledMask(
+      const std::string& key, const AuthzGeneration& gen);
+  void StoreCompiledMask(std::string key, const AuthzGeneration& gen,
+                         std::shared_ptr<const CompiledMask> value);
+
   // Drops every entry immediately (the engine routes permit/deny/view/
   // DDL mutations here). The generation check alone already guarantees
   // soundness for callers that mutate the catalog directly; the explicit
@@ -95,6 +107,7 @@ class AuthzCache {
   // --- Counters maintained by the authorizer --------------------------
   void CountRetrieve(bool parallel);
   void CountPruned(long long tuples);
+  void CountMaskCompile();
   void AddStageTimes(long long mask_micros, long long data_micros,
                      long long apply_micros, long long total_micros);
 
@@ -115,9 +128,15 @@ class AuthzCache {
   void Store(std::map<std::string, Entry>* entries, std::string key,
              const AuthzGeneration& gen, const MetaRelation& value);
 
+  struct CompiledEntry {
+    AuthzGeneration gen;
+    std::shared_ptr<const CompiledMask> value;
+  };
+
   mutable std::mutex mutex_;
   std::map<std::string, Entry> prepared_;
   std::map<std::string, Entry> masks_;
+  std::map<std::string, CompiledEntry> compiled_;
 
   std::atomic<long long> retrieves_{0};
   std::atomic<long long> parallel_retrieves_{0};
@@ -125,6 +144,7 @@ class AuthzCache {
   std::atomic<long long> prepared_misses_{0};
   std::atomic<long long> mask_hits_{0};
   std::atomic<long long> mask_misses_{0};
+  std::atomic<long long> mask_compiles_{0};
   std::atomic<long long> invalidations_{0};
   std::atomic<long long> meta_tuples_pruned_{0};
   std::atomic<long long> mask_derivation_micros_{0};

@@ -162,6 +162,11 @@ class ConstraintSet {
   // Number of stored source atoms (diagnostics).
   int atom_count() const { return static_cast<int>(atoms_.size()); }
 
+  // The stored source atoms, as conjoined. Satisfied() evaluates exactly
+  // this list, which is what lets the compiled-mask path
+  // (authz/compiled_mask.h) precompile the per-row check.
+  const std::vector<ConstraintAtom>& source_atoms() const { return atoms_; }
+
   std::string ToString() const;
 
  private:

@@ -1,0 +1,22 @@
+#include "storage/key_view.h"
+
+namespace viewauth {
+
+size_t KeyView::Hash() const {
+  // Must mirror Tuple::Hash exactly (tests assert the equivalence).
+  size_t h = 0x345678;
+  for (const Value* v : refs_) {
+    h = h * 1000003 ^ v->Hash();
+  }
+  return h;
+}
+
+bool KeyView::operator==(const KeyView& other) const {
+  if (refs_.size() != other.refs_.size()) return false;
+  for (size_t i = 0; i < refs_.size(); ++i) {
+    if (!(*refs_[i] == *other.refs_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace viewauth

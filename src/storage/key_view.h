@@ -1,0 +1,50 @@
+// KeyView: a non-owning view of join-key Values referenced in place.
+//
+// The hash-join build/probe loops used to allocate a projected key Tuple
+// per row (`row.Project(key_cols)`), which dominated the data-side hot
+// path. A KeyView instead collects `const Value*` references to the key
+// cells of a (possibly scattered) row and hashes them in place with the
+// exact combine scheme of Tuple::Hash, so a view over (v1..vk) hashes
+// identically to Tuple({v1..vk}) — hash tables built from either agree.
+//
+// Equality is strict Value equality (Value::operator==: same type, same
+// contents, NULL == NULL), matching Tuple::operator== — the semantics the
+// hash-join optimizer has always used for join keys.
+
+#ifndef VIEWAUTH_STORAGE_KEY_VIEW_H_
+#define VIEWAUTH_STORAGE_KEY_VIEW_H_
+
+#include <vector>
+
+#include "types/value.h"
+
+namespace viewauth {
+
+class KeyView {
+ public:
+  KeyView() = default;
+
+  // Reusable: Clear keeps the capacity, so a view refilled once per row
+  // allocates only on its first use.
+  void Clear() { refs_.clear(); }
+  void Add(const Value& value) { refs_.push_back(&value); }
+  void Reserve(size_t n) { refs_.reserve(n); }
+
+  size_t size() const { return refs_.size(); }
+  const Value& at(size_t i) const { return *refs_[i]; }
+
+  // Same combine as Tuple::Hash over the referenced values.
+  size_t Hash() const;
+
+  // Strict component-wise Value equality (coherent with Hash: equal views
+  // always hash equal).
+  bool operator==(const KeyView& other) const;
+  bool operator!=(const KeyView& other) const { return !(*this == other); }
+
+ private:
+  std::vector<const Value*> refs_;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_STORAGE_KEY_VIEW_H_

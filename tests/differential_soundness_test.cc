@@ -7,11 +7,12 @@
 // through two independent authorizers:
 //   * the CANONICAL run: no cache, no parallelism, canonical data plan;
 //   * the FAST run: authorization cache + parallel meta-evaluation +
-//     optimized data plan, executed TWICE so the repeat is served from
-//     the cache.
+//     late-materialized data plan, executed TWICE so the repeat is
+//     served from the cache, then once more with the tuple-at-a-time
+//     optimizer so both optimized data plans are differenced.
 // Every observable — delivered answer, raw answer, mask (compared by
 // alpha-normalized structural keys), inferred permits (synthetic w-vars
-// normalized), denied/full-access flags — must agree across all three
+// normalized), denied/full-access flags — must agree across all four
 // executions.
 
 #include <algorithm>
@@ -89,12 +90,19 @@ struct ScenarioSetup {
   canonical_options.use_meta_cache = false;
   canonical_options.parallel_meta_evaluation = false;
   canonical_options.use_optimized_data_plan = false;
+  canonical_options.use_latemat_data_plan = false;
 
   AuthorizationOptions fast_options = options;
   fast_options.enable_authz_cache = true;
   fast_options.use_meta_cache = true;
   fast_options.parallel_meta_evaluation = true;
   fast_options.use_optimized_data_plan = true;
+  fast_options.use_latemat_data_plan = true;
+
+  // The tuple-at-a-time optimizer, differencing the two optimized data
+  // plans against each other (and against canonical).
+  AuthorizationOptions tuple_options = fast_options;
+  tuple_options.use_latemat_data_plan = false;
 
   Authorizer canonical(setup.db, setup.canonical_catalog);
   AuthzCache cache;
@@ -103,6 +111,7 @@ struct ScenarioSetup {
   auto canonical_result = canonical.Retrieve("u", query, canonical_options);
   auto cold = fast.Retrieve("u", query, fast_options);
   auto warm = fast.Retrieve("u", query, fast_options);  // cache-served
+  auto tuple_plan = fast.Retrieve("u", query, tuple_options);
   if (!canonical_result.ok()) {
     return ::testing::AssertionFailure()
            << "canonical retrieve failed: " << canonical_result.status();
@@ -111,6 +120,10 @@ struct ScenarioSetup {
     return ::testing::AssertionFailure()
            << "fast retrieve failed: "
            << (cold.ok() ? warm.status() : cold.status());
+  }
+  if (!tuple_plan.ok()) {
+    return ::testing::AssertionFailure()
+           << "tuple-plan retrieve failed: " << tuple_plan.status();
   }
   const AuthzStats stats = cache.Snapshot();
   if (stats.mask_hits < 1) {
@@ -121,6 +134,7 @@ struct ScenarioSetup {
   const Observed expected = Summarize(*canonical_result);
   const Observed cold_obs = Summarize(*cold);
   const Observed warm_obs = Summarize(*warm);
+  const Observed tuple_obs = Summarize(*tuple_plan);
   auto describe = [&](const Observed& got, const char* label) {
     return ::testing::AssertionFailure()
            << label << " run diverged on query " << query.ToString()
@@ -134,6 +148,7 @@ struct ScenarioSetup {
   };
   if (!(cold_obs == expected)) return describe(cold_obs, "cold fast");
   if (!(warm_obs == expected)) return describe(warm_obs, "warm (cached) fast");
+  if (!(tuple_obs == expected)) return describe(tuple_obs, "tuple-plan");
   return ::testing::AssertionSuccess();
 }
 

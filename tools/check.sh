@@ -7,9 +7,12 @@
 #   3. the differential-soundness tier (slow, randomized)
 #   4. the crash-recovery torture tier (slow: a simulated crash at every
 #      byte boundary of log appends and compaction staging)
-#   5. clang-tidy via tools/lint.sh (SKIPPED when not installed)
-#   6. the full suite under ThreadSanitizer
-#   7. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
+#   5. a Release (-O2) build of bench_latemat and its --smoke gate: the
+#      late-materialized data pipeline must not be slower than the
+#      tuple-at-a-time optimizer on the reference join workload
+#   6. clang-tidy via tools/lint.sh (SKIPPED when not installed)
+#   7. the full suite under ThreadSanitizer
+#   8. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
 #      (both sanitizer tiers include the torture tests)
 #
 # Prints a summary table and exits nonzero if any step failed.
@@ -60,6 +63,12 @@ if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
   run_step "crash-recovery torture" \
     ctest --test-dir build --output-on-failure -j "$JOBS" \
       -R CrashTorture "$@"
+  latemat_smoke() {
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null &&
+      cmake --build build-release -j "$JOBS" --target bench_latemat &&
+      ./build-release/bench/bench_latemat --smoke
+  }
+  run_step "latemat perf smoke (Release)" latemat_smoke
   run_step "clang-tidy" tools/lint.sh build
 else
   echo "build failed; skipping test and lint steps"
