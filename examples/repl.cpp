@@ -51,6 +51,10 @@ void PrintHelp() {
                "cache,\n"
                "                         parallel, latemat, analyze (warn "
                "on permit/deny)\n"
+               "  set <option> <n>       governance knobs (0 = unlimited):"
+               "\n"
+               "                         deadline_ms, max_rows, max_bytes,\n"
+               "                         max_concurrent\n"
                "  stats (or \\stats)      show cache/pipeline/durability "
                "statistics\n"
                "  stats reset            zero the statistics counters\n"
@@ -70,7 +74,12 @@ void PrintOptions(const AuthorizationOptions& options) {
             << " parallel=" << onoff(options.parallel_meta_evaluation)
             << " latemat=" << onoff(options.use_latemat_data_plan)
             << " analyze=" << onoff(options.analyze_grants)
-            << "\n";
+            << "\n"
+            << "deadline_ms=" << options.deadline_ms
+            << " max_rows=" << options.max_rows
+            << " max_bytes=" << options.max_bytes
+            << " max_concurrent=" << options.max_concurrent
+            << " (0 = unlimited)\n";
 }
 
 constexpr const char* kPaperSetup = R"(
@@ -214,6 +223,15 @@ int main(int argc, char** argv) {
           Split(std::string(trimmed.substr(4)), ' ');
       if (parts.size() == 2) {
         bool on = parts[1] == "on";
+        // Numeric governance knobs take a number instead of on|off.
+        auto parse_number = [&](long long* target) {
+          try {
+            *target = std::stoll(parts[1]);
+          } catch (...) {
+            std::cout << "set " << parts[0]
+                      << ": expected a number, got '" << parts[1] << "'\n";
+          }
+        };
         AuthorizationOptions& o = engine().options();
         if (parts[0] == "four_case") o.four_case = on;
         else if (parts[0] == "padding") o.padding = on;
@@ -224,10 +242,18 @@ int main(int argc, char** argv) {
         else if (parts[0] == "parallel") o.parallel_meta_evaluation = on;
         else if (parts[0] == "latemat") o.use_latemat_data_plan = on;
         else if (parts[0] == "analyze") o.analyze_grants = on;
+        else if (parts[0] == "deadline_ms") parse_number(&o.deadline_ms);
+        else if (parts[0] == "max_rows") parse_number(&o.max_rows);
+        else if (parts[0] == "max_bytes") parse_number(&o.max_bytes);
+        else if (parts[0] == "max_concurrent") {
+          long long value = 0;
+          parse_number(&value);
+          o.max_concurrent = static_cast<int>(value);
+        }
         else std::cout << "unknown option '" << parts[0] << "'\n";
         PrintOptions(o);
       } else {
-        std::cout << "usage: set <option> on|off\n";
+        std::cout << "usage: set <option> on|off  (or: set <knob> <number>)\n";
       }
     } else {
       auto out = durable ? durable->Execute(line) : engine().Execute(line);

@@ -8,25 +8,40 @@ namespace {
 
 // Evaluates a node into a bag of tuples (dedup happens at relation
 // construction: the operators here preserve set semantics level by level).
+// Every operator charges the rows it produces against `ctx` (when
+// governed) and aborts mid-loop once the context trips — a cartesian
+// product stops within one check stride of its budget, not at its end.
 Result<std::vector<Tuple>> EvalNode(const PlanNode& node,
                                     const DatabaseInstance& db,
-                                    EvalStats* stats) {
+                                    EvalStats* stats, ExecContext* ctx) {
   switch (node.kind) {
     case PlanNodeKind::kScan: {
       VIEWAUTH_ASSIGN_OR_RETURN(const Relation* rel,
                                 db.GetRelation(node.relation));
       if (stats != nullptr) stats->rows_scanned += rel->size();
+      if (ctx != nullptr &&
+          !ctx->Tick(rel->size(),
+                     rel->size() * ApproxTupleBytes(rel->schema().arity()))) {
+        return ctx->status();
+      }
       return rel->rows();
     }
     case PlanNodeKind::kProduct: {
       VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Tuple> left,
-                                EvalNode(*node.left, db, stats));
+                                EvalNode(*node.left, db, stats, ctx));
       VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Tuple> right,
-                                EvalNode(*node.right, db, stats));
+                                EvalNode(*node.right, db, stats, ctx));
       std::vector<Tuple> out;
       out.reserve(left.size() * right.size());
+      const long long row_bytes =
+          left.empty() || right.empty()
+              ? 0
+              : ApproxTupleBytes(left.front().arity() +
+                                 right.front().arity());
+      ExecMeter meter(ctx);
       for (const Tuple& l : left) {
         for (const Tuple& r : right) {
+          if (!meter.Tick(1, row_bytes)) return ctx->status();
           out.push_back(Tuple::Concat(l, r));
         }
       }
@@ -37,9 +52,11 @@ Result<std::vector<Tuple>> EvalNode(const PlanNode& node,
     }
     case PlanNodeKind::kSelection: {
       VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Tuple> input,
-                                EvalNode(*node.child, db, stats));
+                                EvalNode(*node.child, db, stats, ctx));
       std::vector<Tuple> out;
+      ExecMeter meter(ctx);
       for (Tuple& t : input) {
+        if (!meter.TickRows(1)) return ctx->status();
         if (node.predicate.Matches(t)) out.push_back(std::move(t));
       }
       if (stats != nullptr) {
@@ -49,10 +66,14 @@ Result<std::vector<Tuple>> EvalNode(const PlanNode& node,
     }
     case PlanNodeKind::kProjection: {
       VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Tuple> input,
-                                EvalNode(*node.child, db, stats));
+                                EvalNode(*node.child, db, stats, ctx));
       std::vector<Tuple> out;
       out.reserve(input.size());
+      const long long row_bytes =
+          ApproxTupleBytes(static_cast<int>(node.columns.size()));
+      ExecMeter meter(ctx);
       for (const Tuple& t : input) {
+        if (!meter.Tick(1, row_bytes)) return ctx->status();
         out.push_back(t.Project(node.columns));
       }
       if (stats != nullptr) {
@@ -68,9 +89,9 @@ Result<std::vector<Tuple>> EvalNode(const PlanNode& node,
 
 Result<Relation> EvaluatePlan(const PlanNode& plan, const DatabaseInstance& db,
                               const RelationSchema& output_schema,
-                              EvalStats* stats) {
+                              EvalStats* stats, ExecContext* ctx) {
   VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
-                            EvalNode(plan, db, stats));
+                            EvalNode(plan, db, stats, ctx));
   Relation result(output_schema);
   for (Tuple& t : rows) {
     if (t.arity() != output_schema.arity()) {
@@ -88,11 +109,11 @@ Result<Relation> EvaluatePlan(const PlanNode& plan, const DatabaseInstance& db,
 Result<Relation> EvaluateCanonical(const ConjunctiveQuery& query,
                                    const DatabaseInstance& db,
                                    const std::string& result_name,
-                                   EvalStats* stats) {
+                                   EvalStats* stats, ExecContext* ctx) {
   std::unique_ptr<PlanNode> plan = BuildCanonicalPlan(query);
   VIEWAUTH_ASSIGN_OR_RETURN(RelationSchema schema,
                             query.OutputSchema(result_name));
-  return EvaluatePlan(*plan, db, schema, stats);
+  return EvaluatePlan(*plan, db, schema, stats, ctx);
 }
 
 }  // namespace viewauth

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "algebra/plan.h"
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "storage/relation.h"
 
@@ -38,19 +39,33 @@ struct EvalStats {
   long long join_key_allocs_avoided = 0;
 };
 
+// Cheap O(1) per-row byte estimate used by the execution governor's byte
+// budget: container overhead plus the variant cells. String heap storage
+// is deliberately excluded — the budget bounds row materialization, and a
+// constant-time estimate keeps the governed hot path within the
+// bench_governor overhead gate.
+inline long long ApproxTupleBytes(int arity) {
+  return 16 +
+         static_cast<long long>(arity) * static_cast<long long>(sizeof(Value));
+}
+
 // Executes `plan` against `db`. The resulting relation has the schema
 // `output_schema` (which must match the plan's output arity). `stats` may
-// be null.
+// be null. A non-null `ctx` governs the evaluation: rows and bytes are
+// charged as intermediates are produced, and the run aborts with the
+// context's status once it trips.
 Result<Relation> EvaluatePlan(const PlanNode& plan, const DatabaseInstance& db,
                               const RelationSchema& output_schema,
-                              EvalStats* stats = nullptr);
+                              EvalStats* stats = nullptr,
+                              ExecContext* ctx = nullptr);
 
 // Convenience: canonical plan of `query`, evaluated; the output schema is
 // derived from the query's targets and named `result_name`.
 Result<Relation> EvaluateCanonical(const ConjunctiveQuery& query,
                                    const DatabaseInstance& db,
                                    const std::string& result_name = "ANSWER",
-                                   EvalStats* stats = nullptr);
+                                   EvalStats* stats = nullptr,
+                                   ExecContext* ctx = nullptr);
 
 }  // namespace viewauth
 

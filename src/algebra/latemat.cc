@@ -23,7 +23,8 @@ struct PendingCondition {
 Result<Relation> EvaluateLateMaterialized(const ConjunctiveQuery& query,
                                           const DatabaseInstance& db,
                                           const std::string& result_name,
-                                          EvalStats* stats) {
+                                          EvalStats* stats,
+                                          ExecContext* ctx) {
   const int num_atoms = static_cast<int>(query.atoms().size());
 
   // --- Phase 1: per-atom scans with pushed-down single-atom conditions,
@@ -52,7 +53,9 @@ Result<Relation> EvaluateLateMaterialized(const ConjunctiveQuery& query,
   for (int i = 0; i < num_atoms; ++i) {
     VIEWAUTH_ASSIGN_OR_RETURN(base[i],
                               db.GetRelation(query.atoms()[i].relation));
-    inputs[i] = SelectRowIds(*base[i], query.atom_schema(i), local[i], stats);
+    inputs[i] =
+        SelectRowIds(*base[i], query.atom_schema(i), local[i], stats, ctx);
+    if (ctx != nullptr && !ctx->ok()) return ctx->status();
   }
 
   // --- Phase 2: greedy join order over index rows. An intermediate row
@@ -196,6 +199,7 @@ Result<Relation> EvaluateLateMaterialized(const ConjunctiveQuery& query,
             static_cast<long long>(inputs[next].size()) +
             static_cast<long long>(row_count);
       }
+      ExecMeter meter(ctx);
       for (size_t r = 0; r < row_count; ++r) {
         const size_t row_base = r * static_cast<size_t>(stride);
         key.Clear();
@@ -222,6 +226,7 @@ Result<Relation> EvaluateLateMaterialized(const ConjunctiveQuery& query,
             }
           }
           if (!match) continue;
+          if (!meter.Tick(1, new_stride * 4)) return ctx->status();
           joined_rows.insert(joined_rows.end(),
                              current.begin() + static_cast<long>(row_base),
                              current.begin() + static_cast<long>(row_base) +
@@ -233,9 +238,11 @@ Result<Relation> EvaluateLateMaterialized(const ConjunctiveQuery& query,
       // No connecting equality: cartesian product of index rows.
       joined_rows.reserve(row_count * inputs[next].size() *
                           static_cast<size_t>(new_stride));
+      ExecMeter meter(ctx);
       for (size_t r = 0; r < row_count; ++r) {
         const size_t row_base = r * static_cast<size_t>(stride);
         for (uint32_t id : inputs[next]) {
+          if (!meter.Tick(1, new_stride * 4)) return ctx->status();
           joined_rows.insert(joined_rows.end(),
                              current.begin() + static_cast<long>(row_base),
                              current.begin() + static_cast<long>(row_base) +
@@ -262,7 +269,11 @@ Result<Relation> EvaluateLateMaterialized(const ConjunctiveQuery& query,
   Relation result(schema);
   const size_t row_count = current.size() / static_cast<size_t>(stride);
   const std::vector<ColumnRef>& targets = query.targets();
+  const long long out_bytes =
+      ApproxTupleBytes(static_cast<int>(targets.size()));
+  ExecMeter meter(ctx);
   for (size_t r = 0; r < row_count; ++r) {
+    if (!meter.Tick(1, out_bytes)) return ctx->status();
     const size_t row_base = r * static_cast<size_t>(stride);
     std::vector<Value> values;
     values.reserve(targets.size());

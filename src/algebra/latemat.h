@@ -36,9 +36,13 @@
 
 namespace viewauth {
 
+// A non-null `ctx` governs the evaluation (deadline, row/byte budgets,
+// cancellation): index rows are charged as joins emit them, and the run
+// aborts mid-join with the context's status once it trips.
 Result<Relation> EvaluateLateMaterialized(
     const ConjunctiveQuery& query, const DatabaseInstance& db,
-    const std::string& result_name = "ANSWER", EvalStats* stats = nullptr);
+    const std::string& result_name = "ANSWER", EvalStats* stats = nullptr,
+    ExecContext* ctx = nullptr);
 
 }  // namespace viewauth
 

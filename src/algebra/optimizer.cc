@@ -27,7 +27,7 @@ struct KeyHash {
 Result<Relation> EvaluateOptimized(const ConjunctiveQuery& query,
                                    const DatabaseInstance& db,
                                    const std::string& result_name,
-                                   EvalStats* stats) {
+                                   EvalStats* stats, ExecContext* ctx) {
   const int num_atoms = static_cast<int>(query.atoms().size());
 
   // --- Phase 1: per-atom scans with pushed-down single-atom conditions.
@@ -59,9 +59,15 @@ Result<Relation> EvaluateOptimized(const ConjunctiveQuery& query,
     VIEWAUTH_ASSIGN_OR_RETURN(const Relation* rel,
                               db.GetRelation(query.atoms()[i].relation));
     std::vector<uint32_t> ids =
-        SelectRowIds(*rel, query.atom_schema(i), local[i], stats);
+        SelectRowIds(*rel, query.atom_schema(i), local[i], stats, ctx);
+    if (ctx != nullptr && !ctx->ok()) return ctx->status();
     inputs[i].reserve(ids.size());
     for (uint32_t id : ids) inputs[i].push_back(rel->rows()[id]);
+    if (ctx != nullptr &&
+        !ctx->TickBytes(static_cast<long long>(ids.size()) *
+                        ApproxTupleBytes(query.atom_schema(i).arity()))) {
+      return ctx->status();
+    }
     if (stats != nullptr) {
       stats->tuples_materialized += static_cast<long long>(ids.size());
     }
@@ -173,18 +179,26 @@ Result<Relation> EvaluateOptimized(const ConjunctiveQuery& query,
         (void)next_attr;
         probe_cols.push_back(cur_col);
       }
+      const long long row_bytes =
+          ApproxTupleBytes(width + query.atom_schema(next).arity());
+      ExecMeter meter(ctx);
       for (const Tuple& row : current) {
         Tuple probe_key = row.Project(probe_cols);
         auto [lo, hi] = table.equal_range(probe_key);
         for (auto it = lo; it != hi; ++it) {
+          if (!meter.Tick(1, row_bytes)) return ctx->status();
           joined_rows.push_back(Tuple::Concat(row, *it->second));
         }
       }
     } else {
       // No connecting equality: cartesian product.
       joined_rows.reserve(current.size() * inputs[next].size());
+      const long long row_bytes =
+          ApproxTupleBytes(width + query.atom_schema(next).arity());
+      ExecMeter meter(ctx);
       for (const Tuple& l : current) {
         for (const Tuple& r : inputs[next]) {
+          if (!meter.Tick(1, row_bytes)) return ctx->status();
           joined_rows.push_back(Tuple::Concat(l, r));
         }
       }
@@ -209,7 +223,11 @@ Result<Relation> EvaluateOptimized(const ConjunctiveQuery& query,
   VIEWAUTH_ASSIGN_OR_RETURN(RelationSchema schema,
                             query.OutputSchema(result_name));
   Relation result(schema);
+  const long long out_bytes =
+      ApproxTupleBytes(static_cast<int>(out_cols.size()));
+  ExecMeter meter(ctx);
   for (const Tuple& t : current) {
+    if (!meter.Tick(1, out_bytes)) return ctx->status();
     result.InsertUnchecked(t.Project(out_cols));
   }
   if (stats != nullptr) {

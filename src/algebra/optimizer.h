@@ -23,10 +23,14 @@
 
 namespace viewauth {
 
+// A non-null `ctx` governs the evaluation (deadline, row/byte budgets,
+// cancellation): rows are charged as scans and joins produce them, and
+// the run aborts mid-join with the context's status once it trips.
 Result<Relation> EvaluateOptimized(const ConjunctiveQuery& query,
                                    const DatabaseInstance& db,
                                    const std::string& result_name = "ANSWER",
-                                   EvalStats* stats = nullptr);
+                                   EvalStats* stats = nullptr,
+                                   ExecContext* ctx = nullptr);
 
 }  // namespace viewauth
 

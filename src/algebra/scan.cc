@@ -7,8 +7,9 @@ namespace viewauth {
 std::vector<uint32_t> SelectRowIds(const Relation& rel,
                                    const RelationSchema& schema,
                                    const ConjunctivePredicate& pred,
-                                   EvalStats* stats) {
+                                   EvalStats* stats, ExecContext* ctx) {
   std::vector<uint32_t> out;
+  ExecMeter meter(ctx);
 
   // Index probe: an equality-with-constant atom whose constant type
   // matches the column's declared type exactly can use the relation's
@@ -60,6 +61,7 @@ std::vector<uint32_t> SelectRowIds(const Relation& rel,
     auto [lo, hi] = index.equal_range(probe_value);
     for (auto it = lo; it != hi; ++it) {
       const uint32_t id = static_cast<uint32_t>(it->second);
+      if (!meter.TickRows(1)) break;
       if (stats != nullptr) ++stats->rows_scanned;
       if (pred.Matches(rel.rows()[id])) out.push_back(id);
     }
@@ -95,12 +97,14 @@ std::vector<uint32_t> SelectRowIds(const Relation& rel,
     }
     for (auto it = begin; it != end; ++it) {
       const uint32_t id = static_cast<uint32_t>(it->second);
+      if (!meter.TickRows(1)) break;
       if (stats != nullptr) ++stats->rows_scanned;
       if (pred.Matches(rel.rows()[id])) out.push_back(id);
     }
   } else {
-    if (stats != nullptr) stats->rows_scanned += rel.size();
     for (uint32_t id = 0; id < static_cast<uint32_t>(rel.size()); ++id) {
+      if (!meter.TickRows(1)) break;
+      if (stats != nullptr) ++stats->rows_scanned;
       if (pred.Matches(rel.rows()[id])) out.push_back(id);
     }
   }

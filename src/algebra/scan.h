@@ -12,6 +12,10 @@
 // strategy — a full scan counts every row of the relation, an index probe
 // or binary-searched range counts exactly the rows the index yields
 // (each of which is fetched and tested against the residual predicate).
+//
+// When `ctx` is non-null, each examined row ticks the execution governor
+// and the scan stops early once the context trips; callers must check
+// ctx->status() before trusting the (then partial) result.
 
 #ifndef VIEWAUTH_ALGEBRA_SCAN_H_
 #define VIEWAUTH_ALGEBRA_SCAN_H_
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "algebra/evaluator.h"
+#include "common/exec_context.h"
 #include "predicate/predicate.h"
 #include "schema/schema.h"
 #include "storage/relation.h"
@@ -29,7 +34,8 @@ namespace viewauth {
 std::vector<uint32_t> SelectRowIds(const Relation& rel,
                                    const RelationSchema& schema,
                                    const ConjunctivePredicate& pred,
-                                   EvalStats* stats);
+                                   EvalStats* stats,
+                                   ExecContext* ctx = nullptr);
 
 }  // namespace viewauth
 

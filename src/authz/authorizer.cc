@@ -52,15 +52,16 @@ struct TimedEval {
 
 TimedEval EvaluateData(const ConjunctiveQuery& query,
                        const DatabaseInstance& db, const char* name,
-                       const AuthorizationOptions& options) {
+                       const AuthorizationOptions& options,
+                       ExecContext* ctx) {
   TimedEval out;
   const auto start = SteadyClock::now();
   if (!options.use_optimized_data_plan) {
-    out.relation = EvaluateCanonical(query, db, name, &out.stats);
+    out.relation = EvaluateCanonical(query, db, name, &out.stats, ctx);
   } else if (options.use_latemat_data_plan) {
-    out.relation = EvaluateLateMaterialized(query, db, name, &out.stats);
+    out.relation = EvaluateLateMaterialized(query, db, name, &out.stats, ctx);
   } else {
-    out.relation = EvaluateOptimized(query, db, name, &out.stats);
+    out.relation = EvaluateOptimized(query, db, name, &out.stats, ctx);
   }
   out.micros = MicrosSince(start);
   return out;
@@ -70,19 +71,20 @@ TimedEval EvaluateData(const ConjunctiveQuery& query,
 // generation as the mask itself (compiled_ is a separate map, so the key
 // may be shared). Compiling is cheap relative to derivation but still
 // worth caching: warm retrieves then skip even the one-pass compile.
+// Routed through the retrieve's txn so an abort leaves no compiled entry.
 std::shared_ptr<const CompiledMask> ObtainCompiledMask(
-    AuthzCache* cache, bool use_cache, const std::string& key,
+    AuthzCacheTxn* txn, bool use_cache, const std::string& key,
     const AuthzGeneration& gen, const MetaRelation& mask) {
   if (use_cache) {
     if (std::shared_ptr<const CompiledMask> cached =
-            cache->LookupCompiledMask(key, gen)) {
+            txn->LookupCompiledMask(key, gen)) {
       return cached;
     }
   }
   auto compiled =
       std::make_shared<const CompiledMask>(CompiledMask::Compile(mask));
-  if (cache != nullptr) cache->CountMaskCompile();
-  if (use_cache) cache->StoreCompiledMask(key, gen, compiled);
+  txn->CountMaskCompile();
+  if (use_cache) txn->StoreCompiledMask(key, gen, compiled);
   return compiled;
 }
 
@@ -101,6 +103,21 @@ AuthzGeneration Authorizer::CurrentGeneration() const {
 Result<MetaRelation> Authorizer::PrunedMetaRelation(
     std::string_view user, const ConjunctiveQuery& query, int atom,
     const AuthorizationOptions& options) const {
+  std::optional<ExecContext> local;
+  const ExecLimits limits = ExecLimitsOf(options);
+  if (limits.any()) local.emplace(limits);
+  AuthzCacheTxn txn(cache_);
+  Result<MetaRelation> result = PrunedMetaRelationGoverned(
+      user, query, atom, options, local.has_value() ? &*local : nullptr,
+      &txn);
+  if (result.ok()) txn.Commit();
+  return result;
+}
+
+Result<MetaRelation> Authorizer::PrunedMetaRelationGoverned(
+    std::string_view user, const ConjunctiveQuery& query, int atom,
+    const AuthorizationOptions& options, ExecContext* ctx,
+    AuthzCacheTxn* txn) const {
   if (atom < 0 || atom >= static_cast<int>(query.atoms().size())) {
     return Status::InvalidArgument("atom index out of range");
   }
@@ -131,7 +148,7 @@ Result<MetaRelation> Authorizer::PrunedMetaRelation(
                      ? std::to_string(options.self_join_rounds)
                      : "0";
     if (std::optional<MetaRelation> cached =
-            cache_->LookupPrepared(cache_key, gen)) {
+            txn->LookupPrepared(cache_key, gen)) {
       return std::move(*cached);
     }
   }
@@ -154,8 +171,15 @@ Result<MetaRelation> Authorizer::PrunedMetaRelation(
   if (options.self_joins) {
     out = WithSelfJoins(out, schema, options.self_join_rounds);
   }
+  // Charge the prepared meta-relation in one batch (self-join inference
+  // can expand it well past the stored tuples).
+  if (ctx != nullptr &&
+      !ctx->Tick(out.size(),
+                 static_cast<long long>(out.size()) * 64 * schema.arity())) {
+    return ctx->status();
+  }
   if (use_cache) {
-    cache_->StorePrepared(std::move(cache_key), gen, out);
+    txn->StorePrepared(std::move(cache_key), gen, out);
   }
   return out;
 }
@@ -196,6 +220,21 @@ Result<MetaRelation> Authorizer::DeriveWideMask(
     std::string_view user, const ConjunctiveQuery& query,
     const AuthorizationOptions& options, MetaRelation* product_stage,
     MaskTrace* trace) const {
+  std::optional<ExecContext> local;
+  const ExecLimits limits = ExecLimitsOf(options);
+  if (limits.any()) local.emplace(limits);
+  AuthzCacheTxn txn(cache_);
+  Result<MetaRelation> result = DeriveWideMaskGoverned(
+      user, query, options, product_stage, trace,
+      local.has_value() ? &*local : nullptr, &txn);
+  if (result.ok()) txn.Commit();
+  return result;
+}
+
+Result<MetaRelation> Authorizer::DeriveWideMaskGoverned(
+    std::string_view user, const ConjunctiveQuery& query,
+    const AuthorizationOptions& options, MetaRelation* product_stage,
+    MaskTrace* trace, ExecContext* ctx, AuthzCacheTxn* txn) const {
   MetaOpOptions op_options;
   op_options.padding = options.padding;
   op_options.four_case = options.four_case;
@@ -217,16 +256,21 @@ Result<MetaRelation> Authorizer::DeriveWideMask(
     if (!seen) distinct.emplace_back(rel, static_cast<int>(a));
   }
   std::map<std::string, MetaRelation> per_relation;
+  // A saturated pool degrades gracefully to inline preparation: with the
+  // bounded submission queue, fanning out from within an already-full
+  // pool would only trade queue waits for inline work.
   if (options.parallel_meta_evaluation && trace == nullptr &&
-      distinct.size() > 1) {
+      distinct.size() > 1 && !GlobalThreadPool().Saturated()) {
     std::vector<std::future<Result<MetaRelation>>> futures;
     futures.reserve(distinct.size());
     for (const auto& [rel, atom] : distinct) {
       (void)rel;
+      // ctx and txn are internally synchronized; the workers share both.
       futures.push_back(
           GlobalThreadPool().Submit([this, user, &query, atom = atom,
-                                     &options] {
-            return PrunedMetaRelation(user, query, atom, options);
+                                     &options, ctx, txn] {
+            return PrunedMetaRelationGoverned(user, query, atom, options,
+                                              ctx, txn);
           }));
     }
     // Collect every future before acting on errors: the tasks reference
@@ -247,12 +291,14 @@ Result<MetaRelation> Authorizer::DeriveWideMask(
         bare.self_joins = false;
         bare.use_meta_cache = false;
         VIEWAUTH_ASSIGN_OR_RETURN(
-            MetaRelation stored, PrunedMetaRelation(user, query, atom, bare));
+            MetaRelation stored,
+            PrunedMetaRelationGoverned(user, query, atom, bare, ctx, txn));
         trace->operands.push_back(
             MaskTrace::OperandStage{rel, stored.size(), 0});
       }
       VIEWAUTH_ASSIGN_OR_RETURN(
-          MetaRelation meta, PrunedMetaRelation(user, query, atom, options));
+          MetaRelation meta,
+          PrunedMetaRelationGoverned(user, query, atom, options, ctx, txn));
       if (trace != nullptr) {
         trace->operands.back().with_self_joins = meta.size();
       }
@@ -313,7 +359,9 @@ Result<MetaRelation> Authorizer::DeriveWideMask(
     if (a == 0) {
       current = operand;
     } else {
-      current = RemoveDuplicates(MetaProduct(current, operand, op_options));
+      current = RemoveDuplicates(
+          MetaProduct(current, operand, op_options, ctx));
+      if (ctx != nullptr && !ctx->ok()) return ctx->status();
     }
     if (options.prune_dangling) {
       const int before = current.size();
@@ -362,7 +410,8 @@ Result<MetaRelation> Authorizer::DeriveWideMask(
                                          cond.rhs_const);
     const int before = current.size();
     current = MetaSelect(current, sel, op_options,
-                         catalog_->synthetic_allocator());
+                         catalog_->synthetic_allocator(), ctx);
+    if (ctx != nullptr && !ctx->ok()) return ctx->status();
     if (trace != nullptr) {
       std::string predicate =
           product_names[static_cast<size_t>(query.FlatIndex(cond.lhs))];
@@ -384,6 +433,9 @@ Result<MetaRelation> Authorizer::DeriveWideMask(
   // "between 300,000 and 600,000"). Express the query's full selection
   // over column terms and clear implied cells.
   if (options.four_case) {
+    // The implied-restriction pass may call the constraint solver per
+    // tuple; probe the deadline once before entering it.
+    if (ctx != nullptr && !ctx->CheckNow()) return ctx->status();
     auto column_term = [](int col) -> TermId { return -(col + 1); };
     ConstraintSet lambda;
     {
@@ -407,7 +459,7 @@ Result<MetaRelation> Authorizer::DeriveWideMask(
     ClearImpliedRestrictions(&current, lambda, column_term);
   }
 
-  if (cache_ != nullptr) cache_->CountPruned(pruned);
+  txn->CountPruned(pruned);
   return current;
 }
 
@@ -415,6 +467,21 @@ Result<MetaRelation> Authorizer::DeriveMask(
     std::string_view user, const ConjunctiveQuery& query,
     const AuthorizationOptions& options, MetaRelation* product_stage,
     MaskTrace* trace) const {
+  std::optional<ExecContext> local;
+  const ExecLimits limits = ExecLimitsOf(options);
+  if (limits.any()) local.emplace(limits);
+  AuthzCacheTxn txn(cache_);
+  Result<MetaRelation> result = DeriveMaskGoverned(
+      user, query, options, product_stage, trace,
+      local.has_value() ? &*local : nullptr, &txn);
+  if (result.ok()) txn.Commit();
+  return result;
+}
+
+Result<MetaRelation> Authorizer::DeriveMaskGoverned(
+    std::string_view user, const ConjunctiveQuery& query,
+    const AuthorizationOptions& options, MetaRelation* product_stage,
+    MaskTrace* trace, ExecContext* ctx, AuthzCacheTxn* txn) const {
   // The full S' run is cacheable whenever no intermediate stage was
   // requested: the mask depends only on the user, the query signature,
   // and the options folded into the key.
@@ -426,14 +493,15 @@ Result<MetaRelation> Authorizer::DeriveMask(
     gen = CurrentGeneration();
     cache_key = MaskCacheKey(user, query, options, /*wide=*/false);
     if (std::optional<MetaRelation> cached =
-            cache_->LookupMask(cache_key, gen)) {
+            txn->LookupMask(cache_key, gen)) {
       return std::move(*cached);
     }
   }
 
   VIEWAUTH_ASSIGN_OR_RETURN(
       MetaRelation current,
-      DeriveWideMask(user, query, options, product_stage, trace));
+      DeriveWideMaskGoverned(user, query, options, product_stage, trace,
+                             ctx, txn));
 
   // S' step 3: the final projection onto the requested columns.
   std::vector<int> keep;
@@ -462,7 +530,7 @@ Result<MetaRelation> Authorizer::DeriveMask(
   mask = RemoveDuplicates(mask, /*respect_provenance=*/false);
   if (options.subsumption) mask = RemoveSubsumed(mask);
   if (trace != nullptr) trace->final_mask = mask.size();
-  if (use_cache) cache_->StoreMask(std::move(cache_key), gen, mask);
+  if (use_cache) txn->StoreMask(std::move(cache_key), gen, mask);
   return mask;
 }
 
@@ -510,14 +578,16 @@ bool Authorizer::RowSatisfies(const MetaTuple& tuple, const Tuple& row) {
 
 Relation Authorizer::ApplyMask(const Relation& answer,
                                const MetaRelation& mask,
-                               bool drop_fully_masked_rows) {
+                               bool drop_fully_masked_rows,
+                               ExecContext* ctx) {
   return ApplyMask(answer, CompiledMask::Compile(mask),
-                   drop_fully_masked_rows);
+                   drop_fully_masked_rows, ctx);
 }
 
 Relation Authorizer::ApplyMask(const Relation& answer,
                                const CompiledMask& mask,
-                               bool drop_fully_masked_rows) {
+                               bool drop_fully_masked_rows,
+                               ExecContext* ctx) {
   Relation out(answer.schema());
   if (mask.tuples.empty()) return out;
 
@@ -527,7 +597,9 @@ Relation Authorizer::ApplyMask(const Relation& answer,
   // tuple-1's columns and tuple-2's columns side by side would reveal
   // their association, which is derivable from the permitted views only
   // when a (self-)joined mask tuple grants the combination explicitly.
+  ExecMeter meter(ctx);
   for (const Tuple& row : answer.rows()) {
+    if (!meter.TickRows(1)) break;
     bool any = false;
     for (const CompiledMaskTuple& tuple : mask.tuples) {
       if (!tuple.any_projected()) continue;
@@ -552,16 +624,19 @@ Relation Authorizer::ApplyWideMask(const Relation& wide_answer,
                                    const MetaRelation& wide_mask,
                                    const std::vector<int>& target_columns,
                                    const RelationSchema& answer_schema,
-                                   bool drop_fully_masked_rows) {
+                                   bool drop_fully_masked_rows,
+                                   ExecContext* ctx) {
   return ApplyWideMask(wide_answer, CompiledMask::Compile(wide_mask),
-                       target_columns, answer_schema, drop_fully_masked_rows);
+                       target_columns, answer_schema, drop_fully_masked_rows,
+                       ctx);
 }
 
 Relation Authorizer::ApplyWideMask(const Relation& wide_answer,
                                    const CompiledMask& wide_mask,
                                    const std::vector<int>& target_columns,
                                    const RelationSchema& answer_schema,
-                                   bool drop_fully_masked_rows) {
+                                   bool drop_fully_masked_rows,
+                                   ExecContext* ctx) {
   Relation out(answer_schema);
   const int width = static_cast<int>(target_columns.size());
 
@@ -579,7 +654,9 @@ Relation Authorizer::ApplyWideMask(const Relation& wide_answer,
     }
   }
 
+  ExecMeter meter(ctx);
   for (const Tuple& wide_row : wide_answer.rows()) {
+    if (!meter.TickRows(1)) break;
     bool any = false;
     for (size_t t = 0; t < wide_mask.tuples.size(); ++t) {
       if (!tuple_relevant[t]) continue;
@@ -738,19 +815,24 @@ std::vector<InferredPermit> Authorizer::DescribeMask(
 
 Result<AuthorizationResult> Authorizer::RetrieveExtended(
     std::string_view user, const ConjunctiveQuery& query,
-    const AuthorizationOptions& options, StageTimes* times) const {
+    const AuthorizationOptions& options, StageTimes* times,
+    ExecContext* ctx, AuthzCacheTxn* txn) const {
   AuthorizationResult result;
 
   // Evaluate the answer *before* the final projection so that mask
   // predicates over non-requested attributes can be tested per row.
   // During parallel retrieves the data plan runs on the pool, concurrent
-  // with mask derivation on this thread.
+  // with mask derivation on this thread. Both sides share `ctx`: the
+  // budget is symmetric across S and S' (a trip on either aborts both).
+  // A saturated pool falls back to inline evaluation rather than queuing
+  // behind every other session's work.
   ConjunctiveQuery wide_query = query.WithAllColumnsProjected();
   std::future<TimedEval> data_future;
-  if (options.parallel_meta_evaluation) {
-    data_future = GlobalThreadPool().Submit([this, &wide_query, &options] {
-      return EvaluateData(wide_query, *db_, "WIDE", options);
-    });
+  if (options.parallel_meta_evaluation && !GlobalThreadPool().Saturated()) {
+    data_future =
+        GlobalThreadPool().Submit([this, &wide_query, &options, ctx] {
+          return EvaluateData(wide_query, *db_, "WIDE", options, ctx);
+        });
   }
 
   // The post-processed wide mask (deduplicated, subsumption-reduced,
@@ -766,13 +848,14 @@ Result<AuthorizationResult> Authorizer::RetrieveExtended(
     gen = CurrentGeneration();
     cache_key = MaskCacheKey(user, query, options, /*wide=*/true);
     if (std::optional<MetaRelation> cached =
-            cache_->LookupMask(cache_key, gen)) {
+            txn->LookupMask(cache_key, gen)) {
       wide = std::move(*cached);
       have_mask = true;
     }
   }
   if (!have_mask) {
-    Result<MetaRelation> derived = DeriveWideMask(user, query, options);
+    Result<MetaRelation> derived = DeriveWideMaskGoverned(
+        user, query, options, nullptr, nullptr, ctx, txn);
     if (!derived.ok()) {
       // Drain the concurrent data evaluation before unwinding: the task
       // references this call's locals.
@@ -799,16 +882,18 @@ Result<AuthorizationResult> Authorizer::RetrieveExtended(
       for (MetaTuple& tuple : wide.tuples()) renamed.Add(std::move(tuple));
       wide = std::move(renamed);
     }
-    if (use_cache) cache_->StoreMask(std::move(cache_key), gen, wide);
+    if (use_cache) txn->StoreMask(std::move(cache_key), gen, wide);
   }
   times->mask_micros = MicrosSince(mask_start);
   result.mask = wide;
 
-  TimedEval data = data_future.valid()
-                       ? data_future.get()
-                       : EvaluateData(wide_query, *db_, "WIDE", options);
+  TimedEval data =
+      data_future.valid()
+          ? data_future.get()
+          : EvaluateData(wide_query, *db_, "WIDE", options, ctx);
   times->data_micros = data.micros;
   VIEWAUTH_RETURN_NOT_OK(data.relation.status());
+  if (ctx != nullptr && !ctx->ok()) return ctx->status();
   Relation wide_answer = std::move(*data.relation);
   result.data_stats = data.stats;
 
@@ -820,8 +905,14 @@ Result<AuthorizationResult> Authorizer::RetrieveExtended(
   VIEWAUTH_ASSIGN_OR_RETURN(RelationSchema answer_schema,
                             query.OutputSchema("ANSWER"));
   result.raw_answer = Relation(answer_schema);
-  for (const Tuple& row : wide_answer.rows()) {
-    result.raw_answer.InsertUnchecked(row.Project(target_columns));
+  const long long answer_bytes =
+      ApproxTupleBytes(static_cast<int>(target_columns.size()));
+  {
+    ExecMeter meter(ctx);
+    for (const Tuple& row : wide_answer.rows()) {
+      if (!meter.Tick(1, answer_bytes)) return ctx->status();
+      result.raw_answer.InsertUnchecked(row.Project(target_columns));
+    }
   }
   result.data_stats.output_rows = result.raw_answer.size();
 
@@ -867,13 +958,14 @@ Result<AuthorizationResult> Authorizer::RetrieveExtended(
 
   const auto apply_start = SteadyClock::now();
   std::shared_ptr<const CompiledMask> compiled = ObtainCompiledMask(
-      cache_, use_cache,
+      txn, use_cache,
       use_cache ? MaskCacheKey(user, query, options, /*wide=*/true)
                 : std::string(),
       gen, wide);
   result.answer = ApplyWideMask(wide_answer, *compiled, target_columns,
                                 answer_schema,
-                                options.drop_fully_masked_rows);
+                                options.drop_fully_masked_rows, ctx);
+  if (ctx != nullptr && !ctx->ok()) return ctx->status();
   result.permits = DescribeWideMask(wide, query);
   times->apply_micros = MicrosSince(apply_start);
   return result;
@@ -881,42 +973,70 @@ Result<AuthorizationResult> Authorizer::RetrieveExtended(
 
 Result<AuthorizationResult> Authorizer::Retrieve(
     std::string_view user, const ConjunctiveQuery& query,
-    const AuthorizationOptions& options) const {
+    const AuthorizationOptions& options, ExecContext* ctx) const {
   const auto start = SteadyClock::now();
+  std::optional<ExecContext> local;
+  if (ctx == nullptr) {
+    const ExecLimits limits = ExecLimitsOf(options);
+    if (limits.any()) {
+      local.emplace(limits);
+      ctx = &*local;
+    }
+  }
   StageTimes times;
+  AuthzCacheTxn txn(cache_);
   Result<AuthorizationResult> result =
       options.extended_masks
-          ? RetrieveExtended(user, query, options, &times)
-          : RetrieveStandard(user, query, options, &times);
-  if (cache_ != nullptr) {
-    cache_->CountRetrieve(options.parallel_meta_evaluation);
-    cache_->AddStageTimes(times.mask_micros, times.data_micros,
-                          times.apply_micros, MicrosSince(start));
+          ? RetrieveExtended(user, query, options, &times, ctx, &txn)
+          : RetrieveStandard(user, query, options, &times, ctx, &txn);
+  // Belt and braces: a tripped context must never deliver an answer,
+  // even if every stage individually missed the trip.
+  if (result.ok() && ctx != nullptr && !ctx->ok()) result = ctx->status();
+  if (cache_ != nullptr && ctx != nullptr) {
+    // The governor's own books survive the abort (they record it);
+    // everything else rides the txn and commits on success only, so an
+    // aborted retrieve leaves cache contents and counters exactly as if
+    // it had never run.
+    cache_->AddGovernorChecks(ctx->checks());
+  }
+  if (result.ok()) {
+    txn.CountRetrieve(options.parallel_meta_evaluation);
+    txn.AddStageTimes(times.mask_micros, times.data_micros,
+                      times.apply_micros, MicrosSince(start));
+    txn.Commit();
+  } else if (cache_ != nullptr) {
+    cache_->CountGovernedAbort(result.status().code());
   }
   return result;
 }
 
 Result<AuthorizationResult> Authorizer::RetrieveStandard(
     std::string_view user, const ConjunctiveQuery& query,
-    const AuthorizationOptions& options, StageTimes* times) const {
+    const AuthorizationOptions& options, StageTimes* times,
+    ExecContext* ctx, AuthzCacheTxn* txn) const {
   AuthorizationResult result;
 
   // During parallel retrieves the S data plan runs on the pool while
-  // this thread derives the S' mask.
+  // this thread derives the S' mask. Both sides share `ctx` — the budget
+  // is symmetric across the commutative diagram, so tripping on either
+  // aborts the whole retrieve. A saturated pool falls back to inline
+  // evaluation rather than queuing behind other sessions' work.
   std::future<TimedEval> data_future;
-  if (options.parallel_meta_evaluation) {
-    data_future = GlobalThreadPool().Submit([this, &query, &options] {
-      return EvaluateData(query, *db_, "ANSWER", options);
+  if (options.parallel_meta_evaluation && !GlobalThreadPool().Saturated()) {
+    data_future = GlobalThreadPool().Submit([this, &query, &options, ctx] {
+      return EvaluateData(query, *db_, "ANSWER", options, ctx);
     });
   }
 
   const auto mask_start = SteadyClock::now();
-  Result<MetaRelation> mask = DeriveMask(user, query, options);
+  Result<MetaRelation> mask =
+      DeriveMaskGoverned(user, query, options, nullptr, nullptr, ctx, txn);
   times->mask_micros = MicrosSince(mask_start);
 
-  TimedEval data = data_future.valid()
-                       ? data_future.get()
-                       : EvaluateData(query, *db_, "ANSWER", options);
+  TimedEval data =
+      data_future.valid()
+          ? data_future.get()
+          : EvaluateData(query, *db_, "ANSWER", options, ctx);
   times->data_micros = data.micros;
 
   // The data future is drained either way, so unwinding on a mask error
@@ -924,6 +1044,7 @@ Result<AuthorizationResult> Authorizer::RetrieveStandard(
   VIEWAUTH_RETURN_NOT_OK(mask.status());
   result.mask = std::move(*mask);
   VIEWAUTH_RETURN_NOT_OK(data.relation.status());
+  if (ctx != nullptr && !ctx->ok()) return ctx->status();
   result.raw_answer = std::move(*data.relation);
   result.data_stats = data.stats;
 
@@ -969,12 +1090,13 @@ Result<AuthorizationResult> Authorizer::RetrieveStandard(
   const auto apply_start = SteadyClock::now();
   const bool use_cache = cache_ != nullptr && options.enable_authz_cache;
   std::shared_ptr<const CompiledMask> compiled = ObtainCompiledMask(
-      cache_, use_cache,
+      txn, use_cache,
       use_cache ? MaskCacheKey(user, query, options, /*wide=*/false)
                 : std::string(),
       use_cache ? CurrentGeneration() : AuthzGeneration{}, result.mask);
   result.answer = ApplyMask(result.raw_answer, *compiled,
-                            options.drop_fully_masked_rows);
+                            options.drop_fully_masked_rows, ctx);
+  if (ctx != nullptr && !ctx->ok()) return ctx->status();
   result.permits = DescribeMask(result.mask);
   times->apply_micros = MicrosSince(apply_start);
   return result;

@@ -24,6 +24,7 @@
 #include "algebra/evaluator.h"
 #include "authz/authz_cache.h"
 #include "calculus/conjunctive_query.h"
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "meta/meta_tuple.h"
 #include "meta/ops.h"
@@ -80,7 +81,31 @@ struct AuthorizationOptions {
   // issued, or a deny whose effect a group grant still re-grants. Off by
   // default; the REPL exposes it as `set analyze on`.
   bool analyze_grants = false;
+
+  // --- execution governance (0 = unlimited throughout) ------------------
+  // Per-statement wall-clock deadline. Both the S data plan and the S'
+  // meta plan run under one shared ExecContext, so the deadline bounds
+  // the whole retrieve, not one side of the commutative diagram.
+  long long deadline_ms = 0;
+  // Budget on rows processed (scanned + produced, data and meta alike).
+  long long max_rows = 0;
+  // Budget on approximate bytes materialized (ApproxTupleBytes-based).
+  long long max_bytes = 0;
+  // Admission control (enforced by the engine, not the authorizer):
+  // at most this many retrieves run concurrently; excess waits.
+  int max_concurrent = 0;
+  // How many retrieves may wait for an admission slot before newcomers
+  // are shed immediately with Unavailable.
+  int admission_queue = 4;
+  // How long a queued retrieve waits for a slot before giving up.
+  long long admission_timeout_ms = 100;
 };
+
+// The governance limits of `options` as ExecContext input.
+inline ExecLimits ExecLimitsOf(const AuthorizationOptions& options) {
+  return ExecLimits{options.deadline_ms, options.max_rows,
+                    options.max_bytes};
+}
 
 // A trace of the mask-derivation pipeline, for EXPLAIN-style output and
 // diagnostics. Counters are tuple counts at each stage.
@@ -143,10 +168,17 @@ class Authorizer {
              AuthzCache* cache = nullptr)
       : db_(db), catalog_(catalog), cache_(cache) {}
 
-  // Full pipeline for a user's retrieve.
-  Result<AuthorizationResult> Retrieve(
-      std::string_view user, const ConjunctiveQuery& query,
-      const AuthorizationOptions& options = {}) const;
+  // Full pipeline for a user's retrieve. A non-null `ctx` governs both
+  // sides (S and S') of the run; when `ctx` is null and the options carry
+  // limits, a context is constructed locally. On a governed abort — or
+  // any other failure — the authorization cache and its counters are left
+  // exactly as if the retrieve had never run (writes are staged in an
+  // AuthzCacheTxn and only committed on success); the governor's own
+  // abort counters are the sole trace.
+  Result<AuthorizationResult> Retrieve(std::string_view user,
+                                       const ConjunctiveQuery& query,
+                                       const AuthorizationOptions& options = {},
+                                       ExecContext* ctx = nullptr) const;
 
   // Steps exposed for tests, experiments and benchmarks ----------------
 
@@ -192,11 +224,15 @@ class Authorizer {
 
   // Step 5: masks `answer` (whose columns correspond to the mask's).
   // Compiles the mask on the fly; the overload below takes a compiled
-  // mask (typically cached) and is the hot-path entry.
+  // mask (typically cached) and is the hot-path entry. A non-null `ctx`
+  // ticks per answer row and stops masking once tripped; callers must
+  // check ctx->status() before delivering the (then partial) result.
   static Relation ApplyMask(const Relation& answer, const MetaRelation& mask,
-                            bool drop_fully_masked_rows);
+                            bool drop_fully_masked_rows,
+                            ExecContext* ctx = nullptr);
   static Relation ApplyMask(const Relation& answer, const CompiledMask& mask,
-                            bool drop_fully_masked_rows);
+                            bool drop_fully_masked_rows,
+                            ExecContext* ctx = nullptr);
 
   // Extended-mask variant of step 5: `wide_answer` holds the
   // pre-projection rows (all product columns); each wide-mask tuple's
@@ -207,12 +243,14 @@ class Authorizer {
                                 const MetaRelation& wide_mask,
                                 const std::vector<int>& target_columns,
                                 const RelationSchema& answer_schema,
-                                bool drop_fully_masked_rows);
+                                bool drop_fully_masked_rows,
+                                ExecContext* ctx = nullptr);
   static Relation ApplyWideMask(const Relation& wide_answer,
                                 const CompiledMask& wide_mask,
                                 const std::vector<int>& target_columns,
                                 const RelationSchema& answer_schema,
-                                bool drop_fully_masked_rows);
+                                bool drop_fully_masked_rows,
+                                ExecContext* ctx = nullptr);
 
   // True when `row` satisfies the selection predicate of `tuple`.
   static bool RowSatisfies(const MetaTuple& tuple, const Tuple& row);
@@ -229,14 +267,33 @@ class Authorizer {
     long long apply_micros = 0;
   };
 
-  // The standard (projection-limited) delivery flow.
+  // The standard (projection-limited) delivery flow. `ctx` may be null;
+  // `txn` never is — all cache traffic stages through it.
   Result<AuthorizationResult> RetrieveStandard(
       std::string_view user, const ConjunctiveQuery& query,
-      const AuthorizationOptions& options, StageTimes* times) const;
+      const AuthorizationOptions& options, StageTimes* times,
+      ExecContext* ctx, AuthzCacheTxn* txn) const;
   // The extended-mask delivery flow (options.extended_masks).
   Result<AuthorizationResult> RetrieveExtended(
       std::string_view user, const ConjunctiveQuery& query,
-      const AuthorizationOptions& options, StageTimes* times) const;
+      const AuthorizationOptions& options, StageTimes* times,
+      ExecContext* ctx, AuthzCacheTxn* txn) const;
+
+  // Governed bodies of the public pipeline steps: the public methods are
+  // thin wrappers that build a local context (when the options carry
+  // limits) and a txn, and commit the txn on success.
+  Result<MetaRelation> PrunedMetaRelationGoverned(
+      std::string_view user, const ConjunctiveQuery& query, int atom,
+      const AuthorizationOptions& options, ExecContext* ctx,
+      AuthzCacheTxn* txn) const;
+  Result<MetaRelation> DeriveWideMaskGoverned(
+      std::string_view user, const ConjunctiveQuery& query,
+      const AuthorizationOptions& options, MetaRelation* product_stage,
+      MaskTrace* trace, ExecContext* ctx, AuthzCacheTxn* txn) const;
+  Result<MetaRelation> DeriveMaskGoverned(
+      std::string_view user, const ConjunctiveQuery& query,
+      const AuthorizationOptions& options, MetaRelation* product_stage,
+      MaskTrace* trace, ExecContext* ctx, AuthzCacheTxn* txn) const;
 
   // The current invalidation clock (catalog version, schema version).
   AuthzGeneration CurrentGeneration() const;

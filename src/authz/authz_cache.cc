@@ -24,7 +24,17 @@ std::string AuthzStats::ToString() const {
       << "  meta pruned:      " << meta_tuples_pruned << " tuple(s)\n"
       << "  wall times (us):  mask=" << mask_derivation_micros
       << " data=" << data_eval_micros << " apply=" << mask_apply_micros
-      << " total=" << total_micros << "\n";
+      << " total=" << total_micros << "\n"
+      << "governor stats:\n"
+      << "  deadline aborts:  " << deadline_exceeded << "\n"
+      << "  budget aborts:    " << budget_exceeded << "\n"
+      << "  cancellations:    " << cancelled << "\n"
+      << "  clock probes:     " << governor_checks << "\n"
+      << "admission stats:\n"
+      << "  attempts:         " << admission_attempts << " (" << admitted
+      << " admitted, " << queued << " queued)\n"
+      << "  shed:             " << shed << " immediate, " << queue_timeouts
+      << " queue timeout(s)\n";
   return out.str();
 }
 
@@ -54,6 +64,16 @@ void AuthzCache::Store(std::map<std::string, Entry>* entries,
   (*entries)[std::move(key)] = Entry{gen, value};
 }
 
+std::optional<MetaRelation> AuthzCache::Peek(
+    const std::map<std::string, Entry>& entries, const std::string& key,
+    const AuthzGeneration& gen, bool* stale) {
+  auto it = entries.find(key);
+  if (it == entries.end()) return std::nullopt;
+  if (it->second.gen == gen) return it->second.value;
+  if (stale != nullptr) *stale = true;
+  return std::nullopt;
+}
+
 std::optional<MetaRelation> AuthzCache::LookupPrepared(
     const std::string& key, const AuthzGeneration& gen) {
   return Lookup(&prepared_, key, gen, &prepared_hits_, &prepared_misses_);
@@ -72,6 +92,29 @@ std::optional<MetaRelation> AuthzCache::LookupMask(
 void AuthzCache::StoreMask(std::string key, const AuthzGeneration& gen,
                            const MetaRelation& value) {
   Store(&masks_, std::move(key), gen, value);
+}
+
+std::optional<MetaRelation> AuthzCache::PeekPrepared(
+    const std::string& key, const AuthzGeneration& gen, bool* stale) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Peek(prepared_, key, gen, stale);
+}
+
+std::optional<MetaRelation> AuthzCache::PeekMask(const std::string& key,
+                                                 const AuthzGeneration& gen,
+                                                 bool* stale) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Peek(masks_, key, gen, stale);
+}
+
+std::shared_ptr<const CompiledMask> AuthzCache::PeekCompiledMask(
+    const std::string& key, const AuthzGeneration& gen, bool* stale) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = compiled_.find(key);
+  if (it == compiled_.end()) return nullptr;
+  if (it->second.gen == gen) return it->second.value;
+  if (stale != nullptr) *stale = true;
+  return nullptr;
 }
 
 std::shared_ptr<const CompiledMask> AuthzCache::LookupCompiledMask(
@@ -127,6 +170,48 @@ void AuthzCache::AddStageTimes(long long mask_micros, long long data_micros,
   total_micros_.fetch_add(total_micros, std::memory_order_relaxed);
 }
 
+void AuthzCache::ApplyTxnCounters(const AuthzTxnCounters& c) {
+  retrieves_.fetch_add(c.retrieves, std::memory_order_relaxed);
+  parallel_retrieves_.fetch_add(c.parallel_retrieves,
+                                std::memory_order_relaxed);
+  prepared_hits_.fetch_add(c.prepared_hits, std::memory_order_relaxed);
+  prepared_misses_.fetch_add(c.prepared_misses, std::memory_order_relaxed);
+  mask_hits_.fetch_add(c.mask_hits, std::memory_order_relaxed);
+  mask_misses_.fetch_add(c.mask_misses, std::memory_order_relaxed);
+  mask_compiles_.fetch_add(c.mask_compiles, std::memory_order_relaxed);
+  invalidations_.fetch_add(c.invalidations, std::memory_order_relaxed);
+  meta_tuples_pruned_.fetch_add(c.meta_tuples_pruned,
+                                std::memory_order_relaxed);
+  mask_derivation_micros_.fetch_add(c.mask_derivation_micros,
+                                    std::memory_order_relaxed);
+  data_eval_micros_.fetch_add(c.data_eval_micros, std::memory_order_relaxed);
+  mask_apply_micros_.fetch_add(c.mask_apply_micros,
+                               std::memory_order_relaxed);
+  total_micros_.fetch_add(c.total_micros, std::memory_order_relaxed);
+}
+
+void AuthzCache::CountGovernedAbort(StatusCode code) {
+  switch (code) {
+    case StatusCode::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kResourceExhausted:
+      budget_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+}
+
+void AuthzCache::AddGovernorChecks(long long checks) {
+  if (checks > 0) {
+    governor_checks_.fetch_add(checks, std::memory_order_relaxed);
+  }
+}
+
 AuthzStats AuthzCache::Snapshot() const {
   AuthzStats stats;
   stats.retrieves = retrieves_.load(std::memory_order_relaxed);
@@ -146,6 +231,11 @@ AuthzStats AuthzCache::Snapshot() const {
   stats.mask_apply_micros =
       mask_apply_micros_.load(std::memory_order_relaxed);
   stats.total_micros = total_micros_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.budget_exceeded = budget_exceeded_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.governor_checks = governor_checks_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -163,6 +253,144 @@ void AuthzCache::ResetStats() {
   data_eval_micros_.store(0, std::memory_order_relaxed);
   mask_apply_micros_.store(0, std::memory_order_relaxed);
   total_micros_.store(0, std::memory_order_relaxed);
+  deadline_exceeded_.store(0, std::memory_order_relaxed);
+  budget_exceeded_.store(0, std::memory_order_relaxed);
+  cancelled_.store(0, std::memory_order_relaxed);
+  governor_checks_.store(0, std::memory_order_relaxed);
+}
+
+// --- AuthzCacheTxn --------------------------------------------------------
+
+const MetaRelation* AuthzCacheTxn::FindPending(
+    const std::vector<PendingEntry>& pending, const std::string& key) {
+  // Latest store wins; the vectors stay tiny (a handful of keys per
+  // retrieve), so a reverse linear scan beats a map.
+  for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+    if (it->key == key) return &it->value;
+  }
+  return nullptr;
+}
+
+std::optional<MetaRelation> AuthzCacheTxn::LookupPrepared(
+    const std::string& key, const AuthzGeneration& gen) {
+  if (cache_ == nullptr) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const MetaRelation* pending = FindPending(prepared_, key)) {
+    ++counters_.prepared_hits;
+    return *pending;
+  }
+  bool stale = false;
+  std::optional<MetaRelation> hit = cache_->PeekPrepared(key, gen, &stale);
+  if (stale) ++counters_.invalidations;
+  if (hit.has_value()) {
+    ++counters_.prepared_hits;
+  } else {
+    ++counters_.prepared_misses;
+  }
+  return hit;
+}
+
+void AuthzCacheTxn::StorePrepared(std::string key, const AuthzGeneration& gen,
+                                  const MetaRelation& value) {
+  if (cache_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  prepared_.push_back(PendingEntry{std::move(key), gen, value});
+}
+
+std::optional<MetaRelation> AuthzCacheTxn::LookupMask(
+    const std::string& key, const AuthzGeneration& gen) {
+  if (cache_ == nullptr) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const MetaRelation* pending = FindPending(masks_, key)) {
+    ++counters_.mask_hits;
+    return *pending;
+  }
+  bool stale = false;
+  std::optional<MetaRelation> hit = cache_->PeekMask(key, gen, &stale);
+  if (stale) ++counters_.invalidations;
+  if (hit.has_value()) {
+    ++counters_.mask_hits;
+  } else {
+    ++counters_.mask_misses;
+  }
+  return hit;
+}
+
+void AuthzCacheTxn::StoreMask(std::string key, const AuthzGeneration& gen,
+                              const MetaRelation& value) {
+  if (cache_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  masks_.push_back(PendingEntry{std::move(key), gen, value});
+}
+
+std::shared_ptr<const CompiledMask> AuthzCacheTxn::LookupCompiledMask(
+    const std::string& key, const AuthzGeneration& gen) {
+  if (cache_ == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = compiled_.rbegin(); it != compiled_.rend(); ++it) {
+    if (it->key == key) return it->value;
+  }
+  bool stale = false;
+  std::shared_ptr<const CompiledMask> hit =
+      cache_->PeekCompiledMask(key, gen, &stale);
+  if (stale) ++counters_.invalidations;
+  return hit;
+}
+
+void AuthzCacheTxn::StoreCompiledMask(
+    std::string key, const AuthzGeneration& gen,
+    std::shared_ptr<const CompiledMask> value) {
+  if (cache_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  compiled_.push_back(PendingCompiled{std::move(key), gen, std::move(value)});
+}
+
+void AuthzCacheTxn::CountRetrieve(bool parallel) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.retrieves;
+  if (parallel) ++counters_.parallel_retrieves;
+}
+
+void AuthzCacheTxn::CountPruned(long long tuples) {
+  if (tuples <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.meta_tuples_pruned += tuples;
+}
+
+void AuthzCacheTxn::CountMaskCompile() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.mask_compiles;
+}
+
+void AuthzCacheTxn::AddStageTimes(long long mask_micros, long long data_micros,
+                                  long long apply_micros,
+                                  long long total_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.mask_derivation_micros += mask_micros;
+  counters_.data_eval_micros += data_micros;
+  counters_.mask_apply_micros += apply_micros;
+  counters_.total_micros += total_micros;
+}
+
+void AuthzCacheTxn::Commit() {
+  if (cache_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (committed_) return;
+  committed_ = true;
+  for (PendingEntry& e : prepared_) {
+    cache_->StorePrepared(std::move(e.key), e.gen, e.value);
+  }
+  for (PendingEntry& e : masks_) {
+    cache_->StoreMask(std::move(e.key), e.gen, e.value);
+  }
+  for (PendingCompiled& e : compiled_) {
+    cache_->StoreCompiledMask(std::move(e.key), e.gen, std::move(e.value));
+  }
+  prepared_.clear();
+  masks_.clear();
+  compiled_.clear();
+  cache_->ApplyTxnCounters(counters_);
+  counters_ = AuthzTxnCounters{};
 }
 
 }  // namespace viewauth

@@ -23,6 +23,12 @@
 //
 // The cache is internally synchronized; concurrent sessions may look up,
 // fill, and invalidate freely.
+//
+// AuthzCacheTxn stages a single retrieve's cache traffic so an aborted
+// retrieve (deadline, budget, cancellation — any failure, in fact) leaves
+// the cache and its counters exactly as if the query had never run: reads
+// go through side-effect-free Peek methods, writes and counter deltas are
+// buffered, and Commit() publishes everything atomically on success only.
 
 #ifndef VIEWAUTH_AUTHZ_AUTHZ_CACHE_H_
 #define VIEWAUTH_AUTHZ_AUTHZ_CACHE_H_
@@ -33,8 +39,10 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "authz/compiled_mask.h"
+#include "common/status.h"
 #include "meta/meta_tuple.h"
 
 namespace viewauth {
@@ -50,7 +58,8 @@ struct AuthzGeneration {
 
 // Observability counters for the authorization pipeline. Snapshot of the
 // live atomics held by AuthzCache; all time figures are accumulated
-// wall-clock microseconds.
+// wall-clock microseconds. The admission block is filled in by the
+// engine's AdmissionController, not by the cache.
 struct AuthzStats {
   long long retrieves = 0;           // full Retrieve calls
   long long parallel_retrieves = 0;  // of which ran S and S' concurrently
@@ -66,8 +75,39 @@ struct AuthzStats {
   long long mask_apply_micros = 0;       // step-5 masking wall time
   long long total_micros = 0;            // whole-retrieve wall time
 
+  // --- execution governor -----------------------------------------------
+  long long deadline_exceeded = 0;  // retrieves aborted by deadline
+  long long budget_exceeded = 0;    // retrieves aborted by row/byte budget
+  long long cancelled = 0;          // retrieves aborted by cancellation
+  long long governor_checks = 0;    // amortized wall-clock probes taken
+
+  // --- admission control (engine-side) ----------------------------------
+  long long admission_attempts = 0;
+  long long admitted = 0;
+  long long queued = 0;          // admissions that had to wait for a slot
+  long long shed = 0;            // rejected immediately (queue full)
+  long long queue_timeouts = 0;  // waited, then gave up
+
   // Multi-line human-readable report (the REPL's \stats output).
   std::string ToString() const;
+};
+
+// Counter deltas buffered by an AuthzCacheTxn between first lookup and
+// Commit. Field meanings match the AuthzStats fields of the same name.
+struct AuthzTxnCounters {
+  long long retrieves = 0;
+  long long parallel_retrieves = 0;
+  long long prepared_hits = 0;
+  long long prepared_misses = 0;
+  long long mask_hits = 0;
+  long long mask_misses = 0;
+  long long mask_compiles = 0;
+  long long invalidations = 0;  // stale entries observed via Peek
+  long long meta_tuples_pruned = 0;
+  long long mask_derivation_micros = 0;
+  long long data_eval_micros = 0;
+  long long mask_apply_micros = 0;
+  long long total_micros = 0;
 };
 
 class AuthzCache {
@@ -98,6 +138,19 @@ class AuthzCache {
   void StoreCompiledMask(std::string key, const AuthzGeneration& gen,
                          std::shared_ptr<const CompiledMask> value);
 
+  // --- side-effect-free reads (used by AuthzCacheTxn) -------------------
+  // Peek variants neither count hits/misses nor erase stale entries; a
+  // stale entry reports *stale = true (the txn buffers the observation
+  // and the commit-time Store overwrites the entry under the same key).
+  std::optional<MetaRelation> PeekPrepared(const std::string& key,
+                                           const AuthzGeneration& gen,
+                                           bool* stale) const;
+  std::optional<MetaRelation> PeekMask(const std::string& key,
+                                       const AuthzGeneration& gen,
+                                       bool* stale) const;
+  std::shared_ptr<const CompiledMask> PeekCompiledMask(
+      const std::string& key, const AuthzGeneration& gen, bool* stale) const;
+
   // Drops every entry immediately (the engine routes permit/deny/view/
   // DDL mutations here). The generation check alone already guarantees
   // soundness for callers that mutate the catalog directly; the explicit
@@ -110,6 +163,16 @@ class AuthzCache {
   void CountMaskCompile();
   void AddStageTimes(long long mask_micros, long long data_micros,
                      long long apply_micros, long long total_micros);
+  // Folds a committed transaction's buffered deltas into the live
+  // counters in one shot.
+  void ApplyTxnCounters(const AuthzTxnCounters& c);
+
+  // --- Governor bookkeeping (the governor's own books) ------------------
+  // Deliberately NOT routed through AuthzCacheTxn: these counters record
+  // the abort itself, so they must survive it. Counts only the three
+  // governed-abort codes; anything else is ignored.
+  void CountGovernedAbort(StatusCode code);
+  void AddGovernorChecks(long long checks);
 
   AuthzStats Snapshot() const;
   void ResetStats();
@@ -127,6 +190,9 @@ class AuthzCache {
                                      std::atomic<long long>* misses);
   void Store(std::map<std::string, Entry>* entries, std::string key,
              const AuthzGeneration& gen, const MetaRelation& value);
+  static std::optional<MetaRelation> Peek(
+      const std::map<std::string, Entry>& entries, const std::string& key,
+      const AuthzGeneration& gen, bool* stale);
 
   struct CompiledEntry {
     AuthzGeneration gen;
@@ -151,6 +217,76 @@ class AuthzCache {
   std::atomic<long long> data_eval_micros_{0};
   std::atomic<long long> mask_apply_micros_{0};
   std::atomic<long long> total_micros_{0};
+
+  std::atomic<long long> deadline_exceeded_{0};
+  std::atomic<long long> budget_exceeded_{0};
+  std::atomic<long long> cancelled_{0};
+  std::atomic<long long> governor_checks_{0};
+};
+
+// Stages one retrieve's cache traffic. Reads consult this txn's pending
+// stores first (a retrieve may re-derive under the same key), then the
+// live cache via Peek; writes and counter deltas stay local until
+// Commit(). Dropping the txn without committing discards everything —
+// the abort-cleanliness mechanism for governed (and any other) failures.
+//
+// Internally synchronized: the authorizer's parallel meta-evaluation
+// fan-out shares one txn across pool workers.
+class AuthzCacheTxn {
+ public:
+  // `cache` may be null (caching disabled): lookups miss without
+  // counting, stores and Commit are no-ops.
+  explicit AuthzCacheTxn(AuthzCache* cache) : cache_(cache) {}
+  AuthzCacheTxn(const AuthzCacheTxn&) = delete;
+  AuthzCacheTxn& operator=(const AuthzCacheTxn&) = delete;
+
+  std::optional<MetaRelation> LookupPrepared(const std::string& key,
+                                             const AuthzGeneration& gen);
+  void StorePrepared(std::string key, const AuthzGeneration& gen,
+                     const MetaRelation& value);
+
+  std::optional<MetaRelation> LookupMask(const std::string& key,
+                                         const AuthzGeneration& gen);
+  void StoreMask(std::string key, const AuthzGeneration& gen,
+                 const MetaRelation& value);
+
+  std::shared_ptr<const CompiledMask> LookupCompiledMask(
+      const std::string& key, const AuthzGeneration& gen);
+  void StoreCompiledMask(std::string key, const AuthzGeneration& gen,
+                         std::shared_ptr<const CompiledMask> value);
+
+  void CountRetrieve(bool parallel);
+  void CountPruned(long long tuples);
+  void CountMaskCompile();
+  void AddStageTimes(long long mask_micros, long long data_micros,
+                     long long apply_micros, long long total_micros);
+
+  // Publishes buffered stores and counter deltas to the live cache.
+  // Idempotent; a second call is a no-op.
+  void Commit();
+
+ private:
+  struct PendingEntry {
+    std::string key;
+    AuthzGeneration gen;
+    MetaRelation value;
+  };
+  struct PendingCompiled {
+    std::string key;
+    AuthzGeneration gen;
+    std::shared_ptr<const CompiledMask> value;
+  };
+
+  static const MetaRelation* FindPending(
+      const std::vector<PendingEntry>& pending, const std::string& key);
+
+  AuthzCache* cache_;
+  std::mutex mutex_;
+  std::vector<PendingEntry> prepared_;
+  std::vector<PendingEntry> masks_;
+  std::vector<PendingCompiled> compiled_;
+  AuthzTxnCounters counters_;
+  bool committed_ = false;
 };
 
 }  // namespace viewauth

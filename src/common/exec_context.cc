@@ -1,0 +1,95 @@
+#include "common/exec_context.h"
+
+namespace viewauth {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+SteadyClock::time_point DeadlineFrom(const ExecLimits& limits) {
+  if (limits.deadline_ms <= 0) return SteadyClock::time_point::max();
+  return SteadyClock::now() + std::chrono::milliseconds(limits.deadline_ms);
+}
+
+}  // namespace
+
+ExecContext::ExecContext(const ExecLimits& limits)
+    : governed_(limits.any()),
+      has_deadline_(limits.deadline_ms > 0),
+      deadline_(DeadlineFrom(limits)),
+      deadline_ms_(limits.deadline_ms),
+      max_rows_(limits.max_rows),
+      max_bytes_(limits.max_bytes) {}
+
+bool ExecContext::TickSlow(long long rows, long long bytes) {
+  if (rows > 0 && max_rows_ > 0) {
+    const long long total =
+        rows_.fetch_add(rows, std::memory_order_relaxed) + rows;
+    if (total > max_rows_) {
+      Trip(StatusCode::kResourceExhausted,
+           "row budget of " + std::to_string(max_rows_) +
+               " exhausted after processing " + std::to_string(total) +
+               " rows");
+      return false;
+    }
+  }
+  if (bytes > 0 && max_bytes_ > 0) {
+    const long long total =
+        bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (total > max_bytes_) {
+      Trip(StatusCode::kResourceExhausted,
+           "byte budget of " + std::to_string(max_bytes_) +
+               " exhausted after materializing ~" + std::to_string(total) +
+               " bytes");
+      return false;
+    }
+  }
+  return Probe(rows > 0 ? rows : 1);
+}
+
+bool ExecContext::Probe(long long weight) {
+  if (until_check_.fetch_sub(weight, std::memory_order_relaxed) - weight >
+      0) {
+    return true;
+  }
+  until_check_.store(kCheckStride, std::memory_order_relaxed);
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  if (has_deadline_ && SteadyClock::now() >= deadline_) {
+    Trip(StatusCode::kDeadlineExceeded,
+         "statement ran past its " + std::to_string(deadline_ms_) +
+             " ms deadline");
+    return false;
+  }
+  return !tripped_.load(std::memory_order_relaxed);
+}
+
+bool ExecContext::CheckNow() {
+  if (tripped_.load(std::memory_order_relaxed)) return false;
+  if (!has_deadline_) return true;
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  if (SteadyClock::now() >= deadline_) {
+    Trip(StatusCode::kDeadlineExceeded,
+         "statement ran past its " + std::to_string(deadline_ms_) +
+             " ms deadline");
+    return false;
+  }
+  return true;
+}
+
+Status ExecContext::status() const {
+  if (!tripped_.load(std::memory_order_acquire)) return Status::OK();
+  return Status(trip_code_, trip_message_);
+}
+
+void ExecContext::Cancel(std::string reason) {
+  Trip(StatusCode::kCancelled, std::move(reason));
+}
+
+void ExecContext::Trip(StatusCode code, std::string message) {
+  if (trip_claimed_.exchange(true, std::memory_order_acq_rel)) return;
+  trip_code_ = code;
+  trip_message_ = std::move(message);
+  tripped_.store(true, std::memory_order_release);
+}
+
+}  // namespace viewauth

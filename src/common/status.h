@@ -36,8 +36,15 @@ enum class StatusCode {
   kSchemaMismatch = 7,
   // The component is temporarily unable to serve the request (e.g. a
   // durable engine whose log failed has entered read-only degraded
-  // mode). Retrying without operator intervention will not succeed.
+  // mode, or admission control shed the statement under overload).
   kUnavailable = 8,
+  // The statement ran past its deadline and was aborted mid-evaluation.
+  // Retrying with a larger (or no) deadline may succeed.
+  kDeadlineExceeded = 9,
+  // A per-statement resource budget (rows, bytes) was exhausted.
+  kResourceExhausted = 10,
+  // The statement was cooperatively cancelled from another thread.
+  kCancelled = 11,
 };
 
 // Returns a stable human-readable name, e.g. "Invalid argument".
@@ -84,6 +91,15 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -111,6 +127,19 @@ class Status {
     return code() == StatusCode::kSchemaMismatch;
   }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  // True for the three codes an ExecContext-governed abort produces;
+  // such failures are clean (no state mutated, nothing cached) and the
+  // statement may simply be retried with different limits.
+  bool IsGovernedAbort() const {
+    return IsDeadlineExceeded() || IsResourceExhausted() || IsCancelled();
+  }
 
   // "OK" or "<code name>: <message>".
   std::string ToString() const;

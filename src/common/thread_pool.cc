@@ -4,7 +4,8 @@
 
 namespace viewauth {
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, size_t max_queue)
+    : max_queue_(max_queue) {
   workers_.reserve(static_cast<size_t>(std::max(1, threads)));
   for (int i = 0; i < std::max(1, threads); ++i) {
     workers_.emplace_back([this] { Worker(); });
@@ -17,6 +18,7 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   wake_.notify_all();
+  space_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -30,15 +32,18 @@ void ThreadPool::Worker() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    if (max_queue_ > 0) space_.notify_one();
     task();
   }
 }
 
 ThreadPool& GlobalThreadPool() {
-  static ThreadPool pool([] {
-    unsigned hw = std::thread::hardware_concurrency();
-    return static_cast<int>(std::clamp(hw, 2u, 8u));
-  }());
+  static ThreadPool pool(
+      [] {
+        unsigned hw = std::thread::hardware_concurrency();
+        return static_cast<int>(std::clamp(hw, 2u, 8u));
+      }(),
+      /*max_queue=*/256);
   return pool;
 }
 

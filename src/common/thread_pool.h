@@ -6,11 +6,20 @@
 // Tasks submitted here must never block on other pool tasks' futures —
 // only caller (session) threads wait, so the pool cannot deadlock even
 // with a single worker: queued tasks always drain in submission order.
+//
+// The task queue is optionally bounded (`max_queue`): a Submit that would
+// exceed the bound blocks the *caller* until a worker drains a slot.
+// Caller-blocks is safe under the invariant above — only session threads
+// submit, and workers never do — and it converts unbounded memory growth
+// under overload into backpressure. `queue_depth()`/`Saturated()` let
+// producers (the authorizer's fan-out) probe the backlog and fall back to
+// inline serial evaluation instead of piling on more tasks.
 
 #ifndef VIEWAUTH_COMMON_THREAD_POOL_H_
 #define VIEWAUTH_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstddef>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -22,7 +31,9 @@ namespace viewauth {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(int threads);
+  // `max_queue` bounds the number of queued (not yet running) tasks;
+  // 0 keeps the historical unbounded behaviour.
+  explicit ThreadPool(int threads, size_t max_queue = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -30,14 +41,33 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  // Tasks queued and not yet picked up by a worker. A sampled value —
+  // advisory only, for saturation probes.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  // True when the backlog has reached the pool's own width: every worker
+  // already has a task waiting behind its current one, so a new submit
+  // gains nothing over running inline.
+  bool Saturated() const {
+    return queue_depth() >= static_cast<size_t>(size());
+  }
+
   // Schedules `fn` for execution and returns the future of its result.
+  // Blocks the caller while a bounded queue is full.
   template <typename Fn>
   auto Submit(Fn fn) -> std::future<decltype(fn())> {
     using R = decltype(fn());
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (max_queue_ > 0) {
+        space_.wait(lock,
+                    [this] { return stop_ || queue_.size() < max_queue_; });
+      }
       queue_.push([task] { (*task)(); });
     }
     wake_.notify_one();
@@ -48,15 +78,17 @@ class ThreadPool {
   void Worker();
 
   std::vector<std::thread> workers_;
+  const size_t max_queue_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
+  std::condition_variable space_;
   bool stop_ = false;
 };
 
 // The process-wide pool shared by every engine and authorizer. Sized to
-// the hardware (between 2 and 8 workers); constructed on first use and
-// alive for the remainder of the process.
+// the hardware (between 2 and 8 workers) with a generous bounded queue;
+// constructed on first use and alive for the remainder of the process.
 ThreadPool& GlobalThreadPool();
 
 }  // namespace viewauth

@@ -1,0 +1,76 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace viewauth {
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release();
+    controller_ = nullptr;
+  }
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --in_flight_;
+  slot_free_.notify_one();
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    const AuthorizationOptions& options) {
+  const int max_concurrent = options.max_concurrent;
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++attempts_;
+  if (max_concurrent <= 0 || in_flight_ < max_concurrent) {
+    ++admitted_;
+    ++in_flight_;
+    return Ticket(this);
+  }
+  if (waiting_ >= std::max(0, options.admission_queue)) {
+    ++shed_;
+    return Status::Unavailable(
+        "admission queue full: " + std::to_string(in_flight_) +
+        " retrieve(s) running, " + std::to_string(waiting_) +
+        " waiting; try again later");
+  }
+  ++waiting_;
+  ++queued_;
+  const bool got_slot = slot_free_.wait_for(
+      lock,
+      std::chrono::milliseconds(std::max<long long>(
+          0, options.admission_timeout_ms)),
+      [&] { return in_flight_ < max_concurrent; });
+  --waiting_;
+  if (!got_slot) {
+    ++queue_timeouts_;
+    return Status::Unavailable(
+        "timed out waiting for an admission slot after " +
+        std::to_string(options.admission_timeout_ms) + " ms");
+  }
+  ++admitted_;
+  ++in_flight_;
+  return Ticket(this);
+}
+
+void AdmissionController::FillStats(AuthzStats* stats) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats->admission_attempts = attempts_;
+  stats->admitted = admitted_;
+  stats->queued = queued_;
+  stats->shed = shed_;
+  stats->queue_timeouts = queue_timeouts_;
+}
+
+void AdmissionController::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  attempts_ = 0;
+  admitted_ = 0;
+  queued_ = 0;
+  shed_ = 0;
+  queue_timeouts_ = 0;
+}
+
+}  // namespace viewauth

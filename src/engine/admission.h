@@ -1,0 +1,86 @@
+// Admission control for retrieves: bounds how many run concurrently and
+// how many may wait for a slot, shedding the rest immediately so an
+// overloaded engine degrades by refusing work (Unavailable) instead of
+// queueing unboundedly. Mutating statements are not admitted here — they
+// already serialize on the engine's exclusive state lock.
+//
+// Outcomes are disjoint, so the counters reconcile exactly:
+//   attempts == admitted + shed + queue_timeouts
+// (`queued` counts admissions that waited before being admitted or
+// timing out; it is not a terminal outcome.)
+
+#ifndef VIEWAUTH_ENGINE_ADMISSION_H_
+#define VIEWAUTH_ENGINE_ADMISSION_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "authz/authorizer.h"
+#include "authz/authz_cache.h"
+#include "common/result.h"
+
+namespace viewauth {
+
+class AdmissionController {
+ public:
+  // RAII admission slot: releasing (or destroying) the ticket frees the
+  // slot and wakes one queued retrieve. Movable so it can be returned
+  // through Result and held across the retrieve.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    void Release();
+
+   private:
+    AdmissionController* controller_ = nullptr;
+  };
+
+  AdmissionController() = default;
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Tries to admit one retrieve under the limits in `options`
+  // (max_concurrent <= 0 admits unconditionally). Blocks for at most
+  // options.admission_timeout_ms when the queue has room; returns
+  // Unavailable when shed (queue full) or timed out.
+  Result<Ticket> Admit(const AuthorizationOptions& options);
+
+  // Copies the admission counters into the stats snapshot.
+  void FillStats(AuthzStats* stats) const;
+  void ResetCounters();
+
+ private:
+  friend class Ticket;
+  void Release();
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  int in_flight_ = 0;
+  int waiting_ = 0;
+  long long attempts_ = 0;
+  long long admitted_ = 0;
+  long long queued_ = 0;
+  long long shed_ = 0;
+  long long queue_timeouts_ = 0;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_ENGINE_ADMISSION_H_

@@ -14,6 +14,11 @@ namespace {
 
 constexpr std::string_view kMagic = "#viewauth-log v2\n";
 
+// Retrieves and analyses never touch the log: they are clean
+// non-mutations even when the execution governor aborts them mid-scan
+// (deadline, budget, cancellation, admission shed), so a governed abort
+// can neither append a partial record nor flip the log into degraded
+// mode. tests/governor_test.cc asserts this.
 bool IsMutating(const Statement& stmt) {
   return !std::holds_alternative<RetrieveStmt>(stmt) &&
          !std::holds_alternative<AnalyzeStmt>(stmt);

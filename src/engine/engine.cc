@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "authz/update_guard.h"
@@ -25,6 +26,11 @@ Result<std::string> Engine::ExecuteParsed(const Statement& statement) {
   // evaluate in parallel; every other statement may mutate engine state
   // and takes the lock exclusively.
   if (std::holds_alternative<RetrieveStmt>(statement)) {
+    // Admission happens before the state lock so a queued retrieve never
+    // blocks mutating statements; the ticket outlives the lock, freeing
+    // the slot only after the retrieve fully unwinds.
+    VIEWAUTH_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                              admission_.Admit(options_));
     std::shared_lock<std::shared_mutex> lock(state_mutex_);
     return ExecuteRetrieve(std::get<RetrieveStmt>(statement));
   }
@@ -527,17 +533,63 @@ std::string Engine::GrantAnalysisNotes(const std::string& view,
   return out;
 }
 
+AuthzStats Engine::authz_stats() const {
+  AuthzStats stats = authz_cache_.Snapshot();
+  admission_.FillStats(&stats);
+  return stats;
+}
+
+void Engine::ResetAuthzStats() {
+  authz_cache_.ResetStats();
+  admission_.ResetCounters();
+}
+
+// Registers a retrieve's context for the lifetime of the statement; the
+// destructor runs on every exit path, so an early return via
+// VIEWAUTH_ASSIGN_OR_RETURN never leaks a registration.
+class Engine::ActiveContextGuard {
+ public:
+  ActiveContextGuard(Engine* engine, ExecContext* ctx)
+      : engine_(engine), ctx_(ctx) {
+    std::lock_guard<std::mutex> lock(engine_->cancel_mutex_);
+    engine_->active_contexts_.push_back(ctx_);
+  }
+  ActiveContextGuard(const ActiveContextGuard&) = delete;
+  ActiveContextGuard& operator=(const ActiveContextGuard&) = delete;
+  ~ActiveContextGuard() {
+    std::lock_guard<std::mutex> lock(engine_->cancel_mutex_);
+    auto& active = engine_->active_contexts_;
+    active.erase(std::find(active.begin(), active.end(), ctx_));
+  }
+
+ private:
+  Engine* engine_;
+  ExecContext* ctx_;
+};
+
+int Engine::CancelActiveRetrieves() {
+  std::lock_guard<std::mutex> lock(cancel_mutex_);
+  for (ExecContext* ctx : active_contexts_) ctx->Cancel();
+  return static_cast<int>(active_contexts_.size());
+}
+
 Result<std::string> Engine::ExecuteRetrieve(const RetrieveStmt& stmt) {
   const std::string& user =
       stmt.as_user.empty() ? session_user_ : stmt.as_user;
+
+  // One context spans the whole statement — every or-branch draws on the
+  // same deadline and budgets. Created even when no limits are set so
+  // CancelActiveRetrieves always has a handle to signal.
+  ExecContext ctx(ExecLimitsOf(options_));
+  ActiveContextGuard active(this, &ctx);
 
   AuthorizationResult result;
   if (stmt.or_branches.empty()) {
     VIEWAUTH_ASSIGN_OR_RETURN(
         ConjunctiveQuery query,
         ConjunctiveQuery::FromRetrieve(db_.schema(), stmt));
-    VIEWAUTH_ASSIGN_OR_RETURN(result,
-                              authorizer_->Retrieve(user, query, options_));
+    VIEWAUTH_ASSIGN_OR_RETURN(
+        result, authorizer_->Retrieve(user, query, options_, &ctx));
   } else {
     // Disjunctive retrieve: each conjunctive branch is authorized and
     // evaluated independently; the delivery is the union. Denied only
@@ -558,7 +610,7 @@ Result<std::string> Engine::ExecuteRetrieve(const RetrieveStmt& stmt) {
                                   branch));
       VIEWAUTH_ASSIGN_OR_RETURN(
           AuthorizationResult branch_result,
-          authorizer_->Retrieve(user, query, options_));
+          authorizer_->Retrieve(user, query, options_, &ctx));
       if (first) {
         result = branch_result;
         first = false;

@@ -17,12 +17,15 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "analysis/catalog_analyzer.h"
 #include "authz/audit_log.h"
 #include "authz/authz_cache.h"
 #include "authz/authorizer.h"
+#include "common/exec_context.h"
 #include "common/result.h"
+#include "engine/admission.h"
 #include "meta/view_store.h"
 #include "parser/ast.h"
 #include "storage/relation.h"
@@ -81,8 +84,14 @@ class Engine {
   // The mask-pipeline cache and its observability counters (the REPL's
   // \stats command reads the snapshot).
   AuthzCache& authz_cache() { return authz_cache_; }
-  AuthzStats authz_stats() const { return authz_cache_.Snapshot(); }
-  void ResetAuthzStats() { authz_cache_.ResetStats(); }
+  // Cache + governor counters merged with the admission controller's.
+  AuthzStats authz_stats() const;
+  void ResetAuthzStats();
+
+  // Cooperatively cancels every retrieve currently executing: each one
+  // aborts at its next governor probe with Status::Cancelled, leaving no
+  // trace in the authorization cache. Returns how many were signalled.
+  int CancelActiveRetrieves();
   // Every user-attributed decision (retrieves, guarded updates) lands in
   // the audit log; administrative statements do not.
   const AuditLog& audit_log() const { return audit_log_; }
@@ -103,6 +112,9 @@ class Engine {
   // AnalyzeCatalog without taking the state lock, for callers that
   // already hold it (ExecuteParsed branches).
   AnalysisReport AnalyzeCatalogLocked(const AnalysisOptions& options = {}) const;
+  // RAII registration of a retrieve's ExecContext in the cancellation
+  // registry (defined in engine.cc).
+  class ActiveContextGuard;
   // When options_.analyze_grants is set, the analyzer findings anchored
   // to (view, user) rendered as report lines; empty otherwise.
   std::string GrantAnalysisNotes(const std::string& view,
@@ -123,6 +135,12 @@ class Engine {
   mutable std::shared_mutex state_mutex_;
   // Serializes audit/last_result_ updates between concurrent retrieves.
   std::mutex result_mutex_;
+  // Bounds concurrent retrieves per options_.max_concurrent; mutating
+  // statements bypass it (they serialize on state_mutex_ exclusively).
+  AdmissionController admission_;
+  // Execution contexts of in-flight retrieves, for CancelActiveRetrieves.
+  std::mutex cancel_mutex_;
+  std::vector<ExecContext*> active_contexts_;
 };
 
 }  // namespace viewauth

@@ -31,14 +31,19 @@ std::vector<MetaCell> BlankCells(int n) {
 }  // namespace
 
 MetaRelation MetaProduct(const MetaRelation& left, const MetaRelation& right,
-                         const MetaOpOptions& options) {
+                         const MetaOpOptions& options, ExecContext* ctx) {
   std::vector<Attribute> columns = left.columns();
   columns.insert(columns.end(), right.columns().begin(),
                  right.columns().end());
   MetaRelation out(std::move(columns));
+  // Meta-tuples are heavier than data rows (cells + bookkeeping maps);
+  // the byte charge is a flat per-cell estimate.
+  const long long tuple_bytes = 64 * out.arity();
+  ExecMeter meter(ctx);
 
   for (const MetaTuple& l : left.tuples()) {
     for (const MetaTuple& r : right.tuples()) {
+      if (!meter.Tick(1, tuple_bytes)) return out;
       MetaTuple q;
       q.cells() = l.cells();
       q.cells().insert(q.cells().end(), r.cells().begin(), r.cells().end());
@@ -52,12 +57,14 @@ MetaRelation MetaProduct(const MetaRelation& left, const MetaRelation& right,
     // q1 = (a_1..a_m, blank...)  and  q2 = (blank..., b_1..b_n): the
     // factors' subviews remain subviews of the product (Section 4.2).
     for (const MetaTuple& l : left.tuples()) {
+      if (!meter.Tick(1, tuple_bytes)) return out;
       MetaTuple q = l;
       std::vector<MetaCell> pad = BlankCells(right.arity());
       q.cells().insert(q.cells().end(), pad.begin(), pad.end());
       out.Add(std::move(q));
     }
     for (const MetaTuple& r : right.tuples()) {
+      if (!meter.Tick(1, tuple_bytes)) return out;
       MetaTuple q;
       q.cells() = BlankCells(left.arity());
       q.cells().insert(q.cells().end(), r.cells().begin(), r.cells().end());
@@ -424,12 +431,15 @@ SelectOutcome SelectColumnColumn(MetaTuple* tuple, int lhs, int rhs,
 }  // namespace
 
 MetaRelation MetaSelect(const MetaRelation& input, const MetaSelection& sel,
-                        const MetaOpOptions& options, VarAllocator* alloc) {
+                        const MetaOpOptions& options, VarAllocator* alloc,
+                        ExecContext* ctx) {
   VIEWAUTH_CHECK(sel.lhs_column >= 0 && sel.lhs_column < input.arity())
       << "selection column out of range";
   MetaRelation out(input.columns());
   const ValueType lhs_type = input.columns()[sel.lhs_column].type;
+  ExecMeter meter(ctx);
   for (const MetaTuple& tuple : input.tuples()) {
+    if (!meter.TickRows(1)) return out;
     MetaTuple candidate = tuple;
     SelectOutcome outcome;
     if (sel.rhs_is_column) {

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "meta/meta_tuple.h"
 #include "types/value.h"
 
@@ -72,16 +73,24 @@ struct MetaSelection {
 };
 
 // Definition 1 (+ padding refinement): the product of two meta-relations.
+// A non-null `ctx` charges each emitted meta-tuple against the execution
+// governor (the S' side of the budget symmetry) and stops emitting once
+// the context trips; callers must then check ctx->status() and discard
+// the partial result.
 MetaRelation MetaProduct(const MetaRelation& left, const MetaRelation& right,
-                         const MetaOpOptions& options);
+                         const MetaOpOptions& options,
+                         ExecContext* ctx = nullptr);
 
 // Definition 2 (+ four-case refinement): selection by one primitive
 // predicate. Tuples whose relevant cells are not projected are dropped
 // (the paper's precondition), as are tuples whose predicate becomes
 // unsatisfiable. `alloc` supplies fresh variables for base-mode conjoins
 // onto blank cells.
+// A non-null `ctx` ticks per input tuple (the four-case analysis can
+// invoke the constraint solver per tuple) and stops once tripped.
 MetaRelation MetaSelect(const MetaRelation& input, const MetaSelection& sel,
-                        const MetaOpOptions& options, VarAllocator* alloc);
+                        const MetaOpOptions& options, VarAllocator* alloc,
+                        ExecContext* ctx = nullptr);
 
 // Definition 3 (generalized to keep-lists): projection onto `keep`
 // columns, in order. Tuples restricting a removed column are dropped.

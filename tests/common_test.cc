@@ -1,11 +1,19 @@
-// Unit tests for Status, Result, CRC32 and string utilities.
+// Unit tests for Status, Result, CRC32, string utilities, the execution
+// governor's ExecContext, and the bounded thread pool.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 #include "common/crc32.h"
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 
 namespace viewauth {
 namespace {
@@ -33,6 +41,26 @@ TEST(Status, FactoriesCarryCodeAndMessage) {
   EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
   EXPECT_EQ(Status::Unavailable("log gone").ToString(),
             "Unavailable: log gone");
+}
+
+TEST(Status, GovernedAbortCodes) {
+  Status deadline = Status::DeadlineExceeded("past 5 ms");
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_TRUE(deadline.IsGovernedAbort());
+  EXPECT_EQ(deadline.ToString(), "Deadline exceeded: past 5 ms");
+
+  Status budget = Status::ResourceExhausted("row budget");
+  EXPECT_TRUE(budget.IsResourceExhausted());
+  EXPECT_TRUE(budget.IsGovernedAbort());
+  EXPECT_EQ(budget.ToString(), "Resource exhausted: row budget");
+
+  Status cancelled = Status::Cancelled("client gone");
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_TRUE(cancelled.IsGovernedAbort());
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: client gone");
+
+  EXPECT_FALSE(Status::Internal("boom").IsGovernedAbort());
+  EXPECT_FALSE(Status::OK().IsGovernedAbort());
 }
 
 TEST(Status, CopyShares) {
@@ -163,6 +191,153 @@ TEST(StrUtil, FormatWithCommas) {
   EXPECT_EQ(FormatWithCommas(250000), "250,000");
   EXPECT_EQ(FormatWithCommas(-1000), "-1,000");
   EXPECT_EQ(FormatWithCommas(1234567890), "1,234,567,890");
+}
+
+
+// --- ExecContext ----------------------------------------------------------
+
+TEST(ExecContext, UngovernedTicksAreFree) {
+  ExecContext ctx;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(ctx.Tick(1, 100));
+  }
+  EXPECT_TRUE(ctx.ok());
+  EXPECT_EQ(ctx.rows_charged(), 0);  // nothing is even counted
+  EXPECT_EQ(ctx.checks(), 0);
+}
+
+TEST(ExecContext, RowBudgetTrips) {
+  ExecLimits limits;
+  limits.max_rows = 100;
+  ExecContext ctx(limits);
+  long long ticked = 0;
+  while (ctx.TickRows(1)) {
+    ++ticked;
+    ASSERT_LE(ticked, 1000) << "budget never tripped";
+  }
+  EXPECT_EQ(ticked, 100);
+  EXPECT_FALSE(ctx.ok());
+  EXPECT_TRUE(ctx.status().IsResourceExhausted());
+  // Latched: every later tick fails without recharging.
+  EXPECT_FALSE(ctx.Tick(1, 1));
+  EXPECT_TRUE(ctx.status().IsResourceExhausted());
+}
+
+TEST(ExecContext, ByteBudgetTrips) {
+  ExecLimits limits;
+  limits.max_bytes = 1000;
+  ExecContext ctx(limits);
+  EXPECT_TRUE(ctx.TickBytes(999));
+  EXPECT_FALSE(ctx.TickBytes(500));
+  EXPECT_TRUE(ctx.status().IsResourceExhausted());
+}
+
+TEST(ExecContext, DeadlineTrips) {
+  ExecLimits limits;
+  limits.deadline_ms = 1;
+  ExecContext ctx(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(ctx.CheckNow());
+  EXPECT_TRUE(ctx.status().IsDeadlineExceeded());
+}
+
+TEST(ExecContext, DeadlineProbedWithinStride) {
+  ExecLimits limits;
+  limits.deadline_ms = 1;
+  ExecContext ctx(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Row ticks alone must notice the deadline within one check stride.
+  long long ticked = 0;
+  while (ctx.TickRows(1)) {
+    ++ticked;
+    ASSERT_LE(ticked, ExecContext::kCheckStride + 1)
+        << "deadline not probed within a stride";
+  }
+  EXPECT_TRUE(ctx.status().IsDeadlineExceeded());
+  EXPECT_GE(ctx.checks(), 1);
+}
+
+TEST(ExecContext, CancelTripsEvenWithoutLimits) {
+  ExecContext ctx;  // ungoverned
+  EXPECT_TRUE(ctx.Tick(1, 1));
+  ctx.Cancel("client went away");
+  EXPECT_FALSE(ctx.Tick(1, 1));
+  EXPECT_TRUE(ctx.status().IsCancelled());
+  EXPECT_EQ(ctx.status().message(), "client went away");
+}
+
+TEST(ExecContext, FirstTripWinsUnderConcurrency) {
+  ExecLimits limits;
+  limits.max_rows = 1000;
+  ExecContext ctx(limits);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ctx] {
+      while (ctx.TickRows(1)) {
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(ctx.ok());
+  // Exactly one cause is recorded, and it stays recorded.
+  EXPECT_TRUE(ctx.status().IsResourceExhausted());
+  ctx.Cancel();  // losing trip must not overwrite the first cause
+  EXPECT_TRUE(ctx.status().IsResourceExhausted());
+}
+
+// --- bounded ThreadPool ---------------------------------------------------
+
+TEST(ThreadPool, ExecutesSubmittedWork) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, BoundedQueueBlocksSubmitterUntilSpace) {
+  ThreadPool pool(1, /*max_queue=*/2);
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  // Occupy the single worker...
+  auto blocker = pool.Submit([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return 0;
+  });
+  // ...fill the queue to capacity...
+  std::vector<std::future<int>> queued;
+  for (int i = 0; i < 2; ++i) {
+    queued.push_back(pool.Submit([&] { return ++done; }));
+  }
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  EXPECT_TRUE(pool.Saturated());
+  // ...and verify the next submit blocks until the worker drains a slot.
+  std::atomic<bool> submitted{false};
+  std::thread submitter([&] {
+    auto f = pool.Submit([&] { return ++done; });
+    submitted = true;
+    f.get();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(submitted.load());
+  release = true;
+  submitter.join();
+  EXPECT_TRUE(submitted.load());
+  blocker.get();
+  for (auto& f : queued) f.get();
+  EXPECT_EQ(done.load(), 3);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, UnboundedByDefault) {
+  ThreadPool pool(1);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i);
+  }
 }
 
 }  // namespace

@@ -10,15 +10,18 @@
 #   5. a Release (-O2) build of bench_latemat and its --smoke gate: the
 #      late-materialized data pipeline must not be slower than the
 #      tuple-at-a-time optimizer on the reference join workload
-#   6. clang-tidy via tools/lint.sh (SKIPPED when not installed)
-#   7. the full suite under ThreadSanitizer
-#   8. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
+#   6. a Release build of bench_governor and its --smoke gate: governing
+#      a non-tripping retrieve (generous deadline + budgets) must cost
+#      no more than 2% over the ungoverned pipeline
+#   7. clang-tidy via tools/lint.sh (SKIPPED when not installed)
+#   8. the full suite under ThreadSanitizer
+#   9. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
 #      (both sanitizer tiers include the torture tests)
 #
 # Prints a summary table and exits nonzero if any step failed.
 #
 # Usage: tools/check.sh [extra ctest args...]
-#   VIEWAUTH_CHECK_SKIP_SANITIZERS=1 skips steps 5-6 (quick local runs).
+#   VIEWAUTH_CHECK_SKIP_SANITIZERS=1 skips steps 8-9 (quick local runs).
 
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -69,6 +72,12 @@ if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
       ./build-release/bench/bench_latemat --smoke
   }
   run_step "latemat perf smoke (Release)" latemat_smoke
+  governor_smoke() {
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null &&
+      cmake --build build-release -j "$JOBS" --target bench_governor &&
+      ./build-release/bench/bench_governor --smoke
+  }
+  run_step "governor overhead smoke (Release)" governor_smoke
   run_step "clang-tidy" tools/lint.sh build
 else
   echo "build failed; skipping test and lint steps"
