@@ -67,6 +67,28 @@ TimedEval EvaluateData(const ConjunctiveQuery& query,
   return out;
 }
 
+// The read set of a mask derived for (user, query): the query's base
+// relations plus every granted view the derivation folded in — exactly
+// the views PrunedMetaRelationGoverned's coverage filter admits (the
+// view's relations all appear in the query). This is what selective
+// invalidation matches catalog mutations against.
+AuthzDependencies CaptureReadSet(const ViewCatalog& catalog,
+                                 std::string_view user,
+                                 const ConjunctiveQuery& query) {
+  AuthzDependencies deps;
+  deps.user = std::string(user);
+  for (const MembershipAtom& atom : query.atoms()) {
+    deps.relations.insert(atom.relation);
+  }
+  for (const ViewDefinition* view : catalog.PermittedViews(user)) {
+    const bool covered = std::all_of(
+        view->relations.begin(), view->relations.end(),
+        [&](const std::string& r) { return deps.relations.contains(r); });
+    if (covered) deps.views.insert(view->name);
+  }
+  return deps;
+}
+
 // The compiled form of a derived mask, cached under the same key and
 // generation as the mask itself (compiled_ is a separate map, so the key
 // may be shared). Compiling is cheap relative to derivation but still
@@ -74,7 +96,8 @@ TimedEval EvaluateData(const ConjunctiveQuery& query,
 // Routed through the retrieve's txn so an abort leaves no compiled entry.
 std::shared_ptr<const CompiledMask> ObtainCompiledMask(
     AuthzCacheTxn* txn, bool use_cache, const std::string& key,
-    const AuthzGeneration& gen, const MetaRelation& mask) {
+    const AuthzGeneration& gen, const MetaRelation& mask,
+    AuthzDependencies deps) {
   if (use_cache) {
     if (std::shared_ptr<const CompiledMask> cached =
             txn->LookupCompiledMask(key, gen)) {
@@ -84,7 +107,9 @@ std::shared_ptr<const CompiledMask> ObtainCompiledMask(
   auto compiled =
       std::make_shared<const CompiledMask>(CompiledMask::Compile(mask));
   txn->CountMaskCompile();
-  if (use_cache) txn->StoreCompiledMask(key, gen, compiled);
+  if (use_cache) {
+    txn->StoreCompiledMask(key, gen, compiled, std::move(deps));
+  }
   return compiled;
 }
 
@@ -97,6 +122,12 @@ std::string InferredPermit::ToString() const {
 }
 
 AuthzGeneration Authorizer::CurrentGeneration() const {
+  // Reading the clock brings the cache up to date with the catalog's
+  // mutation journal first. This is what keeps callers that mutate the
+  // catalog directly (no engine routing) sound: any entitlement change
+  // is replayed — selectively — before the generation it stamps on new
+  // entries is observed.
+  if (cache_ != nullptr) cache_->SyncCatalog(*catalog_);
   return AuthzGeneration{catalog_->catalog_version(), db_->ddl_version()};
 }
 
@@ -154,6 +185,11 @@ Result<MetaRelation> Authorizer::PrunedMetaRelationGoverned(
   }
 
   MetaRelation out(schema.attributes());
+  // Read-set capture rides the existing walk: the views folded into the
+  // prepared meta-relation are exactly the covered grants.
+  AuthzDependencies deps;
+  deps.user = std::string(user);
+  deps.relations = query_relations;
   for (const ViewDefinition* view : catalog_->PermittedViews(user)) {
     // The paper's pruning: keep only views "defined in these relations in
     // their entirety" — every relation the view mentions must appear in
@@ -162,6 +198,7 @@ Result<MetaRelation> Authorizer::PrunedMetaRelationGoverned(
         view->relations.begin(), view->relations.end(),
         [&](const std::string& r) { return query_relations.contains(r); });
     if (!covered) continue;
+    deps.views.insert(view->name);
     for (size_t i = 0; i < view->tuples.size(); ++i) {
       if (view->tuple_relations[i] == relation) {
         out.Add(view->tuples[i]);
@@ -179,7 +216,7 @@ Result<MetaRelation> Authorizer::PrunedMetaRelationGoverned(
     return ctx->status();
   }
   if (use_cache) {
-    txn->StorePrepared(std::move(cache_key), gen, out);
+    txn->StorePrepared(std::move(cache_key), gen, out, std::move(deps));
   }
   return out;
 }
@@ -530,7 +567,10 @@ Result<MetaRelation> Authorizer::DeriveMaskGoverned(
   mask = RemoveDuplicates(mask, /*respect_provenance=*/false);
   if (options.subsumption) mask = RemoveSubsumed(mask);
   if (trace != nullptr) trace->final_mask = mask.size();
-  if (use_cache) txn->StoreMask(std::move(cache_key), gen, mask);
+  if (use_cache) {
+    txn->StoreMask(std::move(cache_key), gen, mask,
+                   CaptureReadSet(*catalog_, user, query));
+  }
   return mask;
 }
 
@@ -882,7 +922,10 @@ Result<AuthorizationResult> Authorizer::RetrieveExtended(
       for (MetaTuple& tuple : wide.tuples()) renamed.Add(std::move(tuple));
       wide = std::move(renamed);
     }
-    if (use_cache) txn->StoreMask(std::move(cache_key), gen, wide);
+    if (use_cache) {
+      txn->StoreMask(std::move(cache_key), gen, wide,
+                     CaptureReadSet(*catalog_, user, query));
+    }
   }
   times->mask_micros = MicrosSince(mask_start);
   result.mask = wide;
@@ -961,7 +1004,9 @@ Result<AuthorizationResult> Authorizer::RetrieveExtended(
       txn, use_cache,
       use_cache ? MaskCacheKey(user, query, options, /*wide=*/true)
                 : std::string(),
-      gen, wide);
+      gen, wide,
+      use_cache ? CaptureReadSet(*catalog_, user, query)
+                : AuthzDependencies{});
   result.answer = ApplyWideMask(wide_answer, *compiled, target_columns,
                                 answer_schema,
                                 options.drop_fully_masked_rows, ctx);
@@ -1093,7 +1138,9 @@ Result<AuthorizationResult> Authorizer::RetrieveStandard(
       txn, use_cache,
       use_cache ? MaskCacheKey(user, query, options, /*wide=*/false)
                 : std::string(),
-      use_cache ? CurrentGeneration() : AuthzGeneration{}, result.mask);
+      use_cache ? CurrentGeneration() : AuthzGeneration{}, result.mask,
+      use_cache ? CaptureReadSet(*catalog_, user, query)
+                : AuthzDependencies{});
   result.answer = ApplyMask(result.raw_answer, *compiled,
                             options.drop_fully_masked_rows, ctx);
   if (ctx != nullptr && !ctx->ok()) return ctx->status();

@@ -161,9 +161,13 @@ class Authorizer {
  public:
   // `cache` may be null (no caching, no stats — the bare pipeline).
   // When provided, it holds prepared meta-relations, derived masks and
-  // the observability counters; entries are generation-checked against
-  // the catalog and schema versions, so direct catalog/DDL mutations
-  // invalidate them even without an engine routing the change.
+  // the observability counters. Every store carries the entry's read
+  // set (user, base relations, embedded granted views) so the cache can
+  // invalidate selectively; the authorizer syncs the cache against the
+  // catalog's mutation journal at the start of every retrieve, so
+  // direct catalog mutations invalidate dependents even without an
+  // engine routing the change, and schema (DDL) staleness is still
+  // generation-checked per entry at lookup.
   Authorizer(const DatabaseInstance* db, ViewCatalog* catalog,
              AuthzCache* cache = nullptr)
       : db_(db), catalog_(catalog), cache_(cache) {}

@@ -1,6 +1,10 @@
 #include "authz/authz_cache.h"
 
+#include <algorithm>
+#include <cassert>
 #include <sstream>
+
+#include "meta/view_store.h"
 
 namespace viewauth {
 
@@ -8,6 +12,20 @@ namespace {
 // Workloads touch few distinct (user, relation-set, options) shapes; a
 // runaway key space indicates synthetic churn, so reset past this bound.
 constexpr size_t kMaxEntries = 1024;
+
+// Does some recorded scope select an entry with this relation read set?
+// (The dependency test: scope ⊆ relations.)
+bool ScopeMatches(const std::vector<std::set<std::string>>& scopes,
+                  const std::set<std::string>& relations) {
+  for (const std::set<std::string>& scope : scopes) {
+    if (!scope.empty() &&
+        std::includes(relations.begin(), relations.end(), scope.begin(),
+                      scope.end())) {
+      return true;
+    }
+  }
+  return false;
+}
 }  // namespace
 
 std::string AuthzStats::ToString() const {
@@ -20,7 +38,11 @@ std::string AuthzStats::ToString() const {
       << "  mask cache:       " << mask_hits << " hit(s), " << mask_misses
       << " miss(es)\n"
       << "  mask compiles:    " << mask_compiles << "\n"
-      << "  invalidations:    " << invalidations << "\n"
+      << "  invalidations:    " << invalidations << " entry(ies) ("
+      << invalidations_exact << " exact event(s), " << invalidations_over
+      << " over)\n"
+      << "  inval precision:  " << entries_invalidated << " dropped, "
+      << entries_retained << " retained\n"
       << "  meta pruned:      " << meta_tuples_pruned << " tuple(s)\n"
       << "  wall times (us):  mask=" << mask_derivation_micros
       << " data=" << data_eval_micros << " apply=" << mask_apply_micros
@@ -39,16 +61,20 @@ std::string AuthzStats::ToString() const {
 }
 
 std::optional<MetaRelation> AuthzCache::Lookup(
-    std::map<std::string, Entry>* entries, const std::string& key,
-    const AuthzGeneration& gen, std::atomic<long long>* hits,
-    std::atomic<long long>* misses) {
+    std::map<std::string, Entry>* entries, MapId map_id,
+    const std::string& key, const AuthzGeneration& gen,
+    std::atomic<long long>* hits, std::atomic<long long>* misses) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries->find(key);
   if (it != entries->end()) {
-    if (it->second.gen == gen) {
+    // Catalog staleness is handled eagerly by SyncCatalog; the lazy
+    // check here covers the schema half (direct DDL by engineless
+    // callers).
+    if (it->second.gen.schema == gen.schema) {
       hits->fetch_add(1, std::memory_order_relaxed);
       return it->second.value;  // copy out under the lock
     }
+    IndexEraseLocked(map_id, it->first, it->second.deps.user);
     entries->erase(it);
     invalidations_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -56,12 +82,22 @@ std::optional<MetaRelation> AuthzCache::Lookup(
   return std::nullopt;
 }
 
-void AuthzCache::Store(std::map<std::string, Entry>* entries,
+void AuthzCache::Store(std::map<std::string, Entry>* entries, MapId map_id,
                        std::string key, const AuthzGeneration& gen,
-                       const MetaRelation& value) {
+                       const MetaRelation& value, AuthzDependencies deps) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (entries->size() > kMaxEntries) entries->clear();
-  (*entries)[std::move(key)] = Entry{gen, value};
+  // An entry derived against a catalog sequence the cache has already
+  // synced past may be missing invalidations that were replayed in the
+  // meantime; admitting it would be unsound. (Unreachable through the
+  // engine, whose mutations and retrieves exclude each other.)
+  if (gen.catalog != synced_catalog_seq_) return;
+  if (entries->size() > kMaxEntries) ClearMapLocked(map_id);
+  auto it = entries->find(key);
+  if (it != entries->end()) {
+    IndexEraseLocked(map_id, it->first, it->second.deps.user);
+  }
+  IndexInsertLocked(map_id, key, deps.user);
+  (*entries)[std::move(key)] = Entry{gen, value, std::move(deps)};
 }
 
 std::optional<MetaRelation> AuthzCache::Peek(
@@ -69,29 +105,32 @@ std::optional<MetaRelation> AuthzCache::Peek(
     const AuthzGeneration& gen, bool* stale) {
   auto it = entries.find(key);
   if (it == entries.end()) return std::nullopt;
-  if (it->second.gen == gen) return it->second.value;
+  if (it->second.gen.schema == gen.schema) return it->second.value;
   if (stale != nullptr) *stale = true;
   return std::nullopt;
 }
 
 std::optional<MetaRelation> AuthzCache::LookupPrepared(
     const std::string& key, const AuthzGeneration& gen) {
-  return Lookup(&prepared_, key, gen, &prepared_hits_, &prepared_misses_);
+  return Lookup(&prepared_, kPrepared, key, gen, &prepared_hits_,
+                &prepared_misses_);
 }
 
 void AuthzCache::StorePrepared(std::string key, const AuthzGeneration& gen,
-                               const MetaRelation& value) {
-  Store(&prepared_, std::move(key), gen, value);
+                               const MetaRelation& value,
+                               AuthzDependencies deps) {
+  Store(&prepared_, kPrepared, std::move(key), gen, value, std::move(deps));
 }
 
 std::optional<MetaRelation> AuthzCache::LookupMask(
     const std::string& key, const AuthzGeneration& gen) {
-  return Lookup(&masks_, key, gen, &mask_hits_, &mask_misses_);
+  return Lookup(&masks_, kMasks, key, gen, &mask_hits_, &mask_misses_);
 }
 
 void AuthzCache::StoreMask(std::string key, const AuthzGeneration& gen,
-                           const MetaRelation& value) {
-  Store(&masks_, std::move(key), gen, value);
+                           const MetaRelation& value,
+                           AuthzDependencies deps) {
+  Store(&masks_, kMasks, std::move(key), gen, value, std::move(deps));
 }
 
 std::optional<MetaRelation> AuthzCache::PeekPrepared(
@@ -112,7 +151,7 @@ std::shared_ptr<const CompiledMask> AuthzCache::PeekCompiledMask(
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = compiled_.find(key);
   if (it == compiled_.end()) return nullptr;
-  if (it->second.gen == gen) return it->second.value;
+  if (it->second.gen.schema == gen.schema) return it->second.value;
   if (stale != nullptr) *stale = true;
   return nullptr;
 }
@@ -122,7 +161,8 @@ std::shared_ptr<const CompiledMask> AuthzCache::LookupCompiledMask(
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = compiled_.find(key);
   if (it != compiled_.end()) {
-    if (it->second.gen == gen) return it->second.value;
+    if (it->second.gen.schema == gen.schema) return it->second.value;
+    IndexEraseLocked(kCompiled, it->first, it->second.deps.user);
     compiled_.erase(it);
     invalidations_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -131,19 +171,198 @@ std::shared_ptr<const CompiledMask> AuthzCache::LookupCompiledMask(
 
 void AuthzCache::StoreCompiledMask(std::string key,
                                    const AuthzGeneration& gen,
-                                   std::shared_ptr<const CompiledMask> value) {
+                                   std::shared_ptr<const CompiledMask> value,
+                                   AuthzDependencies deps) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (compiled_.size() > kMaxEntries) compiled_.clear();
-  compiled_[std::move(key)] = CompiledEntry{gen, std::move(value)};
+  if (gen.catalog != synced_catalog_seq_) return;
+  if (compiled_.size() > kMaxEntries) ClearMapLocked(kCompiled);
+  auto it = compiled_.find(key);
+  if (it != compiled_.end()) {
+    IndexEraseLocked(kCompiled, it->first, it->second.deps.user);
+  }
+  IndexInsertLocked(kCompiled, key, deps.user);
+  compiled_[std::move(key)] =
+      CompiledEntry{gen, std::move(value), std::move(deps)};
+}
+
+// --- dependency index and selective invalidation --------------------------
+
+void AuthzCache::IndexInsertLocked(MapId map_id, const std::string& key,
+                                   const std::string& user) {
+  by_user_[user].keys[map_id].insert(key);
+}
+
+void AuthzCache::IndexEraseLocked(MapId map_id, const std::string& key,
+                                  const std::string& user) {
+  auto it = by_user_.find(user);
+  if (it == by_user_.end()) return;
+  it->second.keys[map_id].erase(key);
+  if (it->second.keys[kPrepared].empty() && it->second.keys[kMasks].empty() &&
+      it->second.keys[kCompiled].empty()) {
+    by_user_.erase(it);
+  }
+}
+
+long long AuthzCache::ClearMapLocked(MapId map_id) {
+  long long dropped = 0;
+  switch (map_id) {
+    case kPrepared:
+      dropped = static_cast<long long>(prepared_.size());
+      prepared_.clear();
+      break;
+    case kMasks:
+      dropped = static_cast<long long>(masks_.size());
+      masks_.clear();
+      break;
+    case kCompiled:
+      dropped = static_cast<long long>(compiled_.size());
+      compiled_.clear();
+      break;
+  }
+  for (auto it = by_user_.begin(); it != by_user_.end();) {
+    it->second.keys[map_id].clear();
+    const bool empty = it->second.keys[kPrepared].empty() &&
+                       it->second.keys[kMasks].empty() &&
+                       it->second.keys[kCompiled].empty();
+    it = empty ? by_user_.erase(it) : std::next(it);
+  }
+  return dropped;
+}
+
+void AuthzCache::DropAllLocked() {
+  const long long total = static_cast<long long>(
+      prepared_.size() + masks_.size() + compiled_.size());
+  prepared_.clear();
+  masks_.clear();
+  compiled_.clear();
+  by_user_.clear();
+  if (total > 0) {
+    invalidations_.fetch_add(total, std::memory_order_relaxed);
+    entries_invalidated_.fetch_add(total, std::memory_order_relaxed);
+    invalidations_over_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void AuthzCache::ApplyCatalogMutationLocked(const CatalogMutation& record) {
+  // Records that cannot select any retrieval entry (fresh view
+  // definitions, update-mode grants, revocation-record bookkeeping)
+  // are exact by construction and not counted as events.
+  if (record.users.empty() || record.scopes.empty()) return;
+
+  long long dropped = 0;
+  for (const std::string& user : record.users) {
+    auto ref = by_user_.find(user);
+    if (ref == by_user_.end()) continue;
+    for (int m = 0; m < 3; ++m) {
+      std::vector<std::string> doomed;
+      for (const std::string& key : ref->second.keys[m]) {
+        const AuthzDependencies* deps = nullptr;
+        if (m == kCompiled) {
+          auto it = compiled_.find(key);
+          if (it != compiled_.end()) deps = &it->second.deps;
+        } else {
+          auto& entries = (m == kPrepared) ? prepared_ : masks_;
+          auto it = entries.find(key);
+          if (it != entries.end()) deps = &it->second.deps;
+        }
+        if (deps != nullptr && ScopeMatches(record.scopes, deps->relations)) {
+          doomed.push_back(key);
+        }
+      }
+      for (const std::string& key : doomed) {
+        if (m == kCompiled) {
+          compiled_.erase(key);
+        } else {
+          ((m == kPrepared) ? prepared_ : masks_).erase(key);
+        }
+        ref->second.keys[m].erase(key);
+        ++dropped;
+      }
+    }
+    if (ref->second.keys[kPrepared].empty() &&
+        ref->second.keys[kMasks].empty() &&
+        ref->second.keys[kCompiled].empty()) {
+      by_user_.erase(ref);
+    }
+  }
+
+  invalidations_exact_.fetch_add(1, std::memory_order_relaxed);
+  const long long survivors =
+      static_cast<long long>(prepared_.size() + masks_.size() +
+                             compiled_.size());
+  entries_retained_.fetch_add(survivors, std::memory_order_relaxed);
+  if (dropped > 0) {
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+    entries_invalidated_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+}
+
+void AuthzCache::SyncCatalog(const ViewCatalog& catalog) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const long long target = catalog.catalog_version();
+  if (target == synced_catalog_seq_) return;
+  std::vector<CatalogMutation> records;
+  if (target < synced_catalog_seq_ ||
+      !catalog.MutationsSince(synced_catalog_seq_, &records)) {
+    // A catalog older than our synced point is a different catalog, and
+    // a journal that no longer reaches back to it has lost records; in
+    // both cases no sound selective answer exists.
+    DropAllLocked();
+  } else {
+    for (const CatalogMutation& record : records) {
+      ApplyCatalogMutationLocked(record);
+    }
+  }
+  synced_catalog_seq_ = target;
+  CheckIndexLocked();
+}
+
+long long AuthzCache::synced_catalog_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return synced_catalog_seq_;
+}
+
+void AuthzCache::CheckIndexLocked() const {
+#ifndef NDEBUG
+  // Forward: every entry is indexed under its user.
+  auto check_entry = [this](MapId m, const std::string& key,
+                            const AuthzDependencies& deps) {
+    auto it = by_user_.find(deps.user);
+    assert(it != by_user_.end() && "cache entry missing from user index");
+    assert(it->second.keys[m].contains(key) &&
+           "cache entry key missing from user index");
+  };
+  for (const auto& [key, entry] : prepared_) {
+    check_entry(kPrepared, key, entry.deps);
+  }
+  for (const auto& [key, entry] : masks_) check_entry(kMasks, key, entry.deps);
+  for (const auto& [key, entry] : compiled_) {
+    check_entry(kCompiled, key, entry.deps);
+  }
+  // Backward: every indexed key resolves to a live entry of that user.
+  for (const auto& [user, refs] : by_user_) {
+    for (const std::string& key : refs.keys[kPrepared]) {
+      auto it = prepared_.find(key);
+      assert(it != prepared_.end() && it->second.deps.user == user);
+    }
+    for (const std::string& key : refs.keys[kMasks]) {
+      auto it = masks_.find(key);
+      assert(it != masks_.end() && it->second.deps.user == user);
+    }
+    for (const std::string& key : refs.keys[kCompiled]) {
+      auto it = compiled_.find(key);
+      assert(it != compiled_.end() && it->second.deps.user == user);
+    }
+    assert((!refs.keys[kPrepared].empty() || !refs.keys[kMasks].empty() ||
+            !refs.keys[kCompiled].empty()) &&
+           "user index entry with no keys");
+  }
+#endif
 }
 
 void AuthzCache::Invalidate() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (prepared_.empty() && masks_.empty() && compiled_.empty()) return;
-  prepared_.clear();
-  masks_.clear();
-  compiled_.clear();
-  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  DropAllLocked();
 }
 
 void AuthzCache::CountRetrieve(bool parallel) {
@@ -223,6 +442,13 @@ AuthzStats AuthzCache::Snapshot() const {
   stats.mask_misses = mask_misses_.load(std::memory_order_relaxed);
   stats.mask_compiles = mask_compiles_.load(std::memory_order_relaxed);
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.entries_invalidated =
+      entries_invalidated_.load(std::memory_order_relaxed);
+  stats.entries_retained = entries_retained_.load(std::memory_order_relaxed);
+  stats.invalidations_exact =
+      invalidations_exact_.load(std::memory_order_relaxed);
+  stats.invalidations_over =
+      invalidations_over_.load(std::memory_order_relaxed);
   stats.meta_tuples_pruned =
       meta_tuples_pruned_.load(std::memory_order_relaxed);
   stats.mask_derivation_micros =
@@ -248,6 +474,10 @@ void AuthzCache::ResetStats() {
   mask_misses_.store(0, std::memory_order_relaxed);
   mask_compiles_.store(0, std::memory_order_relaxed);
   invalidations_.store(0, std::memory_order_relaxed);
+  entries_invalidated_.store(0, std::memory_order_relaxed);
+  entries_retained_.store(0, std::memory_order_relaxed);
+  invalidations_exact_.store(0, std::memory_order_relaxed);
+  invalidations_over_.store(0, std::memory_order_relaxed);
   meta_tuples_pruned_.store(0, std::memory_order_relaxed);
   mask_derivation_micros_.store(0, std::memory_order_relaxed);
   data_eval_micros_.store(0, std::memory_order_relaxed);
@@ -291,10 +521,12 @@ std::optional<MetaRelation> AuthzCacheTxn::LookupPrepared(
 }
 
 void AuthzCacheTxn::StorePrepared(std::string key, const AuthzGeneration& gen,
-                                  const MetaRelation& value) {
+                                  const MetaRelation& value,
+                                  AuthzDependencies deps) {
   if (cache_ == nullptr) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  prepared_.push_back(PendingEntry{std::move(key), gen, value});
+  prepared_.push_back(
+      PendingEntry{std::move(key), gen, value, std::move(deps)});
 }
 
 std::optional<MetaRelation> AuthzCacheTxn::LookupMask(
@@ -317,10 +549,11 @@ std::optional<MetaRelation> AuthzCacheTxn::LookupMask(
 }
 
 void AuthzCacheTxn::StoreMask(std::string key, const AuthzGeneration& gen,
-                              const MetaRelation& value) {
+                              const MetaRelation& value,
+                              AuthzDependencies deps) {
   if (cache_ == nullptr) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  masks_.push_back(PendingEntry{std::move(key), gen, value});
+  masks_.push_back(PendingEntry{std::move(key), gen, value, std::move(deps)});
 }
 
 std::shared_ptr<const CompiledMask> AuthzCacheTxn::LookupCompiledMask(
@@ -339,10 +572,11 @@ std::shared_ptr<const CompiledMask> AuthzCacheTxn::LookupCompiledMask(
 
 void AuthzCacheTxn::StoreCompiledMask(
     std::string key, const AuthzGeneration& gen,
-    std::shared_ptr<const CompiledMask> value) {
+    std::shared_ptr<const CompiledMask> value, AuthzDependencies deps) {
   if (cache_ == nullptr) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  compiled_.push_back(PendingCompiled{std::move(key), gen, std::move(value)});
+  compiled_.push_back(
+      PendingCompiled{std::move(key), gen, std::move(value), std::move(deps)});
 }
 
 void AuthzCacheTxn::CountRetrieve(bool parallel) {
@@ -378,13 +612,15 @@ void AuthzCacheTxn::Commit() {
   if (committed_) return;
   committed_ = true;
   for (PendingEntry& e : prepared_) {
-    cache_->StorePrepared(std::move(e.key), e.gen, e.value);
+    cache_->StorePrepared(std::move(e.key), e.gen, e.value,
+                          std::move(e.deps));
   }
   for (PendingEntry& e : masks_) {
-    cache_->StoreMask(std::move(e.key), e.gen, e.value);
+    cache_->StoreMask(std::move(e.key), e.gen, e.value, std::move(e.deps));
   }
   for (PendingCompiled& e : compiled_) {
-    cache_->StoreCompiledMask(std::move(e.key), e.gen, std::move(e.value));
+    cache_->StoreCompiledMask(std::move(e.key), e.gen, std::move(e.value),
+                              std::move(e.deps));
   }
   prepared_.clear();
   masks_.clear();

@@ -2,24 +2,38 @@
 // generated for every query; once generated, they should be stored with
 // the original view definitions, until these definitions are modified").
 //
-// Two layers, both generation-checked:
+// Two layers, both dependency-tracked:
 //   * prepared authorizations — the pruned, self-join-extended
 //     per-relation meta-relations of Authorizer steps 1-2, keyed by
 //     (user, target relation, set of relations in Q, self-join rounds);
 //   * masks — the fully derived A' of step 3, keyed by
 //     (user, canonical query signature, mask-affecting options).
 //
-// Soundness argument: every entry records the AuthzGeneration — the pair
-// (catalog version, schema version) — current when it was computed. The
-// catalog version advances on every permit, deny, view definition, view
-// drop, and group-membership change; the schema version advances on every
-// relation create/drop. A lookup only returns an entry whose recorded
-// generation equals the *current* generation, so a cached mask can never
-// survive any event that could change what the user is entitled to: the
-// mutation bumps a counter, the pair no longer matches, and the entry is
-// discarded (counted as an invalidation). Data changes (insert/delete/
-// modify) deliberately do not invalidate — masks are derived from view
-// definitions and grants only, never from data.
+// Soundness argument (selective invalidation). Every entry records its
+// read set as an AuthzDependencies: the user it was derived for, the
+// base relations of the query, and the granted views folded into it.
+// The ViewCatalog keeps a journal of its mutations (CatalogMutation in
+// meta/view_store.h), each record naming the users whose entitlements it
+// may change and the relation-set scopes it touches. SyncCatalog()
+// replays the journal from the cache's last synced sequence number and
+// drops exactly the entries whose (user, relations) dependencies a
+// record selects — a mask embeds a granted view only when the query
+// covers all of the view's relations, so "some recorded scope is a
+// subset of the entry's relations" is precisely "this entry's closure
+// touches the mutated view". Consequences:
+//   * `insert`/`delete`/`modify` data statements never invalidate —
+//     masks are derived from view definitions and grants, never data;
+//   * `permit V to U` / `deny V to U` invalidates only U's (and, for a
+//     group grant, the members') entries whose relation set covers V;
+//   * view (re)definition invalidates by transitive view reachability
+//     (the scopes carry the transitive relation closure);
+//   * relation create/drop (DDL) still wipes everything — the schema
+//     half of the AuthzGeneration is compared at lookup, and the engine
+//     calls Invalidate(), counted as an over-approximate invalidation.
+// Callers that mutate the catalog directly (no engine) stay sound
+// because the Authorizer syncs the cache against the catalog journal
+// before every retrieve; a cache that has fallen behind the bounded
+// journal wipes itself rather than guess.
 //
 // The cache is internally synchronized; concurrent sessions may look up,
 // fill, and invalidate freely.
@@ -38,6 +52,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,13 +62,31 @@
 
 namespace viewauth {
 
-// The invalidation clock: catalog mutations and DDL each bump their
-// counter; equality of the pair is the cache-freshness test.
+class ViewCatalog;
+struct CatalogMutation;
+
+// The invalidation clock. `catalog` is the ViewCatalog's journal
+// sequence number current when the entry was derived; `schema` is the
+// DDL version. Lookups compare only the schema half (catalog staleness
+// is handled eagerly by SyncCatalog's journal replay); Store rejects an
+// entry derived against a catalog sequence the cache has already synced
+// past.
 struct AuthzGeneration {
   long long catalog = 0;
   long long schema = 0;
 
   bool operator==(const AuthzGeneration&) const = default;
+};
+
+// The read set of one cached entry: who it was derived for, the base
+// relations of the query, and the granted views folded into the result.
+// The (user, relations) pair is what selective invalidation matches
+// CatalogMutation records against; `views` is recorded for diagnostics
+// and debug-build invariant checks.
+struct AuthzDependencies {
+  std::string user;
+  std::set<std::string> relations;
+  std::set<std::string> views;
 };
 
 // Observability counters for the authorization pipeline. Snapshot of the
@@ -68,8 +101,15 @@ struct AuthzStats {
   long long mask_hits = 0;
   long long mask_misses = 0;
   long long mask_compiles = 0;       // CompiledMask builds (cache misses)
-  long long invalidations = 0;       // entries dropped by generation change
+  long long invalidations = 0;       // entries dropped as stale, any cause
   long long meta_tuples_pruned = 0;  // hopeless + dangling tuples removed
+
+  // --- invalidation precision -------------------------------------------
+  // How selective the dependency-tracked scheme is in practice.
+  long long entries_invalidated = 0;  // dropped by catalog/DDL events
+  long long entries_retained = 0;     // survivors of targeted events
+  long long invalidations_exact = 0;  // dependency-matched drop events
+  long long invalidations_over = 0;   // full wipes (DDL, journal loss)
   long long mask_derivation_micros = 0;  // S' (meta-plan) wall time
   long long data_eval_micros = 0;        // S (data-plan) wall time
   long long mask_apply_micros = 0;       // step-5 masking wall time
@@ -117,17 +157,20 @@ class AuthzCache {
   AuthzCache& operator=(const AuthzCache&) = delete;
 
   // Lookups return a copy (entries are shared across sessions) and count
-  // a hit or miss. An entry whose generation no longer matches is erased
-  // and counted as an invalidation plus a miss.
+  // a hit or miss. An entry whose schema generation no longer matches is
+  // erased and counted as an invalidation plus a miss. Stores record the
+  // entry's read set in the dependency index; a store whose generation
+  // predates the cache's synced catalog sequence is rejected (the entry
+  // was derived against a catalog the cache has already moved past).
   std::optional<MetaRelation> LookupPrepared(const std::string& key,
                                              const AuthzGeneration& gen);
   void StorePrepared(std::string key, const AuthzGeneration& gen,
-                     const MetaRelation& value);
+                     const MetaRelation& value, AuthzDependencies deps);
 
   std::optional<MetaRelation> LookupMask(const std::string& key,
                                          const AuthzGeneration& gen);
   void StoreMask(std::string key, const AuthzGeneration& gen,
-                 const MetaRelation& value);
+                 const MetaRelation& value, AuthzDependencies deps);
 
   // Compiled masks (authz/compiled_mask.h), cached alongside the derived
   // masks under the same keys and generation discipline. Entries are
@@ -136,7 +179,8 @@ class AuthzCache {
   std::shared_ptr<const CompiledMask> LookupCompiledMask(
       const std::string& key, const AuthzGeneration& gen);
   void StoreCompiledMask(std::string key, const AuthzGeneration& gen,
-                         std::shared_ptr<const CompiledMask> value);
+                         std::shared_ptr<const CompiledMask> value,
+                         AuthzDependencies deps);
 
   // --- side-effect-free reads (used by AuthzCacheTxn) -------------------
   // Peek variants neither count hits/misses nor erase stale entries; a
@@ -151,11 +195,26 @@ class AuthzCache {
   std::shared_ptr<const CompiledMask> PeekCompiledMask(
       const std::string& key, const AuthzGeneration& gen, bool* stale) const;
 
-  // Drops every entry immediately (the engine routes permit/deny/view/
-  // DDL mutations here). The generation check alone already guarantees
-  // soundness for callers that mutate the catalog directly; the explicit
-  // drop reclaims memory eagerly and records the invalidation.
+  // Replays the catalog's mutation journal from this cache's last
+  // synced sequence number, dropping exactly the entries each record's
+  // (users, scopes) dependency test selects. The engine routes every
+  // catalog mutation (permit/deny/view definition/drop/membership) here;
+  // the Authorizer also syncs before each retrieve, which is what keeps
+  // callers that mutate the catalog directly sound. Falls back to a
+  // full wipe — counted as an over-approximate invalidation — when the
+  // bounded journal no longer reaches back to the synced point.
+  void SyncCatalog(const ViewCatalog& catalog);
+
+  // Drops every entry immediately, counted as one over-approximate
+  // invalidation event. The engine routes relation create/drop (DDL)
+  // here: a schema change can alter coverage decisions for any user, so
+  // no per-entry dependency test applies. The schema half of the
+  // generation check catches direct DDL for engineless callers.
   void Invalidate();
+
+  // The catalog journal sequence number this cache has replayed up to
+  // (tests and diagnostics).
+  long long synced_catalog_seq() const;
 
   // --- Counters maintained by the authorizer --------------------------
   void CountRetrieve(bool parallel);
@@ -181,28 +240,60 @@ class AuthzCache {
   struct Entry {
     AuthzGeneration gen;
     MetaRelation value;
+    AuthzDependencies deps;
   };
+  struct CompiledEntry {
+    AuthzGeneration gen;
+    std::shared_ptr<const CompiledMask> value;
+    AuthzDependencies deps;
+  };
+  // The three entry populations, named so the dependency index can
+  // address an entry as (map, key).
+  enum MapId { kPrepared = 0, kMasks = 1, kCompiled = 2 };
+  // Reverse dependency index: user -> the keys of that user's entries in
+  // each map. Targeted invalidation walks only the affected users' keys.
+  struct UserRefs {
+    std::set<std::string> keys[3];
+  };
+
   // Erases stale-generation entries on contact; bounds map sizes.
   std::optional<MetaRelation> Lookup(std::map<std::string, Entry>* entries,
-                                     const std::string& key,
+                                     MapId map_id, const std::string& key,
                                      const AuthzGeneration& gen,
                                      std::atomic<long long>* hits,
                                      std::atomic<long long>* misses);
-  void Store(std::map<std::string, Entry>* entries, std::string key,
-             const AuthzGeneration& gen, const MetaRelation& value);
+  void Store(std::map<std::string, Entry>* entries, MapId map_id,
+             std::string key, const AuthzGeneration& gen,
+             const MetaRelation& value, AuthzDependencies deps);
   static std::optional<MetaRelation> Peek(
       const std::map<std::string, Entry>& entries, const std::string& key,
       const AuthzGeneration& gen, bool* stale);
 
-  struct CompiledEntry {
-    AuthzGeneration gen;
-    std::shared_ptr<const CompiledMask> value;
-  };
+  // --- dependency-index maintenance (all require mutex_ held) -----------
+  void IndexInsertLocked(MapId map_id, const std::string& key,
+                         const std::string& user);
+  void IndexEraseLocked(MapId map_id, const std::string& key,
+                        const std::string& user);
+  // Drops every entry of one map (kMaxEntries overflow); keeps the index
+  // consistent. Returns the number of entries dropped.
+  long long ClearMapLocked(MapId map_id);
+  // Full wipe, counted as one over-approximate invalidation event when
+  // anything was dropped.
+  void DropAllLocked();
+  // One journal record: drops the dependent entries of each affected
+  // user, counts exact/retained precision figures.
+  void ApplyCatalogMutationLocked(const CatalogMutation& record);
+  // Debug-build invariant: the index and the maps describe each other
+  // exactly (every entry indexed under its user, every indexed key
+  // present). No-op in release builds.
+  void CheckIndexLocked() const;
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> prepared_;
   std::map<std::string, Entry> masks_;
   std::map<std::string, CompiledEntry> compiled_;
+  std::map<std::string, UserRefs> by_user_;
+  long long synced_catalog_seq_ = 0;
 
   std::atomic<long long> retrieves_{0};
   std::atomic<long long> parallel_retrieves_{0};
@@ -212,6 +303,10 @@ class AuthzCache {
   std::atomic<long long> mask_misses_{0};
   std::atomic<long long> mask_compiles_{0};
   std::atomic<long long> invalidations_{0};
+  std::atomic<long long> entries_invalidated_{0};
+  std::atomic<long long> entries_retained_{0};
+  std::atomic<long long> invalidations_exact_{0};
+  std::atomic<long long> invalidations_over_{0};
   std::atomic<long long> meta_tuples_pruned_{0};
   std::atomic<long long> mask_derivation_micros_{0};
   std::atomic<long long> data_eval_micros_{0};
@@ -243,17 +338,18 @@ class AuthzCacheTxn {
   std::optional<MetaRelation> LookupPrepared(const std::string& key,
                                              const AuthzGeneration& gen);
   void StorePrepared(std::string key, const AuthzGeneration& gen,
-                     const MetaRelation& value);
+                     const MetaRelation& value, AuthzDependencies deps);
 
   std::optional<MetaRelation> LookupMask(const std::string& key,
                                          const AuthzGeneration& gen);
   void StoreMask(std::string key, const AuthzGeneration& gen,
-                 const MetaRelation& value);
+                 const MetaRelation& value, AuthzDependencies deps);
 
   std::shared_ptr<const CompiledMask> LookupCompiledMask(
       const std::string& key, const AuthzGeneration& gen);
   void StoreCompiledMask(std::string key, const AuthzGeneration& gen,
-                         std::shared_ptr<const CompiledMask> value);
+                         std::shared_ptr<const CompiledMask> value,
+                         AuthzDependencies deps);
 
   void CountRetrieve(bool parallel);
   void CountPruned(long long tuples);
@@ -266,15 +362,20 @@ class AuthzCacheTxn {
   void Commit();
 
  private:
+  // Pending stores carry the entry's dependency edges alongside its
+  // value: an aborted retrieve must leave the live dependency index as
+  // untouched as the entry maps themselves.
   struct PendingEntry {
     std::string key;
     AuthzGeneration gen;
     MetaRelation value;
+    AuthzDependencies deps;
   };
   struct PendingCompiled {
     std::string key;
     AuthzGeneration gen;
     std::shared_ptr<const CompiledMask> value;
+    AuthzDependencies deps;
   };
 
   static const MetaRelation* FindPending(

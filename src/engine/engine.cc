@@ -427,41 +427,46 @@ Result<std::string> Engine::ExecuteModify(const ModifyStmt& stmt) {
 Result<std::string> Engine::ExecuteDrop(const DropStmt& stmt) {
   if (stmt.is_view) {
     VIEWAUTH_RETURN_NOT_OK(catalog_->DropView(stmt.name));
-    authz_cache_.Invalidate();
+    // Selective: the drop's journal record names exactly the grant
+    // holders and the view's relation scopes.
+    authz_cache_.SyncCatalog(*catalog_);
     return "dropped view " + stmt.name;
   }
   // Restrict semantics: a relation referenced by any stored view cannot
   // be dropped (the views would silently dangle otherwise).
-  for (const std::string& view_name : catalog_->view_names()) {
-    VIEWAUTH_ASSIGN_OR_RETURN(std::vector<const ViewDefinition*> branches,
-                              catalog_->GetViewBranches(view_name));
-    for (const ViewDefinition* branch : branches) {
-      if (branch->relations.contains(stmt.name)) {
-        return Status::InvalidArgument("relation '" + stmt.name +
-                                       "' is referenced by view '" +
-                                       view_name + "'; drop the view first");
-      }
-    }
+  const std::vector<std::string> referencing =
+      catalog_->ViewsReferencingRelation(stmt.name);
+  if (!referencing.empty()) {
+    return Status::InvalidArgument("relation '" + stmt.name +
+                                   "' is referenced by view '" +
+                                   referencing.front() +
+                                   "'; drop the view first");
   }
   VIEWAUTH_RETURN_NOT_OK(db_.DropRelation(stmt.name));
+  // DDL changes coverage decisions for any user; no per-entry dependency
+  // test applies, so this is the over-approximate full wipe.
   authz_cache_.Invalidate();
   return "dropped relation " + stmt.name;
 }
 
 Result<std::string> Engine::ExecuteMember(const MemberStmt& stmt) {
+  // Membership changes invalidate only the joining/leaving user's
+  // entries, over the scopes of the group's grants.
   if (stmt.remove) {
     VIEWAUTH_RETURN_NOT_OK(catalog_->RemoveMember(stmt.user, stmt.group));
-    authz_cache_.Invalidate();
+    authz_cache_.SyncCatalog(*catalog_);
     return "removed " + stmt.user + " from " + stmt.group;
   }
   VIEWAUTH_RETURN_NOT_OK(catalog_->AddMember(stmt.user, stmt.group));
-  authz_cache_.Invalidate();
+  authz_cache_.SyncCatalog(*catalog_);
   return "added " + stmt.user + " to " + stmt.group;
 }
 
 Result<std::string> Engine::ExecuteView(const ViewStmt& stmt) {
   VIEWAUTH_RETURN_NOT_OK(catalog_->DefineView(stmt));
-  authz_cache_.Invalidate();
+  // A fresh view carries no grants, so this drops nothing; the sync
+  // just advances the cache's journal position.
+  authz_cache_.SyncCatalog(*catalog_);
   return "defined view " + stmt.name;
 }
 
@@ -486,7 +491,9 @@ AccessMode ToAccessMode(GrantMode mode) {
 Result<std::string> Engine::ExecutePermit(const PermitStmt& stmt) {
   VIEWAUTH_RETURN_NOT_OK(
       catalog_->Permit(stmt.view, stmt.user, ToAccessMode(stmt.mode)));
-  authz_cache_.Invalidate();
+  // Selective: drops only the grantee's (or, for a group, the members')
+  // entries whose relation set covers the view.
+  authz_cache_.SyncCatalog(*catalog_);
   std::string out = "permitted " + stmt.view + " to " + stmt.user;
   if (stmt.mode != GrantMode::kRetrieve) {
     out += " for " + std::string(GrantModeToString(stmt.mode));
@@ -498,7 +505,7 @@ Result<std::string> Engine::ExecutePermit(const PermitStmt& stmt) {
 Result<std::string> Engine::ExecuteDeny(const DenyStmt& stmt) {
   VIEWAUTH_RETURN_NOT_OK(
       catalog_->Deny(stmt.view, stmt.user, ToAccessMode(stmt.mode)));
-  authz_cache_.Invalidate();
+  authz_cache_.SyncCatalog(*catalog_);
   std::string out = "denied " + stmt.view + " to " + stmt.user;
   if (stmt.mode != GrantMode::kRetrieve) {
     out += " for " + std::string(GrantModeToString(stmt.mode));

@@ -75,7 +75,9 @@ Status ViewCatalog::DefineView(const ViewStmt& stmt) {
   }
   groups_.emplace(stmt.name, std::move(keys));
   view_order_.push_back(stmt.name);
-  ++catalog_version_;
+  // A fresh definition carries no grants yet, so no cached entry can
+  // depend on it: empty users/scopes.
+  RecordMutation(CatalogMutation::Kind::kViewDefined, stmt.name, {}, {});
   return Status::OK();
 }
 
@@ -87,8 +89,10 @@ Status ViewCatalog::DefineView(std::string name,
   VIEWAUTH_ASSIGN_OR_RETURN(ViewDefinition def, CompileView(name, query));
   groups_.emplace(name, std::vector<std::string>{name});
   view_order_.push_back(name);
+  std::string view_name = name;
   CommitView(std::move(name), std::move(def));
-  ++catalog_version_;
+  RecordMutation(CatalogMutation::Kind::kViewDefined, std::move(view_name),
+                 {}, {});
   return Status::OK();
 }
 
@@ -310,6 +314,22 @@ Status ViewCatalog::DropView(std::string_view name) {
     return Status::NotFound("view '" + std::string(name) +
                             "' does not exist");
   }
+  // Dependency capture happens BEFORE the erase: the drop affects
+  // exactly the users who held a retrieve grant on this view, over the
+  // view's (per-branch) relation scopes.
+  std::vector<std::string> affected;
+  for (const Grant& grant : permissions_) {
+    if (grant.view != name || grant.mode != AccessMode::kRetrieve) continue;
+    for (std::string& user : AffectedUsers(grant.user)) {
+      if (std::find(affected.begin(), affected.end(), user) ==
+          affected.end()) {
+        affected.push_back(std::move(user));
+      }
+    }
+  }
+  std::vector<std::set<std::string>> scopes =
+      affected.empty() ? std::vector<std::set<std::string>>{}
+                       : BranchScopes(name);
   for (const std::string& key : group->second) {
     views_.erase(key);
   }
@@ -322,7 +342,8 @@ Status ViewCatalog::DropView(std::string_view name) {
   std::erase_if(revocations_, [&name](const Grant& grant) {
     return grant.view == name;
   });
-  ++catalog_version_;
+  RecordMutation(CatalogMutation::Kind::kViewDropped, std::string(name),
+                 std::move(affected), std::move(scopes));
   return Status::OK();
 }
 
@@ -347,11 +368,20 @@ Status ViewCatalog::Permit(std::string_view view, std::string_view user,
                             "' does not exist");
   }
   const Grant grant{std::string(user), std::string(view), mode};
-  // Re-granting supersedes an earlier deny of the same grant.
-  if (std::erase(revocations_, grant) > 0) ++catalog_version_;
+  // Re-granting supersedes an earlier deny of the same grant. Clearing
+  // the revocation record changes what the static analyzer sees but no
+  // retrieval entitlement, so the record carries no scopes.
+  if (std::erase(revocations_, grant) > 0) {
+    RecordMutation(CatalogMutation::Kind::kGrantAdded, std::string(view),
+                   {}, {});
+  }
   if (IsPermitted(user, view, mode)) return Status::OK();  // idempotent
   permissions_.push_back(grant);
-  ++catalog_version_;
+  RecordMutation(CatalogMutation::Kind::kGrantAdded, std::string(view),
+                 AffectedUsers(user),
+                 mode == AccessMode::kRetrieve
+                     ? BranchScopes(view)
+                     : std::vector<std::set<std::string>>{});
   return Status::OK();
 }
 
@@ -371,7 +401,11 @@ Status ViewCatalog::Deny(std::string_view view, std::string_view user,
       revocations_.end()) {
     revocations_.push_back(revoked);
   }
-  ++catalog_version_;
+  RecordMutation(CatalogMutation::Kind::kGrantRevoked, std::string(view),
+                 AffectedUsers(user),
+                 mode == AccessMode::kRetrieve
+                     ? BranchScopes(view)
+                     : std::vector<std::set<std::string>>{});
   return Status::OK();
 }
 
@@ -446,13 +480,34 @@ bool ViewCatalog::IsPermitted(std::string_view user, std::string_view view,
   return false;
 }
 
+std::vector<std::set<std::string>> ViewCatalog::GroupGrantScopes(
+    std::string_view group) const {
+  std::vector<std::set<std::string>> scopes;
+  for (const Grant& grant : permissions_) {
+    if (grant.user != group || grant.mode != AccessMode::kRetrieve) {
+      continue;
+    }
+    for (std::set<std::string>& scope : BranchScopes(grant.view)) {
+      scopes.push_back(std::move(scope));
+    }
+  }
+  return scopes;
+}
+
 Status ViewCatalog::AddMember(std::string_view user,
                               std::string_view group) {
   if (user == group) {
     return Status::InvalidArgument("a group cannot contain itself");
   }
-  group_members_[std::string(group)].insert(std::string(user));
-  ++catalog_version_;
+  const bool inserted =
+      group_members_[std::string(group)].insert(std::string(user)).second;
+  // Joining a group changes only the joining user's entitlements, over
+  // the scopes of the grants the group already holds. A duplicate join
+  // changes nothing.
+  RecordMutation(CatalogMutation::Kind::kMemberAdded, "",
+                 {std::string(user)},
+                 inserted ? GroupGrantScopes(group)
+                          : std::vector<std::set<std::string>>{});
   return Status::OK();
 }
 
@@ -466,7 +521,8 @@ Status ViewCatalog::RemoveMember(std::string_view user,
                             std::string(group) + "'");
   }
   if (it->second.empty()) group_members_.erase(it);
-  ++catalog_version_;
+  RecordMutation(CatalogMutation::Kind::kMemberRemoved, "",
+                 {std::string(user)}, GroupGrantScopes(group));
   return Status::OK();
 }
 
@@ -544,6 +600,104 @@ Relation ViewCatalog::MaterializeComparison() const {
     }
   }
   return out;
+}
+
+void ViewCatalog::RecordMutation(
+    CatalogMutation::Kind kind, std::string view,
+    std::vector<std::string> users,
+    std::vector<std::set<std::string>> scopes) {
+  CatalogMutation record;
+  record.seq = ++catalog_version_;
+  record.kind = kind;
+  record.view = std::move(view);
+  record.users = std::move(users);
+  record.scopes = std::move(scopes);
+  journal_.push_back(std::move(record));
+  while (journal_.size() > kJournalCapacity) journal_.pop_front();
+}
+
+std::vector<std::string> ViewCatalog::AffectedUsers(
+    std::string_view grantee) const {
+  std::vector<std::string> users;
+  users.emplace_back(grantee);
+  auto group = group_members_.find(grantee);
+  if (group != group_members_.end()) {
+    users.insert(users.end(), group->second.begin(), group->second.end());
+  }
+  return users;
+}
+
+std::vector<std::set<std::string>> ViewCatalog::BranchScopes(
+    std::string_view view) const {
+  std::vector<std::set<std::string>> scopes;
+  auto group = groups_.find(std::string(view));
+  if (group == groups_.end()) return scopes;
+  for (const std::string& key : group->second) {
+    const ViewDefinition& def = views_.at(key);
+    std::set<std::string> scope;
+    for (const std::string& relation : def.relations) {
+      if (HasView(relation)) {
+        std::set<std::string> nested = ViewClosureRelations(relation);
+        scope.insert(nested.begin(), nested.end());
+      } else {
+        scope.insert(relation);
+      }
+    }
+    scopes.push_back(std::move(scope));
+  }
+  return scopes;
+}
+
+bool ViewCatalog::MutationsSince(long long since,
+                                 std::vector<CatalogMutation>* out) const {
+  if (since >= catalog_version_) return true;  // already caught up
+  // The journal covers (catalog_version_ - journal_.size(),
+  // catalog_version_]; a reader synced before that window has lost
+  // records.
+  const long long oldest_covered =
+      catalog_version_ - static_cast<long long>(journal_.size());
+  if (since < oldest_covered) return false;
+  for (const CatalogMutation& record : journal_) {
+    if (record.seq > since) out->push_back(record);
+  }
+  return true;
+}
+
+std::set<std::string> ViewCatalog::ViewClosureRelations(
+    std::string_view name) const {
+  std::set<std::string> closure;
+  std::vector<std::string> frontier{std::string(name)};
+  std::set<std::string> expanded;
+  while (!frontier.empty()) {
+    std::string current = std::move(frontier.back());
+    frontier.pop_back();
+    if (!expanded.insert(current).second) continue;
+    auto group = groups_.find(current);
+    if (group == groups_.end()) {
+      // Not a view: only the root name must be a view for the query to
+      // be meaningful; any other name is a base relation.
+      if (current != name) closure.insert(std::move(current));
+      continue;
+    }
+    for (const std::string& key : group->second) {
+      const ViewDefinition& def = views_.at(key);
+      for (const std::string& relation : def.relations) {
+        frontier.push_back(relation);
+      }
+    }
+  }
+  return closure;
+}
+
+std::vector<std::string> ViewCatalog::ViewsReferencingRelation(
+    std::string_view relation) const {
+  std::vector<std::string> views;
+  for (const std::string& name : view_order_) {
+    if (ViewClosureRelations(name).contains(std::string(relation))) {
+      views.push_back(name);
+    }
+  }
+  return views;
 }
 
 Relation ViewCatalog::MaterializePermission() const {

@@ -19,6 +19,7 @@
 #ifndef VIEWAUTH_META_VIEW_STORE_H_
 #define VIEWAUTH_META_VIEW_STORE_H_
 
+#include <deque>
 #include <map>
 #include <set>
 #include <string>
@@ -41,6 +42,37 @@ namespace viewauth {
 enum class AccessMode { kRetrieve = 0, kInsert = 1, kDelete = 2, kModify = 3 };
 
 std::string_view AccessModeToString(AccessMode mode);
+
+// One entry of the catalog's mutation journal, consumed by the
+// authorization cache (authz/authz_cache.h) for selective invalidation.
+// Each record names exactly the cached-entry population the mutation can
+// affect:
+//   * `users` — the users whose retrieval entitlements may have changed,
+//     resolved at mutation time (the grantee plus the current members
+//     when the grantee is a group);
+//   * `scopes` — relation-set scopes; a cached entry is dependent iff
+//     its user is in `users` AND some scope is a subset of the entry's
+//     recorded relation read set (a mask only embeds a view when the
+//     query covers all of the view's relations).
+// An empty scope list means the mutation cannot affect any cached
+// retrieval entry (e.g. an update-mode grant, or a definition of a view
+// nobody holds yet).
+struct CatalogMutation {
+  enum class Kind {
+    kViewDefined = 0,
+    kViewDropped = 1,
+    kGrantAdded = 2,
+    kGrantRevoked = 3,
+    kMemberAdded = 4,
+    kMemberRemoved = 5,
+  };
+  long long seq = 0;
+  Kind kind = Kind::kGrantAdded;
+  // Grant name of the view involved; empty for membership changes.
+  std::string view;
+  std::vector<std::string> users;
+  std::vector<std::set<std::string>> scopes;
+};
 
 // One stored COMPARISON row (kept in source form for display; the
 // operational form lives in the tuples' ConstraintSets).
@@ -171,16 +203,52 @@ class ViewCatalog {
   }
 
   // Bumped on every mutation (view definition/drop, permit, deny, group
-  // membership). The authorization cache (authz/authz_cache.h) folds it
-  // into its generation, so any catalog change invalidates every cached
-  // prepared meta-relation and mask.
+  // membership); equal to the sequence number of the newest journal
+  // record. The authorization cache (authz/authz_cache.h) replays the
+  // journal from its last synced sequence number and drops only the
+  // entries each record's (users, scopes) dependency test selects.
   long long catalog_version() const { return catalog_version_; }
+
+  // Appends the journal records with sequence numbers in (since, now]
+  // to *out (oldest first). Returns false — with *out untouched — when
+  // the bounded journal no longer reaches back to `since`; the caller
+  // must then treat every cached entry as potentially stale.
+  bool MutationsSince(long long since, std::vector<CatalogMutation>* out)
+      const;
+
+  // The base relations `name` transitively reads through the ViewCatalog:
+  // branch relations, expanded recursively should a referenced name
+  // itself be a registered view. (Today's views are conjunctive queries
+  // over base relations, so the walk terminates after one level; the
+  // closure is written transitively so layered views stay correct.)
+  // Empty set when the view does not exist.
+  std::set<std::string> ViewClosureRelations(std::string_view name) const;
+
+  // Reverse-dependency query: every view (grant name, in definition
+  // order) whose transitive closure reads `relation`.
+  std::vector<std::string> ViewsReferencingRelation(
+      std::string_view relation) const;
 
  private:
   // Compiles one conjunctive definition without registering it.
   Result<ViewDefinition> CompileView(const std::string& display_name,
                                      const ConjunctiveQuery& query);
   void CommitView(std::string storage_key, ViewDefinition def);
+
+  // Advances catalog_version_ and appends the matching journal record.
+  void RecordMutation(CatalogMutation::Kind kind, std::string view,
+                      std::vector<std::string> users,
+                      std::vector<std::set<std::string>> scopes);
+  // The users a grant issued to `grantee` applies to, resolved now:
+  // the grantee itself plus the current members when it is a group.
+  std::vector<std::string> AffectedUsers(std::string_view grantee) const;
+  // One scope per branch of `view` (its transitive relation read set).
+  std::vector<std::set<std::string>> BranchScopes(
+      std::string_view view) const;
+  // One scope per branch of every view `group` holds a retrieve grant
+  // on; the scopes a membership change in that group can touch.
+  std::vector<std::set<std::string>> GroupGrantScopes(
+      std::string_view group) const;
 
   const DatabaseSchema* schema_;
   // Storage keys: the view name for conjunctive views, "name@i" for the
@@ -200,6 +268,12 @@ class ViewCatalog {
   // Group name -> members.
   std::map<std::string, std::set<std::string>, std::less<>> group_members_;
   long long catalog_version_ = 0;
+  // Mutation journal, oldest first; journal_.back().seq ==
+  // catalog_version_ once any mutation has happened. Bounded: once
+  // kJournalCapacity is exceeded the oldest records are discarded and
+  // MutationsSince reports truncation for readers that far behind.
+  static constexpr size_t kJournalCapacity = 4096;
+  std::deque<CatalogMutation> journal_;
 };
 
 }  // namespace viewauth

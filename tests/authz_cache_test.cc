@@ -249,5 +249,270 @@ TEST(AuthzCacheTest, DirectCatalogMutationIsCaughtByGenerationCheck) {
   EXPECT_GE(cache.Snapshot().invalidations, 1);
 }
 
+// ---------------------------------------------------------------------
+// Selective (dependency-tracked) invalidation precision: each mutation
+// kind drops exactly the dependent entries and retains the rest, with
+// the exact/over counters distinguishing targeted events from wipes.
+// ---------------------------------------------------------------------
+
+// Two relations and two users, both with warmed cache entries, so every
+// precision test below can assert both the drop AND the retention side.
+void SetupTwoRelationEngine(Engine* engine) {
+  auto out = engine->ExecuteScript(R"(
+    relation EMPLOYEE (NAME string key, SALARY int)
+    relation DEPT (DNAME string key, BUDGET int)
+    insert into EMPLOYEE values (Jones, 26000)
+    insert into EMPLOYEE values (Smith, 22000)
+    insert into DEPT values (eng, 500000)
+    view NAMES (EMPLOYEE.NAME)
+    view DEPTS (DEPT.DNAME)
+    permit NAMES to Brown
+    permit DEPTS to Klein
+  )");
+  ASSERT_TRUE(out.ok()) << out.status();
+  engine->ResetAuthzStats();
+}
+
+constexpr const char* kEmpQueryBrown =
+    "retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY) as Brown";
+constexpr const char* kDeptQueryKlein =
+    "retrieve (DEPT.DNAME, DEPT.BUDGET) as Klein";
+
+TEST(AuthzCacheTest, PermitInvalidatesOnlyTheGranteesEntries) {
+  Engine engine;
+  SetupTwoRelationEngine(&engine);
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+  ASSERT_TRUE(engine.Execute(kDeptQueryKlein).ok());
+
+  // A new EMPLOYEE grant to Brown: Brown's EMPLOYEE entries must drop,
+  // Klein's DEPT entries must survive.
+  ASSERT_TRUE(engine
+                  .ExecuteScript("view ALL_E (EMPLOYEE.NAME, "
+                                 "EMPLOYEE.SALARY)\npermit ALL_E to Brown")
+                  .ok());
+  AuthzStats stats = engine.authz_stats();
+  EXPECT_GE(stats.invalidations_exact, 1);
+  EXPECT_EQ(stats.invalidations_over, 0);
+  EXPECT_GE(stats.entries_invalidated, 1);
+  EXPECT_GE(stats.entries_retained, 1);
+
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+  EXPECT_TRUE(engine.last_result()->full_access);
+  ASSERT_TRUE(engine.Execute(kDeptQueryKlein).ok());
+  stats = engine.authz_stats();
+  // Brown re-derived (miss #3); Klein's repeat rode the retained entry.
+  EXPECT_EQ(stats.mask_misses, 3);
+  EXPECT_EQ(stats.mask_hits, 1);
+}
+
+TEST(AuthzCacheTest, PermitOutsideTheEntriesScopeRetainsThem) {
+  Engine engine;
+  SetupTwoRelationEngine(&engine);
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+
+  // A DEPT-only grant to Brown: the grant's scope {DEPT} is no subset of
+  // the cached entry's read set {EMPLOYEE}, so the entry survives even
+  // though user and event-user coincide.
+  ASSERT_TRUE(engine.Execute("permit DEPTS to Brown").ok());
+  AuthzStats stats = engine.authz_stats();
+  EXPECT_GE(stats.invalidations_exact, 1);
+  EXPECT_EQ(stats.entries_invalidated, 0);
+  EXPECT_GE(stats.entries_retained, 1);
+
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+  stats = engine.authz_stats();
+  EXPECT_EQ(stats.mask_hits, 1);
+  EXPECT_EQ(stats.mask_misses, 1);
+}
+
+TEST(AuthzCacheTest, NonRetrieveModeGrantDropsNothing) {
+  Engine engine;
+  SetupTwoRelationEngine(&engine);
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+
+  // Insert-mode grants never feed retrieve-time masks; the journal
+  // records them with an empty scope list and nothing drops.
+  ASSERT_TRUE(engine.Execute("permit NAMES to Brown for insert").ok());
+  AuthzStats stats = engine.authz_stats();
+  EXPECT_EQ(stats.entries_invalidated, 0);
+
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+  stats = engine.authz_stats();
+  EXPECT_EQ(stats.mask_hits, 1);
+  EXPECT_EQ(stats.mask_misses, 1);
+}
+
+TEST(AuthzCacheTest, DataMutationsDropNothing) {
+  Engine engine;
+  SetupTwoRelationEngine(&engine);
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+
+  // Inserts change data, not entitlements: masks stay valid and are
+  // reapplied to the new rows.
+  ASSERT_TRUE(
+      engine.Execute("insert into EMPLOYEE values (Davis, 31000)").ok());
+  AuthzStats stats = engine.authz_stats();
+  EXPECT_EQ(stats.invalidations, 0);
+  EXPECT_EQ(stats.entries_invalidated, 0);
+
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+  stats = engine.authz_stats();
+  EXPECT_EQ(stats.mask_hits, 1);
+  EXPECT_EQ(stats.mask_misses, 1);
+  // The masked answer does include the new row (3 rows, NAME visible).
+  ASSERT_NE(engine.last_result(), nullptr);
+  EXPECT_EQ(engine.last_result()->answer.size(), 3u);
+}
+
+TEST(AuthzCacheTest, FreshViewDefinitionDropsNothing) {
+  Engine engine;
+  SetupTwoRelationEngine(&engine);
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+
+  // A brand-new view has no grants: no user can be affected yet.
+  ASSERT_TRUE(
+      engine.Execute("view WIDE (EMPLOYEE.NAME, EMPLOYEE.SALARY)").ok());
+  AuthzStats stats = engine.authz_stats();
+  EXPECT_EQ(stats.entries_invalidated, 0);
+  EXPECT_EQ(stats.invalidations_over, 0);
+
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+  stats = engine.authz_stats();
+  EXPECT_EQ(stats.mask_hits, 1);
+  EXPECT_EQ(stats.mask_misses, 1);
+}
+
+TEST(AuthzCacheTest, DropViewInvalidatesHoldersAndRetainsOthers) {
+  Engine engine;
+  SetupTwoRelationEngine(&engine);
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+  ASSERT_TRUE(engine.Execute(kDeptQueryKlein).ok());
+
+  // Dropping NAMES affects its holder Brown (scope {EMPLOYEE}); Klein's
+  // DEPT entries must survive.
+  ASSERT_TRUE(engine.Execute("drop view NAMES").ok());
+  AuthzStats stats = engine.authz_stats();
+  EXPECT_GE(stats.invalidations_exact, 1);
+  EXPECT_EQ(stats.invalidations_over, 0);
+  EXPECT_GE(stats.entries_invalidated, 1);
+  EXPECT_GE(stats.entries_retained, 1);
+
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+  EXPECT_TRUE(engine.last_result()->denied);  // grant went with the view
+  ASSERT_TRUE(engine.Execute(kDeptQueryKlein).ok());
+  stats = engine.authz_stats();
+  EXPECT_EQ(stats.mask_hits, 1);  // Klein's repeat, from the cache
+}
+
+TEST(AuthzCacheTest, MultiRelationViewGrantInvalidatesCoveringEntry) {
+  Engine engine;
+  SetupTwoRelationEngine(&engine);
+
+  // Warm a cross-relation entry for Brown: its read set is
+  // {EMPLOYEE, DEPT}, so it embeds grants whose scope is either side.
+  ASSERT_TRUE(engine
+                  .Execute("retrieve (EMPLOYEE.NAME, DEPT.DNAME) as Brown")
+                  .ok());
+  ASSERT_TRUE(engine.Execute(kDeptQueryKlein).ok());
+
+  // A DEPT-scoped grant to Brown must drop the covering entry (scope
+  // {DEPT} IS a subset of {EMPLOYEE, DEPT}) while Klein's is retained.
+  ASSERT_TRUE(engine.Execute("permit DEPTS to Brown").ok());
+  const AuthzStats stats = engine.authz_stats();
+  EXPECT_GE(stats.entries_invalidated, 1);
+  EXPECT_GE(stats.entries_retained, 1);
+
+  ASSERT_TRUE(engine.Execute(kDeptQueryKlein).ok());
+  EXPECT_EQ(engine.authz_stats().mask_hits, 1);
+}
+
+TEST(AuthzCacheTest, DdlCountsAsOverInvalidation) {
+  Engine engine;
+  SetupTwoRelationEngine(&engine);
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+
+  // Relation DDL rewrites the schema universe: the cache takes the full
+  // wipe and books it as an over-invalidation, not an exact one.
+  ASSERT_TRUE(
+      engine.Execute("relation LOC (CITY string key, REGION string)").ok());
+  const AuthzStats stats = engine.authz_stats();
+  EXPECT_GE(stats.invalidations_over, 1);
+  EXPECT_GE(stats.entries_invalidated, 1);
+  EXPECT_EQ(stats.invalidations_exact, 0);
+}
+
+TEST(AuthzCacheTest, MembershipChangeInvalidatesOnlyTheMember) {
+  Engine engine;
+  SetupTwoRelationEngine(&engine);
+  ASSERT_TRUE(engine
+                  .ExecuteScript(
+                      "view ALL_E (EMPLOYEE.NAME, EMPLOYEE.SALARY)\n"
+                      "permit ALL_E to staff\n"
+                      "member Brown of staff")
+                  .ok());
+  engine.ResetAuthzStats();
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+  EXPECT_TRUE(engine.last_result()->full_access);
+  ASSERT_TRUE(engine.Execute(kDeptQueryKlein).ok());
+
+  // Brown leaves staff: only Brown's EMPLOYEE entries drop.
+  ASSERT_TRUE(engine.Execute("unmember Brown of staff").ok());
+  AuthzStats stats = engine.authz_stats();
+  EXPECT_GE(stats.invalidations_exact, 1);
+  EXPECT_GE(stats.entries_invalidated, 1);
+  EXPECT_GE(stats.entries_retained, 1);
+
+  ASSERT_TRUE(engine.Execute(kEmpQueryBrown).ok());
+  EXPECT_FALSE(engine.last_result()->full_access);  // NAMES only again
+  ASSERT_TRUE(engine.Execute(kDeptQueryKlein).ok());
+  stats = engine.authz_stats();
+  EXPECT_EQ(stats.mask_hits, 1);  // Klein retained
+}
+
+// The governor abort pattern applied to the dependency index: an aborted
+// retrieve must stage neither cache entries nor dependency edges, so a
+// subsequent targeted mutation books identical precision counters on the
+// subject and on a control that never ran the aborted retrieve.
+TEST(AuthzCacheTest, AbortedRetrieveStagesNoDependencyEdges) {
+  Engine control;
+  SetupTwoRelationEngine(&control);
+  Engine subject;
+  SetupTwoRelationEngine(&subject);
+
+  subject.options().max_rows = 1;  // guarantees a budget abort
+  auto aborted = subject.Execute(kEmpQueryBrown);
+  ASSERT_FALSE(aborted.ok());
+  ASSERT_TRUE(aborted.status().IsResourceExhausted()) << aborted.status();
+  subject.options().max_rows = 0;
+
+  // Both engines warm the same entries, then take the same targeted
+  // mutation. If the abort had leaked dependency edges, the subject's
+  // drop/retain tallies would differ here.
+  for (Engine* engine : {&control, &subject}) {
+    ASSERT_TRUE(engine->Execute(kEmpQueryBrown).ok());
+    ASSERT_TRUE(engine->Execute(kDeptQueryKlein).ok());
+    ASSERT_TRUE(engine
+                    ->ExecuteScript("view ALL_E (EMPLOYEE.NAME, "
+                                    "EMPLOYEE.SALARY)\npermit ALL_E to Brown")
+                    .ok());
+  }
+  const AuthzStats s = subject.authz_stats();
+  const AuthzStats c = control.authz_stats();
+  EXPECT_EQ(s.entries_invalidated, c.entries_invalidated);
+  EXPECT_EQ(s.entries_retained, c.entries_retained);
+  EXPECT_EQ(s.invalidations_exact, c.invalidations_exact);
+  EXPECT_EQ(s.invalidations_over, c.invalidations_over);
+  EXPECT_EQ(s.invalidations, c.invalidations);
+
+  auto subject_out = subject.Execute(kEmpQueryBrown);
+  auto control_out = control.Execute(kEmpQueryBrown);
+  ASSERT_TRUE(subject_out.ok());
+  ASSERT_TRUE(control_out.ok());
+  EXPECT_EQ(*subject_out, *control_out);
+  EXPECT_EQ(subject.authz_stats().mask_hits, control.authz_stats().mask_hits);
+  EXPECT_EQ(subject.authz_stats().mask_misses,
+            control.authz_stats().mask_misses);
+}
+
 }  // namespace
 }  // namespace viewauth

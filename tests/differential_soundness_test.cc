@@ -333,5 +333,142 @@ TEST(DifferentialSoundness, TwoRelationJoinScenarios) {
   EXPECT_GE(executed, 100);
 }
 
+// Write-mix scenarios: a PERSISTENT fast authorizer (one cache living
+// across the whole scenario) races a canonical oracle through an
+// interleaving of permits, denies and inserts. Each step mutates both
+// catalogs identically, then differences a query from a small repeating
+// pool across all three data plans — canonical, optimized tuple-at-a-
+// time, and late-materialized — so cache entries that survive a
+// mutation they depended on are caught by the very next repeat.
+TEST(DifferentialSoundness, WriteMixMutationScenarios) {
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<int> val(0, 7);
+  std::uniform_int_distribution<int> rows(2, 12);
+  std::uniform_int_distribution<int> col(0, 3);
+  std::uniform_int_distribution<int> ncond(0, 2);
+  std::uniform_int_distribution<int> opd(0, 5);
+  std::uniform_int_distribution<int> roll(0, 99);
+
+  auto random_query = [&](const DatabaseInstance& db, const std::string& name)
+      -> Result<ConjunctiveQuery> {
+    std::set<int> target_set;
+    while (target_set.empty()) {
+      for (int c = 0; c < 4; ++c) {
+        if (rng() % 2 == 0) target_set.insert(c);
+      }
+    }
+    std::vector<AttributeRef> targets;
+    for (int c : target_set) targets.push_back(AttributeRef{"R", 1, kColumns[c]});
+    std::vector<Condition> conditions;
+    for (int i = ncond(rng); i > 0; --i) {
+      Condition cond;
+      cond.lhs = AttributeRef{"R", 1, kColumns[col(rng)]};
+      cond.op = static_cast<Comparator>(opd(rng));
+      cond.rhs = ConditionOperand::Const(Value::Int64(val(rng)));
+      conditions.push_back(std::move(cond));
+    }
+    return ConjunctiveQuery::Build(db.schema(), name, targets, conditions);
+  };
+
+  AuthorizationOptions canonical_options;
+  canonical_options.enable_authz_cache = false;
+  canonical_options.use_meta_cache = false;
+  canonical_options.parallel_meta_evaluation = false;
+  canonical_options.use_optimized_data_plan = false;
+  canonical_options.use_latemat_data_plan = false;
+  AuthorizationOptions latemat_options;  // defaults: cache + latemat
+  AuthorizationOptions tuple_options;
+  tuple_options.use_latemat_data_plan = false;
+
+  int compared = 0;
+  long long cache_hits = 0;
+  for (int scenario = 0; scenario < 40 && !HasFailure(); ++scenario) {
+    DatabaseInstance db;
+    ASSERT_TRUE(db.CreateRelation(RelationSchema::Make(
+                                      "R",
+                                      {{"A", ValueType::kInt64},
+                                       {"B", ValueType::kInt64},
+                                       {"C", ValueType::kInt64},
+                                       {"D", ValueType::kInt64}})
+                                      .value())
+                    .ok());
+    for (int i = rows(rng); i > 0; --i) {
+      (void)db.Insert("R", Tuple({Value::Int64(val(rng)),
+                                  Value::Int64(val(rng)),
+                                  Value::Int64(val(rng)),
+                                  Value::Int64(val(rng))}));
+    }
+
+    ViewCatalog canonical_catalog(&db.schema());
+    ViewCatalog fast_catalog(&db.schema());
+    std::vector<std::string> views;
+    for (int v = 0; v < 3; ++v) {
+      std::string name = "V" + std::to_string(v);
+      auto view = random_query(db, name);
+      if (!view.ok()) continue;
+      if (!canonical_catalog.DefineView(name, *view).ok()) continue;
+      ASSERT_TRUE(fast_catalog.DefineView(name, *view).ok());
+      ASSERT_TRUE(canonical_catalog.Permit(name, "u").ok());
+      ASSERT_TRUE(fast_catalog.Permit(name, "u").ok());
+      views.push_back(std::move(name));
+    }
+    if (views.empty()) continue;
+
+    // The repeating query pool: repeats within a scenario ride the
+    // persistent cache unless an interleaved mutation dropped them.
+    std::vector<ConjunctiveQuery> pool;
+    for (int q = 0; q < 3; ++q) {
+      auto query = random_query(db, "q" + std::to_string(q));
+      if (query.ok()) pool.push_back(*std::move(query));
+    }
+    if (pool.empty()) continue;
+
+    Authorizer canonical(&db, &canonical_catalog);
+    AuthzCache cache;
+    Authorizer fast(&db, &fast_catalog, &cache);
+
+    for (int step = 0; step < 12; ++step) {
+      const int action = roll(rng);
+      const std::string& view = views[rng() % views.size()];
+      if (action < 25) {  // permit (possibly re-permit after a deny)
+        ASSERT_TRUE(canonical_catalog.Permit(view, "u").ok());
+        ASSERT_TRUE(fast_catalog.Permit(view, "u").ok());
+      } else if (action < 45) {  // deny (fails when already revoked —
+                                 // both catalogs must agree either way)
+        const bool c_ok = canonical_catalog.Deny(view, "u").ok();
+        const bool f_ok = fast_catalog.Deny(view, "u").ok();
+        ASSERT_EQ(c_ok, f_ok) << view;
+      } else if (action < 65) {  // insert (shared database instance)
+        (void)db.Insert("R", Tuple({Value::Int64(val(rng)),
+                                    Value::Int64(val(rng)),
+                                    Value::Int64(val(rng)),
+                                    Value::Int64(val(rng))}));
+      }
+      // else: read-only step.
+
+      const ConjunctiveQuery& query = pool[rng() % pool.size()];
+      auto want = canonical.Retrieve("u", query, canonical_options);
+      auto latemat = fast.Retrieve("u", query, latemat_options);
+      auto tuple_plan = fast.Retrieve("u", query, tuple_options);
+      ASSERT_TRUE(want.ok()) << want.status();
+      ASSERT_TRUE(latemat.ok()) << latemat.status();
+      ASSERT_TRUE(tuple_plan.ok()) << tuple_plan.status();
+      const Observed expected = Summarize(*want);
+      EXPECT_TRUE(Summarize(*latemat) == expected)
+          << "latemat plan diverged: scenario " << scenario << " step "
+          << step << " query " << query.ToString();
+      EXPECT_TRUE(Summarize(*tuple_plan) == expected)
+          << "tuple plan diverged: scenario " << scenario << " step " << step
+          << " query " << query.ToString();
+      ++compared;
+      if (HasFailure()) break;
+    }
+    cache_hits += cache.Snapshot().mask_hits;
+  }
+  EXPECT_GE(compared, 400);
+  // The scenarios must actually exercise the cache across mutations.
+  EXPECT_GT(cache_hits, 0);
+}
+
 }  // namespace
 }  // namespace viewauth

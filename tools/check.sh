@@ -3,20 +3,29 @@
 #
 #   1. configure + build with warnings-as-errors (and the compile
 #      database for clang-tidy)
-#   2. the regular test suite (differential + torture tiers excluded)
-#   3. the differential-soundness tier (slow, randomized)
+#   2. the regular test suite (differential + torture + coherence tiers
+#      excluded)
+#   3. the differential-soundness tier (slow, randomized; includes the
+#      write-mix mutation scenarios)
 #   4. the crash-recovery torture tier (slow: a simulated crash at every
 #      byte boundary of log appends and compaction staging)
-#   5. a Release (-O2) build of bench_latemat and its --smoke gate: the
+#   5. the cache-coherence torture tier: randomized lockstep
+#      interleavings of mutations and retrieves, a cold no-cache oracle
+#      differencing every step
+#   6. a Release (-O2) build of bench_latemat and its --smoke gate: the
 #      late-materialized data pipeline must not be slower than the
 #      tuple-at-a-time optimizer on the reference join workload
-#   6. a Release build of bench_governor and its --smoke gate: governing
+#   7. a Release build of bench_governor and its --smoke gate: governing
 #      a non-tripping retrieve (generous deadline + budgets) must cost
 #      no more than 2% over the ungoverned pipeline
-#   7. clang-tidy via tools/lint.sh (SKIPPED when not installed)
-#   8. the full suite under ThreadSanitizer
-#   9. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
-#      (both sanitizer tiers include the torture tests)
+#   8. a Release build of bench_invalidation and its --smoke gate: with
+#      dependency-tracked invalidation the cache must stay >= 2x faster
+#      than uncached at a 10% write mix (also fails if the committed
+#      BENCH_invalidation.json is missing)
+#   9. clang-tidy via tools/lint.sh (SKIPPED when not installed)
+#  10. the full suite under ThreadSanitizer
+#  11. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
+#      (both sanitizer tiers include the torture + coherence tests)
 #
 # Prints a summary table and exits nonzero if any step failed.
 #
@@ -59,13 +68,16 @@ run_step "build (Werror)" configure_and_build
 if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
   run_step "unit tests" \
     ctest --test-dir build --output-on-failure -j "$JOBS" \
-      -E 'Differential|CrashTorture' "$@"
+      -E 'Differential|CrashTorture|CacheCoherence' "$@"
   run_step "differential soundness" \
     ctest --test-dir build --output-on-failure -j "$JOBS" \
       -R Differential "$@"
   run_step "crash-recovery torture" \
     ctest --test-dir build --output-on-failure -j "$JOBS" \
       -R CrashTorture "$@"
+  run_step "cache-coherence torture" \
+    ctest --test-dir build --output-on-failure -j "$JOBS" \
+      -R CacheCoherence "$@"
   latemat_smoke() {
     cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null &&
       cmake --build build-release -j "$JOBS" --target bench_latemat &&
@@ -78,6 +90,17 @@ if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
       ./build-release/bench/bench_governor --smoke
   }
   run_step "governor overhead smoke (Release)" governor_smoke
+  invalidation_smoke() {
+    if [ ! -f BENCH_invalidation.json ]; then
+      echo "BENCH_invalidation.json missing: run" \
+        "./build-release/bench/bench_invalidation from the repo root"
+      return 1
+    fi
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null &&
+      cmake --build build-release -j "$JOBS" --target bench_invalidation &&
+      ./build-release/bench/bench_invalidation --smoke
+  }
+  run_step "invalidation perf smoke (Release)" invalidation_smoke
   run_step "clang-tidy" tools/lint.sh build
 else
   echo "build failed; skipping test and lint steps"
