@@ -74,6 +74,7 @@ void PrintOptions(const AuthorizationOptions& options) {
             << " parallel=" << onoff(options.parallel_meta_evaluation)
             << " latemat=" << onoff(options.use_latemat_data_plan)
             << " analyze=" << onoff(options.analyze_grants)
+            << " audit=" << onoff(options.audit_grants)
             << "\n"
             << "deadline_ms=" << options.deadline_ms
             << " max_rows=" << options.max_rows
@@ -242,6 +243,7 @@ int main(int argc, char** argv) {
         else if (parts[0] == "parallel") o.parallel_meta_evaluation = on;
         else if (parts[0] == "latemat") o.use_latemat_data_plan = on;
         else if (parts[0] == "analyze") o.analyze_grants = on;
+        else if (parts[0] == "audit") o.audit_grants = on;
         else if (parts[0] == "deadline_ms") parse_number(&o.deadline_ms);
         else if (parts[0] == "max_rows") parse_number(&o.max_rows);
         else if (parts[0] == "max_bytes") parse_number(&o.max_bytes);

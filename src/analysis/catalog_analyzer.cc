@@ -170,31 +170,13 @@ void CatalogAnalyzer::CheckViews(const AnalysisOptions& options,
   }
 }
 
-std::vector<std::string> CatalogAnalyzer::PrincipalUsers() const {
-  std::vector<std::string> users;
-  std::set<std::string> seen;
-  auto add = [&](const std::string& user) {
-    if (seen.insert(user).second) users.push_back(user);
-  };
-  const auto& groups = catalog_->group_members();
-  for (const ViewCatalog::Grant& grant : catalog_->grants()) {
-    auto group = groups.find(grant.user);
-    if (group == groups.end()) {
-      add(grant.user);
-    } else {
-      for (const std::string& member : group->second) add(member);
-    }
-  }
-  return users;
-}
-
 void CatalogAnalyzer::CheckSubsumedPermits(AnalysisReport* report) const {
   // One diagnostic per ordered grant pair, however many users the pair
   // applies to (a group pair would otherwise repeat per member); the
   // witness user is named when grants reach the user through groups.
   std::set<std::pair<const ViewCatalog::Grant*, const ViewCatalog::Grant*>>
       emitted;
-  for (const std::string& user : PrincipalUsers()) {
+  for (const std::string& user : catalog_->PrincipalUsers()) {
     for (AccessMode mode : kModes) {
       struct Applied {
         const ViewCatalog::Grant* grant;
@@ -291,7 +273,7 @@ void CatalogAnalyzer::CheckShadowedDenies(AnalysisReport* report) const {
 
 void CatalogAnalyzer::CheckCoverage(const AnalysisOptions& options,
                                     AnalysisReport* report) const {
-  for (const std::string& user : PrincipalUsers()) {
+  for (const std::string& user : catalog_->PrincipalUsers()) {
     std::vector<const ViewDefinition*> views =
         catalog_->PermittedViews(user, AccessMode::kRetrieve);
     if (views.empty()) continue;

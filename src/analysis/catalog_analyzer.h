@@ -94,10 +94,6 @@ class CatalogAnalyzer {
   void CheckCoverage(const AnalysisOptions& options,
                      AnalysisReport* report) const;
 
-  // Every user any grant can apply to: direct grantees plus members of
-  // granted groups, in first-appearance order.
-  std::vector<std::string> PrincipalUsers() const;
-
   const ViewCatalog* catalog_;
 };
 

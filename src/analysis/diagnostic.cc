@@ -1,6 +1,7 @@
 #include "analysis/diagnostic.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "common/str_util.h"
@@ -26,10 +27,31 @@ std::string Diagnostic::ToString() const {
   return out.str();
 }
 
+bool DiagnosticOutputLess(const Diagnostic& a, const Diagnostic& b) {
+  if (a.check != b.check) return a.check < b.check;
+  if (a.view != b.view) return a.view < b.view;
+  if (a.user != b.user) return a.user < b.user;
+  if (a.location != b.location) return a.location < b.location;
+  return a.message < b.message;
+}
+
 void AnalysisReport::Add(Severity severity, std::string check,
                          std::string location, std::string message) {
   diagnostics_.push_back(Diagnostic{severity, std::move(check),
                                     std::move(location), std::move(message)});
+}
+
+void AnalysisReport::Add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void AnalysisReport::Merge(AnalysisReport other) {
+  for (Diagnostic& d : other.diagnostics_) {
+    diagnostics_.push_back(std::move(d));
+  }
+  for (CoverageEntry& entry : other.coverage_) {
+    coverage_.push_back(std::move(entry));
+  }
 }
 
 int AnalysisReport::CountOf(Severity severity) const {
@@ -54,6 +76,71 @@ std::string AnalysisReport::SummaryLine() const {
   count_part(Severity::kWarning, "warning");
   count_part(Severity::kNote, "note");
   return "catalog analysis: " + Join(parts, ", ");
+}
+
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AnalysisReport::ToJson() const {
+  std::vector<const Diagnostic*> ordered;
+  ordered.reserve(diagnostics_.size());
+  for (const Diagnostic& d : diagnostics_) ordered.push_back(&d);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return DiagnosticOutputLess(*a, *b);
+                   });
+  std::ostringstream out;
+  out << "{\n  \"diagnostics\": [";
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const Diagnostic& d = *ordered[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"check\": \"" << JsonEscape(d.check) << "\", \"severity\": \""
+        << SeverityToString(d.severity) << "\", \"view\": \""
+        << JsonEscape(d.view) << "\", \"user\": \"" << JsonEscape(d.user)
+        << "\", \"location\": \"" << JsonEscape(d.location)
+        << "\", \"message\": \"" << JsonEscape(d.message) << "\"}";
+  }
+  if (!ordered.empty()) out << "\n  ";
+  out << "],\n";
+  out << "  \"summary\": {\"errors\": " << errors()
+      << ", \"warnings\": " << warnings() << ", \"notes\": " << notes()
+      << "}\n}";
+  return out.str();
 }
 
 std::string AnalysisReport::ToString(bool include_coverage) const {

@@ -26,22 +26,43 @@ enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
 std::string_view SeverityToString(Severity severity);
 
 struct Diagnostic {
+  Diagnostic() = default;
+  Diagnostic(Severity severity_in, std::string check_in,
+             std::string location_in, std::string message_in)
+      : severity(severity_in),
+        check(std::move(check_in)),
+        location(std::move(location_in)),
+        message(std::move(message_in)) {}
+
   Severity severity = Severity::kNote;
   // Stable check identifier: "unsat-view", "subsumed-permit",
   // "shadowed-deny", "coverage-gap", "vacuous-comparison",
-  // "schema-drift".
+  // "schema-drift", and the auditor's "inference-channel",
+  // "deny-bypass", "disclosure-drift", "audit-cutoff".
   std::string check;
   // The catalog location the finding anchors to, rendered in the
   // surface language ("view ELP", "permit SAE to Brown",
   // "relation EMPLOYEE").
   std::string location;
   std::string message;
+  // Structured anchors for machine-readable output and deterministic
+  // ordering; empty when the finding has no single view or user. For
+  // composed findings (inference channels) `view` joins the sources
+  // with '+' ("SAE+EST").
+  std::string view;
+  std::string user;
 
   bool operator==(const Diagnostic&) const = default;
 
   // "error: [unsat-view] view BAD: ...".
   std::string ToString() const;
 };
+
+// Deterministic output order: by check kind, then view, then user, then
+// location, then message. Every surface that renders a diagnostic list
+// for fixtures (--json, report rendering) sorts with this so output
+// never depends on internal iteration order.
+bool DiagnosticOutputLess(const Diagnostic& a, const Diagnostic& b);
 
 // One row of the projection-coverage report: the columns of `relation`
 // that `user` can actually receive under some permitted view. An empty
@@ -63,10 +84,14 @@ class AnalysisReport {
 
   void Add(Severity severity, std::string check, std::string location,
            std::string message);
+  void Add(Diagnostic diagnostic);
+  // Appends every diagnostic (and coverage row) of `other`.
+  void Merge(AnalysisReport other);
 
   int CountOf(Severity severity) const;
   int errors() const { return CountOf(Severity::kError); }
   int warnings() const { return CountOf(Severity::kWarning); }
+  int notes() const { return CountOf(Severity::kNote); }
   bool HasErrors() const { return errors() > 0; }
   bool HasFindings() const { return !diagnostics_.empty(); }
 
@@ -76,6 +101,11 @@ class AnalysisReport {
   // "catalog analysis: no findings").
   std::string ToString(bool include_coverage = false) const;
   std::string SummaryLine() const;
+
+  // Machine-readable rendering: one JSON object with a "diagnostics"
+  // array in DiagnosticOutputLess order plus a "summary" object. Stable
+  // and deterministic: equal reports render byte-identically.
+  std::string ToJson() const;
 
  private:
   std::vector<Diagnostic> diagnostics_;

@@ -1,0 +1,161 @@
+// Disclosure-closure analysis and inference auditing.
+//
+// The catalog analyzer (catalog_analyzer.h) judges permits one at a
+// time. The attacker model of interest (Guarnieri et al., "Strong and
+// Provably Secure Database Access Control") is stronger: a user keeps
+// everything every permitted view ever delivered and may compute over
+// the union — so the right unit of analysis is the *combination* of a
+// user's permits. DisclosureAuditor computes, per user, the **disclosure
+// closure**: the set of (relation, columns, constraint-region) facts
+// derivable from the permitted views and their compositions, and runs
+// three diagnostic families over it:
+//
+//   inference-channel  (error) two or more permitted views share all key
+//                              columns of a relation, so joining their
+//                              results tuple-identifies rows and reveals
+//                              a column combination (over a nonempty
+//                              region) that no single permitted view
+//                              delivers (Chirkova & Yu: the query behind
+//                              the views is answerable)
+//   deny-bypass        (error) a recorded deny whose hidden subview is
+//                              reconstructible from the surviving
+//                              permits' closure — semantically vacuous
+//                              even though the pairwise shadowed-deny
+//                              check passes (no single view implies it)
+//   disclosure-drift   (note)  catalog-version differential built on the
+//                              CatalogMutation journal: for each permit
+//                              added after a reference version, exactly
+//                              which closure facts the grant contributed
+//                              (the marginal disclosure a reviewer signs
+//                              off on)
+//
+// Soundness: error findings are proofs. Compositions use only
+// region-exact facts (single-atom restrictions with no dropped
+// cross-atom constraint), joins require *all* declared key columns of
+// the relation shared and projected on both sides (equality on a key
+// identifies the row), composed regions must survive
+// ConstraintSet::DeepCheckSatisfiable, and channel/bypass coverage
+// checks demand proven implication. kUnknown never becomes an error.
+//
+// Boundedness: the closure is a fixpoint over a per-user fact set with
+// three cutoffs — composition depth (distinct views per fact), fact
+// count, and total composition attempts. Hitting any cutoff truncates
+// the closure (soundly: fewer facts, fewer findings) and emits one
+// "audit-cutoff" note, so auditing a large catalog (100+ views) stays
+// inside a lint step instead of enumerating an exponential join lattice.
+
+#ifndef VIEWAUTH_ANALYSIS_DISCLOSURE_AUDITOR_H_
+#define VIEWAUTH_ANALYSIS_DISCLOSURE_AUDITOR_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/view_implication.h"
+#include "meta/view_store.h"
+
+namespace viewauth {
+
+struct DisclosureAuditOptions {
+  // Maximum distinct views composed into one closure fact.
+  int max_composition_depth = 3;
+  // Per-user cap on stored closure facts.
+  int max_closure_facts = 256;
+  // Per-user cap on attempted compositions (the enumeration cutoff that
+  // bounds the join lattice on large catalogs).
+  int max_compositions = 20000;
+  // Assignment cap for DeepCheckSatisfiable on composed regions.
+  long long unsat_enumeration_limit = 100000;
+  // When >= 0, run the journal-differential drift pass: report the
+  // marginal disclosure of every retrieve permit recorded after this
+  // catalog version. -1 disables the pass.
+  long long drift_since_seq = -1;
+  // Cap on drift facts reported per recorded grant.
+  int max_drift_facts_per_grant = 8;
+};
+
+// One fact of a user's disclosure closure: the user can materialize the
+// `columns` of `relation` for every row in `region` (terms = column
+// indices), by joining the result sets of `sources` (permitted view
+// grant names; one entry for a directly delivered subview).
+struct DisclosureFact {
+  std::string relation;
+  std::set<int> columns;
+  ConstraintSet region;
+  bool region_exact = true;
+  // Distinct view names composed, in first-use order.
+  std::vector<std::string> sources;
+
+  int depth() const { return static_cast<int>(sources.size()); }
+  // "SAE+EST" (sources joined), for Diagnostic::view.
+  std::string SourceLabel() const;
+};
+
+// A user's computed closure. `base_count` facts at the front of `facts`
+// are the direct per-atom disclosures of individual permitted views;
+// the rest are compositions.
+struct UserClosure {
+  std::string user;
+  std::vector<DisclosureFact> facts;
+  int base_count = 0;
+  // Some cutoff tripped; the closure (and so any finding set derived
+  // from it) is a sound under-approximation.
+  bool truncated = false;
+};
+
+class DisclosureAuditor {
+ public:
+  explicit DisclosureAuditor(const ViewCatalog* catalog)
+      : catalog_(catalog) {}
+
+  // The whole-catalog audit: closure per principal user, the three
+  // diagnostic families, deterministic ordering.
+  AnalysisReport Audit(const DisclosureAuditOptions& options = {}) const;
+
+  // The disclosure closure of one user's retrieve permits.
+  UserClosure ClosureFor(const std::string& user,
+                         const DisclosureAuditOptions& options = {}) const;
+
+  // The closure facts the grant of `view` to `user` contributes beyond
+  // the user's remaining permits (empty when the view reaches the user
+  // some other way too, e.g. through a group grant of the same view).
+  std::vector<DisclosureFact> MarginalDisclosure(
+      const std::string& view, const std::string& user,
+      const DisclosureAuditOptions& options = {}) const;
+
+  // Deny-bypass check for one recorded revocation: a diagnostic when the
+  // surviving permits' closure provably reconstructs the denied view's
+  // delivery *and* the pairwise shadowed-deny check would not fire.
+  std::optional<Diagnostic> CheckDenyBypass(
+      const ViewCatalog::Grant& revocation,
+      const DisclosureAuditOptions& options = {}) const;
+
+  // Inference-channel findings for one user (used by Audit and by the
+  // permit-time audit_grants path). When `only_view` is nonempty, only
+  // channels with that view among their sources are reported.
+  std::vector<Diagnostic> ChannelFindings(
+      const UserClosure& closure, const std::string& only_view = {}) const;
+
+ private:
+  // Closure over an explicit grant-name list (the subtraction used by
+  // MarginalDisclosure and CheckDenyBypass).
+  UserClosure ClosureOfViews(const std::string& user,
+                             const std::vector<std::string>& view_names,
+                             const DisclosureAuditOptions& options) const;
+  // Grant names of the user's retrieve permits, in grant order, deduped.
+  std::vector<std::string> PermittedViewNames(const std::string& user) const;
+  void AuditDrift(const DisclosureAuditOptions& options,
+                  AnalysisReport* report) const;
+
+  const ViewCatalog* catalog_;
+};
+
+// "EMPLOYEE(NAME, SALARY) where SALARY >= 30000" — the human rendering
+// of a fact against the catalog's live schema.
+std::string RenderFact(const ViewCatalog& catalog, const DisclosureFact& fact);
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_ANALYSIS_DISCLOSURE_AUDITOR_H_

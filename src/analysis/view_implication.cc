@@ -94,6 +94,91 @@ bool BranchImplied(const ViewDefinition& specific,
   return BranchImplied(PositionViewOf(specific), PositionViewOf(general));
 }
 
+std::vector<AtomDisclosure> AtomDisclosuresOf(const ViewDefinition& def) {
+  PositionView pv = PositionViewOf(def);
+  if (!pv.well_formed) return {};
+
+  // Flat-position range of each atom.
+  std::vector<int> start(def.tuples.size() + 1, 0);
+  for (size_t a = 0; a < def.tuples.size(); ++a) {
+    start[a + 1] = start[a] + def.tuples[a].arity();
+  }
+  auto atom_of_position = [&](int position) -> size_t {
+    size_t a = 0;
+    while (a + 1 < def.tuples.size() && position >= start[a + 1]) ++a;
+    return a;
+  };
+
+  // Positions whose constraints cross an atom boundary: dropping the
+  // partner term makes the owning atom's region approximate.
+  std::vector<bool> inexact(def.tuples.size(), false);
+  for (const ConstraintAtom& atom : pv.constraints.ExportAtoms()) {
+    if (!atom.rhs_is_term) continue;
+    size_t lhs_atom = atom_of_position(atom.lhs);
+    size_t rhs_atom = atom_of_position(atom.rhs_term);
+    if (lhs_atom != rhs_atom) {
+      inexact[lhs_atom] = true;
+      inexact[rhs_atom] = true;
+    }
+  }
+
+  // Which variables join across atoms (occur in more than one atom).
+  std::map<VarId, std::set<size_t>> atoms_of_var;
+  for (size_t a = 0; a < def.tuples.size(); ++a) {
+    for (VarId var : def.tuples[a].CellVars()) {
+      atoms_of_var[var].insert(a);
+    }
+  }
+
+  std::vector<AtomDisclosure> out;
+  out.reserve(def.tuples.size());
+  for (size_t a = 0; a < def.tuples.size(); ++a) {
+    const MetaTuple& tuple = def.tuples[a];
+    const RelationSchema& schema =
+        def.query.atom_schema(static_cast<int>(a));
+    AtomDisclosure d;
+    d.relation = def.tuple_relations[a];
+    d.region_exact = !inexact[a];
+    std::vector<TermId> positions;
+    positions.reserve(static_cast<size_t>(tuple.arity()));
+    for (int i = 0; i < tuple.arity(); ++i) {
+      positions.push_back(start[a] + i);
+      d.region.DeclareTermType(i, schema.attribute(i).type);
+      const MetaCell& cell = tuple.cells()[static_cast<size_t>(i)];
+      if (cell.projected) d.columns.insert(i);
+      if (cell.kind == CellKind::kVar &&
+          atoms_of_var[cell.var].size() > 1) {
+        d.join_columns.insert(i);
+      }
+    }
+    // The atom's share of the branch selection, remapped from flat
+    // positions to column indices. The restricted export carries
+    // solver-derived consequences (a pin reached through a cross-atom
+    // equality lands on this atom's term), so the region is as tight as
+    // the decision procedures can make it without the dropped partner
+    // terms.
+    for (const ConstraintAtom& atom : pv.constraints.ExportAtoms(positions)) {
+      if (atom.rhs_is_term) {
+        d.region.AddTermTerm(atom.lhs - start[a], atom.op,
+                             atom.rhs_term - start[a]);
+      } else {
+        d.region.AddTermConst(atom.lhs - start[a], atom.op, atom.rhs_const);
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+bool DisclosureCovers(const AtomDisclosure& general,
+                      const AtomDisclosure& specific) {
+  if (general.relation != specific.relation) return false;
+  for (int column : specific.columns) {
+    if (!general.columns.contains(column)) return false;
+  }
+  return specific.region.ImpliesAll(general.region) == Truth::kTrue;
+}
+
 bool ViewSubsumes(const std::vector<const ViewDefinition*>& general,
                   const std::vector<const ViewDefinition*>& specific) {
   if (specific.empty() || general.empty()) return false;

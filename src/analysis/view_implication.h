@@ -65,6 +65,47 @@ bool BranchImplied(const ViewDefinition& specific,
 bool ViewSubsumes(const std::vector<const ViewDefinition*>& general,
                   const std::vector<const ViewDefinition*>& specific);
 
+// --- Per-atom disclosure regions (disclosure_auditor substrate) --------
+//
+// A view branch discloses, per membership atom, a *subview* of that
+// atom's relation: the projected columns, over rows satisfying the
+// branch's selection. Re-expressing each atom's share of the selection
+// over the relation's own column indices (terms 0..arity-1) gives every
+// branch of every view — whatever its variable numbering — a shared
+// vocabulary per relation, which is what lets the disclosure auditor
+// conjoin regions across views when it composes facts.
+
+struct AtomDisclosure {
+  // Relation the atom ranges over.
+  std::string relation;
+  // Projected (starred) column indices, 0-based.
+  std::set<int> columns;
+  // Constraint region over terms = column indices: every delivered row
+  // of `relation` satisfies it.
+  ConstraintSet region;
+  // Columns that participate in cross-atom joins (shared variables).
+  // Reconstructing the atom's delivery requires these alongside the
+  // projected columns.
+  std::set<int> join_columns;
+  // True when `region` is exactly the branch's restriction on this atom:
+  // no cross-atom constraint was dropped in the re-expression. When
+  // false the region over-approximates the delivered rows (a join with
+  // another atom filters further), so provers must not treat it as a
+  // lower bound on disclosure.
+  bool region_exact = true;
+};
+
+// The per-atom disclosures of a compiled branch, in atom order. Empty
+// when the branch is ill-formed (vacuous comparison: its predicate
+// cannot be faithfully re-expressed; flagged elsewhere).
+std::vector<AtomDisclosure> AtomDisclosuresOf(const ViewDefinition& def);
+
+// Does `general` disclose at least `specific`? True when the relations
+// match, specific's columns are a subset, and every row specific
+// delivers provably lies in general's region.
+bool DisclosureCovers(const AtomDisclosure& general,
+                      const AtomDisclosure& specific);
+
 }  // namespace viewauth
 
 #endif  // VIEWAUTH_ANALYSIS_VIEW_IMPLICATION_H_

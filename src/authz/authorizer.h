@@ -81,6 +81,14 @@ struct AuthorizationOptions {
   // issued, or a deny whose effect a group grant still re-grants. Off by
   // default; the REPL exposes it as `set analyze on`.
   bool analyze_grants = false;
+  // Run the disclosure auditor (src/analysis/disclosure_auditor.h) after
+  // every retrieve-mode permit and deny and append its findings for the
+  // touched grant: on permit, the marginal disclosure the grant adds and
+  // any inference channel it opens; on deny, whether the surviving
+  // permits' closure makes the deny vacuous at the moment it is entered.
+  // Off by default (closure computation is analyzer-grade, not
+  // per-statement-grade); the REPL exposes it as `set audit on`.
+  bool audit_grants = false;
 
   // --- execution governance (0 = unlimited throughout) ------------------
   // Per-statement wall-clock deadline. Both the S data plan and the S'

@@ -499,6 +499,8 @@ Result<std::string> Engine::ExecutePermit(const PermitStmt& stmt) {
     out += " for " + std::string(GrantModeToString(stmt.mode));
   }
   out += GrantAnalysisNotes(stmt.view, stmt.user);
+  out += GrantAuditNotes(stmt.view, stmt.user, ToAccessMode(stmt.mode),
+                         /*is_deny=*/false);
   return out;
 }
 
@@ -511,12 +513,17 @@ Result<std::string> Engine::ExecuteDeny(const DenyStmt& stmt) {
     out += " for " + std::string(GrantModeToString(stmt.mode));
   }
   out += GrantAnalysisNotes(stmt.view, stmt.user);
+  out += GrantAuditNotes(stmt.view, stmt.user, ToAccessMode(stmt.mode),
+                         /*is_deny=*/true);
   return out;
 }
 
 Result<std::string> Engine::ExecuteAnalyze(const AnalyzeStmt& stmt) {
-  (void)stmt;
-  return AnalyzeCatalogLocked().ToString(/*include_coverage=*/true);
+  AnalysisReport report = AnalyzeCatalogLocked();
+  if (stmt.audit) {
+    report.Merge(AuditCatalogLocked());
+  }
+  return report.ToString(/*include_coverage=*/true);
 }
 
 AnalysisReport Engine::AnalyzeCatalog(const AnalysisOptions& options) const {
@@ -529,6 +536,17 @@ AnalysisReport Engine::AnalyzeCatalogLocked(
   return CatalogAnalyzer(catalog_.get()).Analyze(options);
 }
 
+AnalysisReport Engine::AuditCatalog(
+    const DisclosureAuditOptions& options) const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return AuditCatalogLocked(options);
+}
+
+AnalysisReport Engine::AuditCatalogLocked(
+    const DisclosureAuditOptions& options) const {
+  return DisclosureAuditor(catalog_.get()).Audit(options);
+}
+
 std::string Engine::GrantAnalysisNotes(const std::string& view,
                                        const std::string& user) const {
   if (!options_.analyze_grants) return {};
@@ -536,6 +554,42 @@ std::string Engine::GrantAnalysisNotes(const std::string& view,
   std::string out;
   for (const Diagnostic& diagnostic : analyzer.AnalyzeGrant(view, user)) {
     out += "\n" + diagnostic.ToString();
+  }
+  return out;
+}
+
+std::string Engine::GrantAuditNotes(const std::string& view,
+                                    const std::string& user, AccessMode mode,
+                                    bool is_deny) const {
+  // Only retrieve grants change the disclosure closure.
+  if (!options_.audit_grants || mode != AccessMode::kRetrieve) return {};
+  DisclosureAuditor auditor(catalog_.get());
+  const DisclosureAuditOptions audit_options;
+  std::string out;
+  if (is_deny) {
+    ViewCatalog::Grant revocation{user, view, mode};
+    if (std::optional<Diagnostic> d =
+            auditor.CheckDenyBypass(revocation, audit_options)) {
+      out += "\n" + d->ToString();
+    }
+    return out;
+  }
+  std::vector<DisclosureFact> marginal =
+      auditor.MarginalDisclosure(view, user, audit_options);
+  int emitted = 0;
+  for (const DisclosureFact& fact : marginal) {
+    if (emitted >= audit_options.max_drift_facts_per_grant) break;
+    ++emitted;
+    out += "\n  discloses " + RenderFact(*catalog_, fact);
+    if (fact.depth() > 1) out += " (in composition " + fact.SourceLabel() + ")";
+  }
+  if (static_cast<int>(marginal.size()) > emitted) {
+    out += "\n  ... and " + std::to_string(marginal.size() - emitted) +
+           " more closure fact(s)";
+  }
+  UserClosure closure = auditor.ClosureFor(user, audit_options);
+  for (const Diagnostic& d : auditor.ChannelFindings(closure, view)) {
+    out += "\n" + d.ToString();
   }
   return out;
 }

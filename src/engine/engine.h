@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "analysis/catalog_analyzer.h"
+#include "analysis/disclosure_auditor.h"
 #include "authz/audit_log.h"
 #include "authz/authz_cache.h"
 #include "authz/authorizer.h"
@@ -72,6 +73,14 @@ class Engine {
   // statement and the viewauth_lint tool both go through here.
   AnalysisReport AnalyzeCatalog(const AnalysisOptions& options = {}) const;
 
+  // Runs the disclosure auditor (src/analysis/disclosure_auditor.h) over
+  // the current catalog: per-user disclosure closures, inference-channel
+  // and deny-bypass findings, and — when options.drift_since_seq >= 0 —
+  // the journal-differential drift report. Read-only; takes the state
+  // lock shared. The surface-language `analyze audit` statement and
+  // viewauth_lint --audit both go through here.
+  AnalysisReport AuditCatalog(const DisclosureAuditOptions& options = {}) const;
+
   // Structured access to the most recent retrieve's result.
   const AuthorizationResult* last_result() const {
     return last_result_ ? &*last_result_ : nullptr;
@@ -112,6 +121,10 @@ class Engine {
   // AnalyzeCatalog without taking the state lock, for callers that
   // already hold it (ExecuteParsed branches).
   AnalysisReport AnalyzeCatalogLocked(const AnalysisOptions& options = {}) const;
+  // AuditCatalog without taking the state lock, for callers that already
+  // hold it.
+  AnalysisReport AuditCatalogLocked(
+      const DisclosureAuditOptions& options = {}) const;
   // RAII registration of a retrieve's ExecContext in the cancellation
   // registry (defined in engine.cc).
   class ActiveContextGuard;
@@ -119,6 +132,16 @@ class Engine {
   // to (view, user) rendered as report lines; empty otherwise.
   std::string GrantAnalysisNotes(const std::string& view,
                                  const std::string& user) const;
+  // When options_.audit_grants is set, the disclosure auditor's verdict
+  // on the grant just touched, rendered as report lines; empty otherwise.
+  // On permit: the marginal closure facts the grant contributed and any
+  // inference channel it participates in. On deny: whether the deny is
+  // vacuous against the surviving permits' closure. Fires on both permit
+  // and deny so a vacuous deny is flagged at entry, not at the next
+  // whole-catalog audit.
+  std::string GrantAuditNotes(const std::string& view,
+                              const std::string& user, AccessMode mode,
+                              bool is_deny) const;
 
   DatabaseInstance db_;
   std::unique_ptr<ViewCatalog> catalog_;

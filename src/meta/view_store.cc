@@ -469,6 +469,23 @@ std::vector<const ViewDefinition*> ViewCatalog::PermittedViews(
   return result;
 }
 
+std::vector<std::string> ViewCatalog::PrincipalUsers() const {
+  std::vector<std::string> users;
+  std::set<std::string> seen;
+  auto add = [&](const std::string& user) {
+    if (seen.insert(user).second) users.push_back(user);
+  };
+  for (const Grant& grant : permissions_) {
+    auto group = group_members_.find(grant.user);
+    if (group == group_members_.end()) {
+      add(grant.user);
+    } else {
+      for (const std::string& member : group->second) add(member);
+    }
+  }
+  return users;
+}
+
 bool ViewCatalog::IsPermitted(std::string_view user, std::string_view view,
                               AccessMode mode) const {
   for (const Grant& grant : permissions_) {

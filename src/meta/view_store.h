@@ -141,6 +141,12 @@ class ViewCatalog {
   bool IsPermitted(std::string_view user, std::string_view view,
                    AccessMode mode = AccessMode::kRetrieve) const;
 
+  // Every user any grant can apply to — direct grantees plus the current
+  // members of granted groups — in first-appearance order. The analyzer
+  // and the disclosure auditor iterate this so their per-user passes use
+  // exactly the membership resolution PermittedViews enforces.
+  std::vector<std::string> PrincipalUsers() const;
+
   // Display name of a variable ("x1", "x2", ... in catalog allocation
   // order; synthetic mid-pipeline variables render as "w<k>").
   std::string VarName(VarId var) const;

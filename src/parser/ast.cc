@@ -163,7 +163,9 @@ std::string MemberStmt::ToString() const {
          group;
 }
 
-std::string AnalyzeStmt::ToString() const { return "analyze"; }
+std::string AnalyzeStmt::ToString() const {
+  return audit ? "analyze audit" : "analyze";
+}
 
 std::string StatementToString(const Statement& stmt) {
   return std::visit([](const auto& s) { return s.ToString(); }, stmt);

@@ -176,9 +176,13 @@ struct DropStmt {
   std::string ToString() const;
 };
 
-// analyze — run the static catalog analyzer (src/analysis) and print its
-// report. Read-only with respect to both data and catalog.
+// analyze [audit] — run the static catalog analyzer (src/analysis) and
+// print its report. With `audit`, additionally run the disclosure
+// auditor (inference channels, deny bypasses) and merge its findings
+// into the report. Read-only with respect to both data and catalog.
 struct AnalyzeStmt {
+  bool audit = false;
+
   std::string ToString() const;
 };
 

@@ -108,7 +108,12 @@ class ParserImpl {
     if (IsKeyword(t, "unmember")) return ParseMember(true);
     if (IsKeyword(t, "analyze")) {
       Advance();  // analyze
-      return Statement{AnalyzeStmt{}};
+      AnalyzeStmt stmt;
+      if (IsKeyword(Peek(), "audit")) {
+        Advance();  // audit
+        stmt.audit = true;
+      }
+      return Statement{stmt};
     }
     return Error("expected a statement keyword, found " + t.Describe());
   }

@@ -1,0 +1,381 @@
+// Tests for the disclosure auditor (src/analysis/disclosure_auditor.h):
+// closure construction, the three diagnostic families (inference
+// channels, deny bypass, journal-differential drift), the enumeration
+// cutoffs, and the engine/parser/tool exposures (`analyze audit`,
+// options().audit_grants, AnalysisReport::ToJson ordering).
+
+#include "analysis/disclosure_auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/engine.h"
+#include "parser/parser.h"
+
+namespace viewauth {
+namespace {
+
+int CountCheck(const AnalysisReport& report, std::string_view check) {
+  int n = 0;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.check == check) ++n;
+  }
+  return n;
+}
+
+const Diagnostic* FindCheck(const AnalysisReport& report,
+                            std::string_view check) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.check == check) return &d;
+  }
+  return nullptr;
+}
+
+// Two innocuous-looking projections of a keyed relation; their join
+// reconstructs the full row.
+constexpr char kTwoViewChannel[] = R"(
+  relation EMPLOYEE (NAME string key, TITLE string, SALARY int)
+  view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+  view NT (EMPLOYEE.NAME, EMPLOYEE.TITLE)
+  permit SAE to Brown
+  permit NT to Brown
+)";
+
+TEST(DisclosureAuditorTest, TwoViewJoinChannelReported) {
+  Engine engine;
+  auto setup = engine.ExecuteScript(kTwoViewChannel);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  AnalysisReport report = engine.AuditCatalog();
+  ASSERT_EQ(CountCheck(report, "inference-channel"), 1) << report.ToString();
+  const Diagnostic* d = FindCheck(report, "inference-channel");
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->user, "Brown");
+  EXPECT_EQ(d->view, "NT+SAE");
+  EXPECT_NE(d->message.find("EMPLOYEE(NAME, TITLE, SALARY)"),
+            std::string::npos)
+      << d->message;
+}
+
+TEST(DisclosureAuditorTest, ThreeViewChainedChannelReported) {
+  Engine engine;
+  auto setup = engine.ExecuteScript(R"(
+    relation STAFF (ID int key, GRADE string, PAY int, UNIT string)
+    view SG (STAFF.ID, STAFF.GRADE)
+    view SP (STAFF.ID, STAFF.PAY)
+    view SU (STAFF.ID, STAFF.UNIT)
+    permit SG to Klein
+    permit SP to Klein
+    permit SU to Klein
+  )");
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  AnalysisReport report = engine.AuditCatalog();
+  // Three pairwise channels plus the depth-3 full-row channel.
+  EXPECT_EQ(CountCheck(report, "inference-channel"), 4) << report.ToString();
+  bool found_full = false;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.check == "inference-channel" &&
+        d.message.find("STAFF(ID, GRADE, PAY, UNIT)") != std::string::npos) {
+      found_full = true;
+    }
+  }
+  EXPECT_TRUE(found_full) << report.ToString();
+}
+
+TEST(DisclosureAuditorTest, NoChannelWithoutTheFullKeyOnBothSides) {
+  Engine engine;
+  // DOUBLE has a composite key; the two views share only half of it, so
+  // joining them does not tuple-identify rows and the auditor must stay
+  // silent.
+  auto setup = engine.ExecuteScript(R"(
+    relation DOUBLE (A string key, B string key, X int, Y int)
+    view DX (DOUBLE.A, DOUBLE.X)
+    view DY (DOUBLE.A, DOUBLE.Y)
+    permit DX to Brown
+    permit DY to Brown
+  )");
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  AnalysisReport report = engine.AuditCatalog();
+  EXPECT_FALSE(report.HasFindings()) << report.ToString();
+}
+
+TEST(DisclosureAuditorTest, DisjointRegionsDoNotCompose) {
+  Engine engine;
+  // Same columns recombined, but the two views cover provably disjoint
+  // salary ranges: the join is empty, so nothing new is disclosed.
+  auto setup = engine.ExecuteScript(R"(
+    relation EMPLOYEE (NAME string key, TITLE string, SALARY int)
+    view LOWT (EMPLOYEE.NAME, EMPLOYEE.TITLE) where EMPLOYEE.SALARY < 20000
+    view HIGHS (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+      where EMPLOYEE.SALARY >= 30000
+    permit LOWT to Brown
+    permit HIGHS to Brown
+  )");
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  AnalysisReport report = engine.AuditCatalog();
+  EXPECT_EQ(CountCheck(report, "inference-channel"), 0) << report.ToString();
+}
+
+TEST(DisclosureAuditorTest, PaperCatalogIsAuditClean) {
+  Engine engine;
+  auto setup = engine.ExecuteScript(R"(
+    relation EMPLOYEE (NAME string key, TITLE string, SALARY int)
+    relation PROJECT (NUMBER string key, SPONSOR string, BUDGET int)
+    relation ASSIGNMENT (E_NAME string key, P_NO string key)
+    view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+    view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+      where PROJECT.SPONSOR = Acme
+    view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE, PROJECT.NUMBER, PROJECT.BUDGET)
+      where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+      and PROJECT.NUMBER = ASSIGNMENT.P_NO
+      and PROJECT.BUDGET >= 250000
+    view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, EMPLOYEE:1.TITLE)
+      where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE
+    permit SAE to Brown
+    permit PSA to Brown
+    permit EST to Brown
+    permit ELP to Klein
+    permit EST to Klein
+  )");
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  // EST and ELP are multi-atom views: their per-atom regions drop
+  // cross-atom constraints, so the auditor refuses to compose them
+  // (soundness over completeness) and the paper catalog stays clean.
+  AnalysisReport report = engine.AuditCatalog();
+  EXPECT_FALSE(report.HasFindings()) << report.ToString();
+}
+
+TEST(DisclosureAuditorTest, DenyBypassMissedByPairwiseCheckReported) {
+  Engine engine;
+  auto setup = engine.ExecuteScript(R"(
+    relation EMPLOYEE (NAME string key, TITLE string, SALARY int)
+    view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+    view NT (EMPLOYEE.NAME, EMPLOYEE.TITLE)
+    view FULL (EMPLOYEE.NAME, EMPLOYEE.TITLE, EMPLOYEE.SALARY)
+    permit SAE to Brown
+    permit NT to Brown
+    permit FULL to Brown
+    deny FULL to Brown
+  )");
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  // The pairwise shadowed-deny check passes: no surviving grant
+  // re-permits FULL and no single view implies it.
+  AnalysisReport pairwise = engine.AnalyzeCatalog();
+  EXPECT_EQ(CountCheck(pairwise, "shadowed-deny"), 0)
+      << pairwise.ToString();
+
+  AnalysisReport audit = engine.AuditCatalog();
+  ASSERT_EQ(CountCheck(audit, "deny-bypass"), 1) << audit.ToString();
+  const Diagnostic* d = FindCheck(audit, "deny-bypass");
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->location, "deny FULL to Brown");
+  EXPECT_EQ(d->user, "Brown");
+}
+
+TEST(DisclosureAuditorTest, DenyCoveredByPairwiseCheckNotDoubleReported) {
+  Engine engine;
+  // WIDE implies NARROW, so the deny of NARROW is a pairwise
+  // shadowed-deny; the auditor must not also report it as a bypass.
+  auto setup = engine.ExecuteScript(R"(
+    relation EMPLOYEE (NAME string key, TITLE string, SALARY int)
+    view WIDE (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+      where EMPLOYEE.SALARY >= 20000
+    view NARROW (EMPLOYEE.NAME) where EMPLOYEE.SALARY >= 30000
+    permit WIDE to Brown
+    permit NARROW to Brown
+    deny NARROW to Brown
+  )");
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  AnalysisReport pairwise = engine.AnalyzeCatalog();
+  EXPECT_EQ(CountCheck(pairwise, "shadowed-deny"), 1)
+      << pairwise.ToString();
+  AnalysisReport audit = engine.AuditCatalog();
+  EXPECT_EQ(CountCheck(audit, "deny-bypass"), 0) << audit.ToString();
+}
+
+TEST(DisclosureAuditorTest, DriftDifferentialAcrossCatalogVersions) {
+  Engine engine;
+  auto setup = engine.ExecuteScript(R"(
+    relation EMPLOYEE (NAME string key, TITLE string, SALARY int)
+    view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+    view NT (EMPLOYEE.NAME, EMPLOYEE.TITLE)
+  )");
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  // Three catalog versions: v0 (no grants), v1 (SAE), v2 (SAE + NT).
+  const long long v0 = engine.catalog().catalog_version();
+  ASSERT_TRUE(engine.Execute("permit SAE to Brown").ok());
+  const long long v1 = engine.catalog().catalog_version();
+  ASSERT_TRUE(engine.Execute("permit NT to Brown").ok());
+
+  DisclosureAuditOptions since_v0;
+  since_v0.drift_since_seq = v0;
+  AnalysisReport full = engine.AuditCatalog(since_v0);
+  // Both permits report marginal facts; the NT permit also contributes
+  // the composed full-row fact.
+  EXPECT_GE(CountCheck(full, "disclosure-drift"), 3) << full.ToString();
+  bool nt_composition = false;
+  for (const Diagnostic& d : full.diagnostics()) {
+    if (d.check == "disclosure-drift" && d.view == "NT" &&
+        d.message.find("NT+SAE") != std::string::npos) {
+      nt_composition = true;
+    }
+  }
+  EXPECT_TRUE(nt_composition) << full.ToString();
+
+  DisclosureAuditOptions since_v1;
+  since_v1.drift_since_seq = v1;
+  AnalysisReport tail = engine.AuditCatalog(since_v1);
+  // Only the NT grant lies after v1.
+  for (const Diagnostic& d : tail.diagnostics()) {
+    if (d.check == "disclosure-drift") {
+      EXPECT_EQ(d.view, "NT") << d.message;
+    }
+  }
+  EXPECT_GE(CountCheck(tail, "disclosure-drift"), 1) << tail.ToString();
+  EXPECT_LT(CountCheck(tail, "disclosure-drift"),
+            CountCheck(full, "disclosure-drift"));
+
+  // Drift findings are notes: they never make the audit fail.
+  EXPECT_EQ(full.errors(), CountCheck(full, "inference-channel"));
+}
+
+TEST(DisclosureAuditorTest, HundredViewCatalogCompletesUnderCutoffs) {
+  Engine engine;
+  std::string script = "relation WIDE (K int key";
+  for (int i = 1; i <= 100; ++i) {
+    script += ", C" + std::to_string(i) + " int";
+  }
+  script += ")\n";
+  for (int i = 1; i <= 100; ++i) {
+    script += "view V" + std::to_string(i) + " (WIDE.K, WIDE.C" +
+              std::to_string(i) + ")\n";
+    script += "permit V" + std::to_string(i) + " to Scale\n";
+  }
+  auto setup = engine.ExecuteScript(script);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  AnalysisReport report = engine.AuditCatalog();
+  // The composition lattice is far larger than the cutoffs; the audit
+  // must truncate (one note) rather than enumerate it, and still report
+  // the channels it did reach.
+  EXPECT_EQ(CountCheck(report, "audit-cutoff"), 1) << report.SummaryLine();
+  EXPECT_GT(CountCheck(report, "inference-channel"), 0);
+}
+
+TEST(DisclosureAuditorTest, AnalyzeAuditStatementParses) {
+  auto stmt = ParseStatement("analyze audit");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_TRUE(std::holds_alternative<AnalyzeStmt>(*stmt));
+  EXPECT_TRUE(std::get<AnalyzeStmt>(*stmt).audit);
+  EXPECT_EQ(StatementToString(*stmt), "analyze audit");
+
+  auto plain = ParseStatement("analyze");
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_FALSE(std::get<AnalyzeStmt>(*plain).audit);
+
+  Engine engine;
+  auto setup = engine.ExecuteScript(kTwoViewChannel);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+  auto out = engine.Execute("analyze audit");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_NE(out->find("inference-channel"), std::string::npos) << *out;
+  auto without = engine.Execute("analyze");
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without->find("inference-channel"), std::string::npos)
+      << *without;
+}
+
+TEST(DisclosureAuditorTest, AuditGrantsFiresOnPermitAndDeny) {
+  Engine engine;
+  auto setup = engine.ExecuteScript(R"(
+    relation EMPLOYEE (NAME string key, TITLE string, SALARY int)
+    view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+    view NT (EMPLOYEE.NAME, EMPLOYEE.TITLE)
+    view FULL (EMPLOYEE.NAME, EMPLOYEE.TITLE, EMPLOYEE.SALARY)
+    permit SAE to Brown
+  )");
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  // Off by default: no inline audit notes.
+  auto quiet = engine.Execute("permit NT to Brown");
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_EQ(quiet->find("discloses"), std::string::npos) << *quiet;
+  ASSERT_TRUE(engine.Execute("deny NT to Brown").ok());
+
+  engine.options().audit_grants = true;
+  // Permit-time: the grant's marginal disclosure and the channel it
+  // opens (NT joins SAE on the EMPLOYEE key) are reported inline.
+  auto warned = engine.Execute("permit NT to Brown");
+  ASSERT_TRUE(warned.ok());
+  EXPECT_NE(warned->find("discloses"), std::string::npos) << *warned;
+  EXPECT_NE(warned->find("inference-channel"), std::string::npos) << *warned;
+
+  // Deny-time: denying FULL while SAE+NT survive is vacuous, and the
+  // audit path says so at entry.
+  ASSERT_TRUE(engine.Execute("permit FULL to Brown").ok());
+  auto denied = engine.Execute("deny FULL to Brown");
+  ASSERT_TRUE(denied.ok());
+  EXPECT_NE(denied->find("deny-bypass"), std::string::npos) << *denied;
+}
+
+TEST(DisclosureAuditorTest, ToJsonOrderingIsDeterministic) {
+  AnalysisReport report;
+  Diagnostic channel;
+  channel.severity = Severity::kError;
+  channel.check = "inference-channel";
+  channel.view = "NT+SAE";
+  channel.user = "Brown";
+  channel.location = "user Brown";
+  channel.message = "line1\nline2 \"quoted\"";
+  Diagnostic bypass;
+  bypass.severity = Severity::kError;
+  bypass.check = "deny-bypass";
+  bypass.view = "FULL";
+  bypass.user = "Brown";
+  bypass.location = "deny FULL to Brown";
+  bypass.message = "vacuous";
+  // Insertion order is channel-first; output order must be check-sorted
+  // (deny-bypass < inference-channel) and escape the message.
+  report.Add(channel);
+  report.Add(bypass);
+  const std::string json = report.ToJson();
+  const size_t bypass_at = json.find("deny-bypass");
+  const size_t channel_at = json.find("inference-channel");
+  ASSERT_NE(bypass_at, std::string::npos) << json;
+  ASSERT_NE(channel_at, std::string::npos) << json;
+  EXPECT_LT(bypass_at, channel_at) << json;
+  EXPECT_NE(json.find("line1\\nline2 \\\"quoted\\\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"errors\": 2"), std::string::npos) << json;
+}
+
+TEST(DisclosureAuditorTest, ClosureForExposesBaseAndComposedFacts) {
+  Engine engine;
+  auto setup = engine.ExecuteScript(kTwoViewChannel);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  // Read the catalog through the engine's audit surface first (shared
+  // lock), then inspect the closure directly.
+  DisclosureAuditor auditor(&engine.catalog());
+  UserClosure closure = auditor.ClosureFor("Brown");
+  EXPECT_EQ(closure.base_count, 2);
+  ASSERT_EQ(closure.facts.size(), 3u);
+  EXPECT_FALSE(closure.truncated);
+  const DisclosureFact& composed = closure.facts.back();
+  EXPECT_EQ(composed.depth(), 2);
+  EXPECT_EQ(composed.SourceLabel(), "NT+SAE");
+  EXPECT_EQ(composed.columns.size(), 3u);
+  EXPECT_EQ(RenderFact(engine.catalog(), composed),
+            "EMPLOYEE(NAME, TITLE, SALARY)");
+}
+
+}  // namespace
+}  // namespace viewauth

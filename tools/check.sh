@@ -22,15 +22,20 @@
 #      dependency-tracked invalidation the cache must stay >= 2x faster
 #      than uncached at a 10% write mix (also fails if the committed
 #      BENCH_invalidation.json is missing)
-#   9. clang-tidy via tools/lint.sh (SKIPPED when not installed)
-#  10. the full suite under ThreadSanitizer
-#  11. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
+#   9. the disclosure-audit gate: viewauth_lint --audit over the seeded
+#      audit fixtures (clean catalog silent, seeded channel/bypass
+#      catalogs exit 1) plus a generated 100-view catalog that must
+#      finish under the auditor's enumeration cutoffs within 60s
+#  10. clang-tidy via tools/lint.sh (SKIPPED when not installed)
+#  11. the full suite under ThreadSanitizer
+#  12. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
 #      (both sanitizer tiers include the torture + coherence tests)
 #
 # Prints a summary table and exits nonzero if any step failed.
 #
 # Usage: tools/check.sh [extra ctest args...]
-#   VIEWAUTH_CHECK_SKIP_SANITIZERS=1 skips steps 8-9 (quick local runs).
+#   VIEWAUTH_CHECK_SKIP_SANITIZERS=1 skips the sanitizer tiers (quick
+#   local runs).
 
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -101,6 +106,45 @@ if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
       ./build-release/bench/bench_invalidation --smoke
   }
   run_step "invalidation perf smoke (Release)" invalidation_smoke
+  disclosure_audit() {
+    local lint=./build/tools/viewauth_lint
+    local status
+    # Seeded fixtures: the clean catalog must audit silent, the seeded
+    # channel/bypass catalogs must fail with exit 1 exactly (2 = load
+    # failure, which would mean the fixture rotted).
+    "$lint" --audit --quiet tests/data/audit_clean_catalog.script ||
+      { echo "audit: clean catalog reported findings"; return 1; }
+    "$lint" --audit --quiet tests/data/audit_channel_catalog.script
+    status=$?
+    [ "$status" -eq 1 ] ||
+      { echo "audit: channel catalog exit $status, want 1"; return 1; }
+    "$lint" --audit --quiet tests/data/audit_deny_bypass_catalog.script
+    status=$?
+    [ "$status" -eq 1 ] ||
+      { echo "audit: deny-bypass catalog exit $status, want 1"; return 1; }
+    # Scale guard: a 100-view catalog (every view shares the key, so the
+    # composition lattice is huge) must finish under the enumeration
+    # cutoffs, not time out. The generated catalog is all channels, so
+    # exit 1 is the expected verdict.
+    local big
+    big="$(mktemp)"
+    {
+      printf 'relation WIDE (K int key'
+      for i in $(seq 1 100); do printf ', C%d int' "$i"; done
+      printf ')\n'
+      for i in $(seq 1 100); do
+        printf 'view V%d (WIDE.K, WIDE.C%d)\n' "$i" "$i"
+        printf 'permit V%d to Scale\n' "$i"
+      done
+    } > "$big"
+    timeout 60 "$lint" --audit --quiet "$big"
+    status=$?
+    rm -f "$big"
+    [ "$status" -eq 1 ] ||
+      { echo "audit: 100-view catalog exit $status, want 1"; return 1; }
+    echo "audit: fixtures and 100-view scale guard OK"
+  }
+  run_step "disclosure audit" disclosure_audit
   run_step "clang-tidy" tools/lint.sh build
 else
   echo "build failed; skipping test and lint steps"

@@ -27,7 +27,10 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
 fi
 
 # Project sources only: src/ and tools/ (tests and benches are out of
-# lint scope — see .clang-tidy).
+# lint scope — see .clang-tidy). src/analysis carries its own stricter
+# .clang-tidy (full bugprone-*/performance-* groups, no exclusions);
+# clang-tidy picks the nearest config per file, so no flags are needed
+# here.
 mapfile -t FILES < <(find "$ROOT/src" "$ROOT/tools" \
     -name '*.cc' -o -name '*.cpp' | sort)
 

@@ -3,20 +3,32 @@
 // Loads one or more catalogs — durable statement logs or DumpScript
 // output, i.e. plain-text surface-language scripts — replays each into a
 // fresh engine (data statements included, so schema drops replay
-// faithfully), runs the catalog analyzer, and prints its report.
+// faithfully), runs the catalog analyzer — and, under --audit, the
+// disclosure auditor — and prints the report.
 //
 // Usage:
-//   viewauth_lint [--strict] [--no-coverage] [--quiet] CATALOG...
-//   viewauth_lint < catalog.script
+//   viewauth_lint [FLAGS] CATALOG...
+//   viewauth_lint [FLAGS] < catalog.script
 //
-//   --strict       exit nonzero on warnings too, not just errors
-//   --no-coverage  omit the projection-coverage table
-//   --quiet        print only the per-catalog summary line
+//   --strict         exit nonzero on warnings too, not just errors
+//   --no-coverage    omit the projection-coverage table
+//   --quiet          print only the per-catalog summary line
+//   --audit          also run the disclosure auditor: per-user closure,
+//                    inference-channel and deny-bypass findings
+//   --drift-since N  with --audit: journal-differential drift report of
+//                    every retrieve permit recorded after catalog
+//                    version N (implies --audit)
+//   --json           machine-readable output: one JSON report per
+//                    catalog, diagnostics in stable deterministic order
+//                    (check kind, then view, then user)
 //
-// Exit status: 0 when every catalog is clean (of errors; of warnings too
-// under --strict), 1 when some finding crosses the threshold, 2 when a
-// catalog fails to load.
+// Exit status: 0 when every catalog is clean or carries only notes
+// (info-level findings never fail the lint), 1 when some catalog has an
+// error finding (a warning too under --strict), 2 when a catalog fails
+// to load. The 0-vs-1 split is what lets a CI step distinguish
+// "informational drift" from "real inference channel".
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -30,11 +42,20 @@ namespace {
 
 using viewauth::AnalysisOptions;
 using viewauth::AnalysisReport;
+using viewauth::DisclosureAuditOptions;
 using viewauth::Engine;
 
+struct LintOptions {
+  bool strict = false;
+  bool quiet = false;
+  bool show_coverage = true;
+  bool audit = false;
+  bool json = false;
+  long long drift_since = -1;
+};
+
 int RunOne(const std::string& label, const std::string& script,
-           const AnalysisOptions& options, bool strict, bool quiet,
-           bool show_coverage) {
+           const LintOptions& lint) {
   Engine engine;
   auto loaded = engine.ExecuteScript(script);
   if (!loaded.ok()) {
@@ -42,36 +63,58 @@ int RunOne(const std::string& label, const std::string& script,
               << "\n";
     return 2;
   }
+  AnalysisOptions options;
+  options.include_coverage = lint.show_coverage;
   AnalysisReport report = engine.AnalyzeCatalog(options);
-  if (quiet) {
+  if (lint.audit) {
+    DisclosureAuditOptions audit_options;
+    audit_options.drift_since_seq = lint.drift_since;
+    report.Merge(engine.AuditCatalog(audit_options));
+  }
+  if (lint.json) {
+    std::cout << report.ToJson() << "\n";
+  } else if (lint.quiet) {
     std::cout << label << ": " << report.SummaryLine() << "\n";
   } else {
-    std::cout << label << ":\n" << report.ToString(show_coverage) << "\n";
+    std::cout << label << ":\n" << report.ToString(lint.show_coverage)
+              << "\n";
   }
   const bool failed =
-      report.HasErrors() || (strict && report.warnings() > 0);
+      report.HasErrors() || (lint.strict && report.warnings() > 0);
   return failed ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool strict = false;
-  bool quiet = false;
-  bool show_coverage = true;
+  LintOptions lint;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--strict") {
-      strict = true;
+      lint.strict = true;
     } else if (arg == "--quiet") {
-      quiet = true;
+      lint.quiet = true;
     } else if (arg == "--no-coverage") {
-      show_coverage = false;
+      lint.show_coverage = false;
+    } else if (arg == "--audit") {
+      lint.audit = true;
+    } else if (arg == "--json") {
+      lint.json = true;
+    } else if (arg == "--drift-since") {
+      if (i + 1 >= argc) {
+        std::cerr << "--drift-since needs a catalog version\n";
+        return 2;
+      }
+      lint.drift_since = std::atoll(argv[++i]);
+      lint.audit = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: viewauth_lint [--strict] [--no-coverage] "
-                   "[--quiet] CATALOG...\n"
-                   "reads stdin when no catalog path is given\n";
+                   "[--quiet] [--audit] [--drift-since N] [--json] "
+                   "CATALOG...\n"
+                   "reads stdin when no catalog path is given\n"
+                   "exit: 0 clean or notes only, 1 error findings "
+                   "(warnings too under --strict), 2 load failure\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag '" << arg << "'\n";
@@ -80,9 +123,6 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-
-  AnalysisOptions options;
-  options.include_coverage = show_coverage;
 
   int exit_code = 0;
   auto fold = [&exit_code](int code) {
@@ -93,8 +133,7 @@ int main(int argc, char** argv) {
   if (paths.empty()) {
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
-    fold(RunOne("<stdin>", buffer.str(), options, strict, quiet,
-                show_coverage));
+    fold(RunOne("<stdin>", buffer.str(), lint));
     return exit_code;
   }
   for (const std::string& path : paths) {
@@ -106,7 +145,7 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    fold(RunOne(path, buffer.str(), options, strict, quiet, show_coverage));
+    fold(RunOne(path, buffer.str(), lint));
   }
   return exit_code;
 }
