@@ -69,10 +69,22 @@ std::optional<MetaRelation> AuthzCache::Lookup(
   if (it != entries->end()) {
     // Catalog staleness is handled eagerly by SyncCatalog; the lazy
     // check here covers the schema half (direct DDL by engineless
-    // callers).
+    // callers). A reader pinned to an older snapshot additionally
+    // requires entry.catalog <= its own catalog version: an entry that
+    // survived journal replay up to the synced sequence is unaffected by
+    // every mutation after its store point, a superset of the mutations
+    // after any older snapshot — so older entries are valid for old
+    // readers, while an entry derived *after* the reader's snapshot may
+    // reflect entitlements the snapshot never had.
     if (it->second.gen.schema == gen.schema) {
-      hits->fetch_add(1, std::memory_order_relaxed);
-      return it->second.value;  // copy out under the lock
+      if (it->second.gen.catalog <= gen.catalog) {
+        hits->fetch_add(1, std::memory_order_relaxed);
+        return it->second.value;  // copy out under the lock
+      }
+      // From the cache's point of view the entry is current (a newer
+      // reader will hit it); this old-snapshot reader just misses.
+      misses->fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
     }
     IndexEraseLocked(map_id, it->first, it->second.deps.user);
     entries->erase(it);
@@ -88,8 +100,10 @@ void AuthzCache::Store(std::map<std::string, Entry>* entries, MapId map_id,
   std::lock_guard<std::mutex> lock(mutex_);
   // An entry derived against a catalog sequence the cache has already
   // synced past may be missing invalidations that were replayed in the
-  // meantime; admitting it would be unsound. (Unreachable through the
-  // engine, whose mutations and retrieves exclude each other.)
+  // meantime; admitting it would be unsound. Reachable under snapshot
+  // isolation: a retrieve pinned to an old snapshot commits its txn
+  // after a newer mutation synced the cache forward — its fills are
+  // simply dropped.
   if (gen.catalog != synced_catalog_seq_) return;
   if (entries->size() > kMaxEntries) ClearMapLocked(map_id);
   auto it = entries->find(key);
@@ -105,7 +119,12 @@ std::optional<MetaRelation> AuthzCache::Peek(
     const AuthzGeneration& gen, bool* stale) {
   auto it = entries.find(key);
   if (it == entries.end()) return std::nullopt;
-  if (it->second.gen.schema == gen.schema) return it->second.value;
+  if (it->second.gen.schema == gen.schema) {
+    if (it->second.gen.catalog <= gen.catalog) return it->second.value;
+    // Entry from a catalog version newer than this reader's snapshot:
+    // not usable here, but not stale either (see Lookup).
+    return std::nullopt;
+  }
   if (stale != nullptr) *stale = true;
   return std::nullopt;
 }
@@ -151,7 +170,10 @@ std::shared_ptr<const CompiledMask> AuthzCache::PeekCompiledMask(
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = compiled_.find(key);
   if (it == compiled_.end()) return nullptr;
-  if (it->second.gen.schema == gen.schema) return it->second.value;
+  if (it->second.gen.schema == gen.schema) {
+    if (it->second.gen.catalog <= gen.catalog) return it->second.value;
+    return nullptr;
+  }
   if (stale != nullptr) *stale = true;
   return nullptr;
 }
@@ -161,7 +183,10 @@ std::shared_ptr<const CompiledMask> AuthzCache::LookupCompiledMask(
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = compiled_.find(key);
   if (it != compiled_.end()) {
-    if (it->second.gen.schema == gen.schema) return it->second.value;
+    if (it->second.gen.schema == gen.schema) {
+      if (it->second.gen.catalog <= gen.catalog) return it->second.value;
+      return nullptr;  // newer than this reader's snapshot (see Lookup)
+    }
     IndexEraseLocked(kCompiled, it->first, it->second.deps.user);
     compiled_.erase(it);
     invalidations_.fetch_add(1, std::memory_order_relaxed);
@@ -300,13 +325,17 @@ void AuthzCache::ApplyCatalogMutationLocked(const CatalogMutation& record) {
 void AuthzCache::SyncCatalog(const ViewCatalog& catalog) {
   std::lock_guard<std::mutex> lock(mutex_);
   const long long target = catalog.catalog_version();
-  if (target == synced_catalog_seq_) return;
+  if (target <= synced_catalog_seq_) return;
+  // A catalog older than our synced point needs nothing: it is a
+  // snapshot of a catalog we already replayed past, and its readers are
+  // screened at lookup by the entry.catalog <= reader.catalog rule —
+  // moving the clock backward (or wiping) for them would let a later
+  // Store from the newer catalog be rejected or, worse, re-admitted
+  // under a reused sequence number.
   std::vector<CatalogMutation> records;
-  if (target < synced_catalog_seq_ ||
-      !catalog.MutationsSince(synced_catalog_seq_, &records)) {
-    // A catalog older than our synced point is a different catalog, and
-    // a journal that no longer reaches back to it has lost records; in
-    // both cases no sound selective answer exists.
+  if (!catalog.MutationsSince(synced_catalog_seq_, &records)) {
+    // The bounded journal no longer reaches back to our synced point:
+    // records were lost, so no sound selective answer exists.
     DropAllLocked();
   } else {
     for (const CatalogMutation& record : records) {

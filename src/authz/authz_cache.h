@@ -67,10 +67,15 @@ struct CatalogMutation;
 
 // The invalidation clock. `catalog` is the ViewCatalog's journal
 // sequence number current when the entry was derived; `schema` is the
-// DDL version. Lookups compare only the schema half (catalog staleness
-// is handled eagerly by SyncCatalog's journal replay); Store rejects an
-// entry derived against a catalog sequence the cache has already synced
-// past.
+// DDL version. Lookups require an exact schema match (catalog staleness
+// is handled eagerly by SyncCatalog's journal replay) plus
+// entry.catalog <= reader.catalog — under engine snapshot isolation a
+// retrieve may run against a catalog version older than the cache's
+// synced point, and entries stored after its snapshot must look like
+// misses to it (entries stored before remain sound for it precisely
+// because they survived the journal replay in between). Store rejects
+// an entry derived against any catalog sequence other than the synced
+// one.
 struct AuthzGeneration {
   long long catalog = 0;
   long long schema = 0;

@@ -173,6 +173,9 @@ FileSystem* FileSystem::Default() {
 
 // Applies the shared crash budget to one file's appends. At namespace
 // scope (not anonymous) so the friend declaration in file.h applies.
+// Every operation runs under the filesystem's mutex: the group-commit
+// torture tiers append from a leader thread while other threads probe
+// counters and Compact stages a replacement file.
 class FaultInjectingFile : public WritableFile {
  public:
   FaultInjectingFile(std::unique_ptr<WritableFile> base,
@@ -180,6 +183,7 @@ class FaultInjectingFile : public WritableFile {
       : base_(std::move(base)), fs_(fs) {}
 
   Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
     if (fs_->crashed_) return fs_->CrashedStatus();
     if (fs_->crash_after_bytes_ >= 0) {
       uint64_t budget = static_cast<uint64_t>(fs_->crash_after_bytes_);
@@ -204,21 +208,23 @@ class FaultInjectingFile : public WritableFile {
   }
 
   Status Flush() override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
     if (fs_->crashed_) return fs_->CrashedStatus();
     return base_->Flush();
   }
 
   Status Sync() override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
     if (fs_->crashed_) return fs_->CrashedStatus();
-    if (fs_->fail_next_sync_) {
-      fs_->fail_next_sync_ = false;
-      return Status::Internal("injected fsync failure");
-    }
+    VIEWAUTH_RETURN_NOT_OK(fs_->TakeSyncFaultLocked());
     ++fs_->sync_count_;
     return base_->Sync();
   }
 
-  Status Close() override { return base_->Close(); }
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    return base_->Close();
+  }
 
  private:
   std::unique_ptr<WritableFile> base_;
@@ -229,9 +235,22 @@ Status FaultInjectingFileSystem::CrashedStatus() const {
   return Status::Internal("injected crash: filesystem is down");
 }
 
+Status FaultInjectingFileSystem::TakeSyncFaultLocked() {
+  if (syncs_until_failure_ < 0) return Status::OK();
+  if (syncs_until_failure_ == 0) {
+    syncs_until_failure_ = -1;
+    return Status::Internal("injected fsync failure");
+  }
+  --syncs_until_failure_;
+  return Status::OK();
+}
+
 Result<std::unique_ptr<WritableFile>> FaultInjectingFileSystem::NewWritableFile(
     const std::string& path, WriteMode mode) {
-  if (crashed_) return CrashedStatus();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashedStatus();
+  }
   VIEWAUTH_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
                             base_->NewWritableFile(path, mode));
   return std::unique_ptr<WritableFile>(
@@ -240,7 +259,10 @@ Result<std::unique_ptr<WritableFile>> FaultInjectingFileSystem::NewWritableFile(
 
 Result<std::string> FaultInjectingFileSystem::ReadFileToString(
     const std::string& path) {
-  if (crashed_) return CrashedStatus();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashedStatus();
+  }
   return base_->ReadFileToString(path);
 }
 
@@ -250,32 +272,41 @@ bool FaultInjectingFileSystem::FileExists(const std::string& path) {
 
 Status FaultInjectingFileSystem::RenameFile(const std::string& from,
                                             const std::string& to) {
-  if (crashed_) return CrashedStatus();
-  if (fail_next_rename_) {
-    fail_next_rename_ = false;
-    return Status::Internal("injected rename failure");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashedStatus();
+    if (fail_next_rename_) {
+      fail_next_rename_ = false;
+      return Status::Internal("injected rename failure");
+    }
   }
   return base_->RenameFile(from, to);
 }
 
 Status FaultInjectingFileSystem::RemoveFile(const std::string& path) {
-  if (crashed_) return CrashedStatus();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashedStatus();
+  }
   return base_->RemoveFile(path);
 }
 
 Status FaultInjectingFileSystem::TruncateFile(const std::string& path,
                                               uint64_t size) {
-  if (crashed_) return CrashedStatus();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashedStatus();
+  }
   return base_->TruncateFile(path, size);
 }
 
 Status FaultInjectingFileSystem::SyncDirectoryOf(const std::string& path) {
-  if (crashed_) return CrashedStatus();
-  if (fail_next_sync_) {
-    fail_next_sync_ = false;
-    return Status::Internal("injected fsync failure");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashedStatus();
+    VIEWAUTH_RETURN_NOT_OK(TakeSyncFaultLocked());
+    ++sync_count_;
   }
-  ++sync_count_;
   return base_->SyncDirectoryOf(path);
 }
 

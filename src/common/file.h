@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -87,6 +88,10 @@ class FileSystem {
 // on demand. All controls and counters live on the filesystem object and
 // are shared by every file it opens, so a byte budget spans an entire
 // multi-file operation (e.g. log appends followed by a compaction dump).
+// Thread-safe: the concurrent torture tiers drive one instance from
+// several mutator threads at once, so every control and counter is
+// guarded by a single mutex (which also serializes base-file I/O,
+// keeping the byte budget's torn-write point deterministic per run).
 class FaultInjectingFileSystem : public FileSystem {
  public:
   explicit FaultInjectingFileSystem(FileSystem* base) : base_(base) {}
@@ -96,15 +101,41 @@ class FaultInjectingFileSystem : public FileSystem {
   // write), then the filesystem enters the crashed state where every
   // operation — reads, writes, syncs, renames — fails. Negative
   // disables.
-  void set_crash_after_bytes(int64_t n) { crash_after_bytes_ = n; }
+  void set_crash_after_bytes(int64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    crash_after_bytes_ = n;
+  }
 
   // One-shot transient faults (not a crash: later operations succeed).
-  void FailNextSync() { fail_next_sync_ = true; }
-  void FailNextRename() { fail_next_rename_ = true; }
+  void FailNextSync() { ScheduleSyncFailure(1); }
+  void FailNextRename() {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_next_rename_ = true;
+  }
 
-  bool crashed() const { return crashed_; }
-  uint64_t bytes_written() const { return bytes_written_; }
-  uint64_t sync_count() const { return sync_count_; }
+  // Fails the `nth` future sync (1 = the very next) once with an
+  // injected EIO-style error; earlier and later syncs succeed and the
+  // filesystem stays up — unlike the byte budget, this models a device
+  // that reports one failed flush, not a dead machine. File fsyncs and
+  // directory fsyncs draw from the same schedule, mirroring
+  // sync_count(). A failed sync does not count toward sync_count().
+  void ScheduleSyncFailure(uint64_t nth) {
+    std::lock_guard<std::mutex> lock(mu_);
+    syncs_until_failure_ = static_cast<int64_t>(nth) - 1;
+  }
+
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
+  uint64_t bytes_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_written_;
+  }
+  uint64_t sync_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sync_count_;
+  }
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, WriteMode mode) override;
@@ -119,10 +150,17 @@ class FaultInjectingFileSystem : public FileSystem {
   friend class FaultInjectingFile;
 
   Status CrashedStatus() const;
+  // Consumes one sync from the failure schedule. Returns the injected
+  // error when this sync is the scheduled casualty, OK otherwise.
+  // Requires mu_ held.
+  Status TakeSyncFaultLocked();
 
   FileSystem* base_;
+  mutable std::mutex mu_;
   int64_t crash_after_bytes_ = -1;
-  bool fail_next_sync_ = false;
+  // -1 = disarmed; 0 = the next sync fails; k > 0 = k syncs succeed
+  // first.
+  int64_t syncs_until_failure_ = -1;
   bool fail_next_rename_ = false;
   bool crashed_ = false;
   uint64_t bytes_written_ = 0;

@@ -1,7 +1,10 @@
 #include "engine/durable.h"
 
+#include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
+#include <iomanip>
 #include <sstream>
 
 #include "common/crc32.h"
@@ -12,7 +15,8 @@ namespace viewauth {
 
 namespace {
 
-constexpr std::string_view kMagic = "#viewauth-log v2\n";
+constexpr std::string_view kMagicV2 = "#viewauth-log v2\n";
+constexpr std::string_view kMagicV3 = "#viewauth-log v3\n";
 
 // Retrieves and analyses never touch the log: they are clean
 // non-mutations even when the execution governor aborts them mid-scan
@@ -36,6 +40,20 @@ std::string FrameRecord(uint64_t seq, std::string_view payload) {
   return record;
 }
 
+// "=<first> <last> <crc32-hex>\n" — commits records first..last. The CRC
+// covers the decimal "<first> <last>" text, so a torn or bit-flipped
+// marker can never commit a batch it does not describe.
+std::string FrameMarker(uint64_t first, uint64_t last) {
+  char body[48];
+  std::snprintf(body, sizeof(body), "%llu %llu",
+                static_cast<unsigned long long>(first),
+                static_cast<unsigned long long>(last));
+  char line[64];
+  std::snprintf(line, sizeof(line), "=%s %08x\n", body,
+                Crc32(std::string_view(body)));
+  return std::string(line);
+}
+
 // Parses "@<seq> <len> <8-hex-crc>" (the header line without its '\n').
 bool ParseRecordHeader(std::string_view line, uint64_t* seq, uint64_t* len,
                        uint32_t* crc) {
@@ -57,29 +75,91 @@ bool ParseRecordHeader(std::string_view line, uint64_t* seq, uint64_t* len,
   return crc_result.ec == std::errc() && crc_result.ptr == end;
 }
 
+// Parses "=<first> <last> <8-hex-crc>" and verifies the CRC.
+bool ParseMarkerLine(std::string_view line, uint64_t* first, uint64_t* last) {
+  if (line.size() < 5 || line[0] != '=') return false;
+  const char* end = line.data() + line.size();
+  auto first_result = std::from_chars(line.data() + 1, end, *first, 10);
+  if (first_result.ec != std::errc() || first_result.ptr == end ||
+      *first_result.ptr != ' ') {
+    return false;
+  }
+  auto last_result = std::from_chars(first_result.ptr + 1, end, *last, 10);
+  if (last_result.ec != std::errc() || last_result.ptr == end ||
+      *last_result.ptr != ' ') {
+    return false;
+  }
+  const char* crc_begin = last_result.ptr + 1;
+  if (end - crc_begin != 8) return false;
+  uint32_t crc = 0;
+  auto crc_result = std::from_chars(crc_begin, end, crc, 16);
+  if (crc_result.ec != std::errc() || crc_result.ptr != end) return false;
+  std::string_view body(line.data() + 1,
+                        static_cast<size_t>(crc_begin - line.data()) - 2);
+  return Crc32(body) == crc;
+}
+
 struct FramedScan {
+  // Committed payloads only (for a marker log, records behind a valid
+  // marker; for a V2 log, every valid record).
   std::vector<std::string> payloads;
   uint64_t last_seq = 0;
-  // Offset of the first damaged byte; file size when the log is clean.
+  // Offset of the last commit boundary; file size when the log is clean.
   size_t valid_bytes = 0;
+  // Offset where damage was detected (== file size for a clean scan or a
+  // pure uncommitted tail).
+  size_t damage_pos = 0;
   bool damaged = false;
-  // True when no fully valid record follows the damage (the crash-
-  // truncation shape); false means interior corruption.
+  // True when no fully valid record or marker follows the damage (the
+  // crash-truncation shape); false means interior corruption.
   bool damage_is_tail = true;
   uint64_t damaged_records = 0;
   std::string detail;
 };
 
-FramedScan ScanFramedLog(std::string_view contents) {
+FramedScan ScanFramedLog(std::string_view contents, size_t magic_size,
+                         bool with_markers) {
   FramedScan scan;
-  size_t pos = kMagic.size();
+  size_t pos = magic_size;
   scan.valid_bytes = pos;
   uint64_t expected_seq = 0;  // 0 = first record establishes the base
+  // Records appended since the last marker; provisional until committed.
+  std::vector<std::string> staged;
+  uint64_t staged_first = 0;
+  uint64_t staged_last = 0;
   auto damage = [&](std::string detail) {
     scan.damaged = true;
+    scan.damage_pos = pos;
     scan.detail = std::move(detail);
   };
   while (pos < contents.size()) {
+    if (with_markers && contents[pos] == '=') {
+      size_t line_end = contents.find('\n', pos);
+      if (line_end == std::string_view::npos) {
+        damage("truncated commit marker at offset " + std::to_string(pos));
+        break;
+      }
+      uint64_t first = 0;
+      uint64_t last = 0;
+      if (!ParseMarkerLine(contents.substr(pos, line_end - pos), &first,
+                           &last)) {
+        damage("malformed commit marker at offset " + std::to_string(pos));
+        break;
+      }
+      if (staged.empty() || first != staged_first || last != staged_last) {
+        damage("commit marker [" + std::to_string(first) + ".." +
+               std::to_string(last) + "] does not match the staged records");
+        break;
+      }
+      for (std::string& payload : staged) {
+        scan.payloads.push_back(std::move(payload));
+      }
+      staged.clear();
+      scan.last_seq = last;
+      pos = line_end + 1;
+      scan.valid_bytes = pos;
+      continue;
+    }
     size_t header_end = contents.find('\n', pos);
     if (header_end == std::string_view::npos) {
       damage("truncated record header at offset " + std::to_string(pos));
@@ -113,23 +193,57 @@ FramedScan ScanFramedLog(std::string_view contents) {
              ", found " + std::to_string(seq));
       break;
     }
-    scan.payloads.emplace_back(payload);
-    scan.last_seq = seq;
+    if (with_markers) {
+      if (staged.empty()) staged_first = seq;
+      staged_last = seq;
+      staged.emplace_back(payload);
+      pos = payload_begin + len + 1;
+      // valid_bytes advances only at a commit boundary.
+    } else {
+      scan.payloads.emplace_back(payload);
+      scan.last_seq = seq;
+      pos = payload_begin + len + 1;
+      scan.valid_bytes = pos;
+    }
     expected_seq = seq + 1;
-    pos = payload_begin + len + 1;
-    scan.valid_bytes = pos;
+  }
+  if (!scan.damaged && !staged.empty()) {
+    // Clean EOF mid-batch: the appended-but-never-committed shape (crash
+    // between the batch append and its marker becoming durable). Always
+    // a tail — no committed content follows staged records.
+    scan.damaged = true;
+    scan.damage_pos = contents.size();
+    scan.damage_is_tail = true;
+    scan.damaged_records = staged.size();
+    scan.detail = "uncommitted batch tail: " +
+                  std::to_string(staged.size()) +
+                  " record(s) without a commit marker";
+    return scan;
   }
   if (!scan.damaged) return scan;
 
-  // Classify the damage: if any fully valid record follows it, this is
-  // interior corruption (unsalvageable); otherwise it is a torn tail.
-  // Along the way, count record headers in the damaged region so the
-  // report can say how many records are being dropped.
-  uint64_t header_like = 0;
+  // Classify the damage: if any fully valid record or marker follows it,
+  // this is interior corruption (unsalvageable); otherwise it is a torn
+  // tail. Along the way, count record headers in the dropped region
+  // (everything past the last commit boundary, staged records included)
+  // so the report can say how many records are being dropped.
+  uint64_t header_like = staged.size();
   bool later_valid_record = false;
-  for (size_t p = scan.valid_bytes; p < contents.size(); ++p) {
-    bool at_line_start = p == scan.valid_bytes || contents[p - 1] == '\n';
-    if (!at_line_start || contents[p] != '@') continue;
+  for (size_t p = scan.damage_pos; p < contents.size(); ++p) {
+    bool at_line_start = p == scan.damage_pos || contents[p - 1] == '\n';
+    if (!at_line_start) continue;
+    if (with_markers && contents[p] == '=') {
+      size_t line_end = contents.find('\n', p);
+      if (line_end == std::string_view::npos) continue;
+      uint64_t first = 0;
+      uint64_t last = 0;
+      if (ParseMarkerLine(contents.substr(p, line_end - p), &first, &last)) {
+        later_valid_record = true;
+        break;
+      }
+      continue;
+    }
+    if (contents[p] != '@') continue;
     ++header_like;
     size_t header_end = contents.find('\n', p);
     if (header_end == std::string_view::npos) continue;
@@ -163,6 +277,8 @@ std::string_view LogFormatToString(LogFormat format) {
       return "legacy-text";
     case LogFormat::kFramedV2:
       return "framed-v2";
+    case LogFormat::kFramedV3:
+      return "framed-v3";
   }
   return "unknown";
 }
@@ -171,7 +287,7 @@ std::string RecoveryReport::ToString() const {
   std::ostringstream out;
   out << "format=" << LogFormatToString(format) << " records="
       << records_replayed;
-  if (format == LogFormat::kFramedV2) out << " last_seq=" << last_good_seq;
+  if (format != LogFormat::kLegacyText) out << " last_seq=" << last_good_seq;
   if (salvaged) {
     out << " salvaged: dropped " << dropped_records << " record"
         << (dropped_records == 1 ? "" : "s") << " (" << dropped_bytes
@@ -187,6 +303,16 @@ std::string DurableStats::ToString() const {
       << "  state               " << (degraded ? "DEGRADED" : "ok") << "\n"
       << "  appends             " << appends << " (" << append_bytes
       << " bytes)\n"
+      << "  commit batches      " << commit_batches;
+  if (commit_batches > 0) {
+    out << " (" << std::fixed << std::setprecision(1)
+        << static_cast<double>(batched_records) /
+               static_cast<double>(commit_batches)
+        << " frames/batch, " << fsyncs_saved << " fsyncs saved)";
+  }
+  out << "\n"
+      << "  batch aborts        " << batch_aborts << "\n"
+      << "  snapshots live      " << snapshots_live << "\n"
       << "  compactions         " << compactions << "\n"
       << "  log bytes           " << log_bytes << "\n"
       << "  recovery            " << recovery.ToString() << "\n";
@@ -219,13 +345,17 @@ Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
   bool needs_magic = false;
 
   if (contents.empty()) {
-    // Fresh (or zero-length) log: initialize as framed V2.
-    durable->format_ = LogFormat::kFramedV2;
+    // Fresh (or zero-length) log: initialize as framed V3.
+    durable->format_ = LogFormat::kFramedV3;
     needs_magic = true;
-  } else if (StartsWith(contents, kMagic)) {
-    VIEWAUTH_RETURN_NOT_OK(durable->RecoverFramed(contents));
-  } else if (StartsWith(kMagic, contents)) {
-    // The file is a proper prefix of the magic line: a crash during log
+  } else if (StartsWith(contents, kMagicV3)) {
+    VIEWAUTH_RETURN_NOT_OK(
+        durable->RecoverFramed(contents, LogFormat::kFramedV3));
+  } else if (StartsWith(contents, kMagicV2)) {
+    VIEWAUTH_RETURN_NOT_OK(
+        durable->RecoverFramed(contents, LogFormat::kFramedV2));
+  } else if (StartsWith(kMagicV3, contents) || StartsWith(kMagicV2, contents)) {
+    // The file is a proper prefix of a magic line: a crash during log
     // creation. Nothing was ever committed.
     if (!salvage) {
       return Status::Internal(
@@ -233,7 +363,7 @@ Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
           "' has a truncated header (reopen in salvage mode to reset it)");
     }
     VIEWAUTH_RETURN_NOT_OK(fs->TruncateFile(path, 0));
-    durable->format_ = LogFormat::kFramedV2;
+    durable->format_ = LogFormat::kFramedV3;
     durable->recovery_.salvaged = true;
     durable->recovery_.dropped_bytes = contents.size();
     durable->recovery_.detail = "truncated log header";
@@ -249,7 +379,7 @@ Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
   VIEWAUTH_ASSIGN_OR_RETURN(
       durable->log_, fs->NewWritableFile(path, WriteMode::kAppend));
   if (needs_magic) {
-    VIEWAUTH_RETURN_NOT_OK(durable->log_->Append(kMagic));
+    VIEWAUTH_RETURN_NOT_OK(durable->log_->Append(kMagicV3));
     if (durable->options_.sync_every_append) {
       VIEWAUTH_RETURN_NOT_OK(durable->log_->Sync());
       // The log may have just been created: fsync the directory so the
@@ -258,14 +388,21 @@ Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
       // directory entry and the next Open would see a fresh empty log.
       VIEWAUTH_RETURN_NOT_OK(fs->SyncDirectoryOf(path));
     }
-    durable->log_bytes_ = kMagic.size();
+    durable->log_bytes_ = kMagicV3.size();
   }
+  // From here on, mutations stage privately and publish to readers only
+  // once their commit (batch) is durable — a retrieve can never observe
+  // an acknowledged-then-rolled-back state.
+  durable->engine_->SetDeferPublication(true);
   return durable;
 }
 
-Status DurableEngine::RecoverFramed(const std::string& contents) {
-  format_ = LogFormat::kFramedV2;
-  FramedScan scan = ScanFramedLog(contents);
+Status DurableEngine::RecoverFramed(const std::string& contents,
+                                    LogFormat format) {
+  format_ = format;
+  const bool v3 = format == LogFormat::kFramedV3;
+  FramedScan scan = ScanFramedLog(
+      contents, v3 ? kMagicV3.size() : kMagicV2.size(), /*with_markers=*/v3);
   if (scan.damaged) {
     if (!scan.damage_is_tail) {
       return Status::Internal("statement log '" + path_ +
@@ -364,47 +501,25 @@ Status DurableEngine::RecoverLegacy(const std::string& contents) {
   return Status::OK();
 }
 
-Status DurableEngine::AppendRecord(const std::string& statement_text) {
-  if (log_ == nullptr) {
-    return Status::Internal("statement log '" + path_ + "' is closed");
-  }
-  std::string record = format_ == LogFormat::kLegacyText
-                           ? statement_text + "\n"
-                           : FrameRecord(next_seq_, statement_text);
-  VIEWAUTH_RETURN_NOT_OK(log_->Append(record));
-  if (options_.sync_every_append) VIEWAUTH_RETURN_NOT_OK(log_->Sync());
-  if (format_ == LogFormat::kFramedV2) ++next_seq_;
-  log_bytes_ += record.size();
-  ++appends_;
-  append_bytes_ += record.size();
-  return Status::OK();
-}
-
-void DurableEngine::EnterDegraded(const std::string& reason, bool rollback) {
+void DurableEngine::EnterDegradedLocked(const std::string& reason,
+                                        bool rollback) {
   degraded_ = true;
   degraded_reason_ = reason;
   if (log_ != nullptr) {
     (void)log_->Close();
     log_.reset();
   }
-  // Best effort: clip any torn bytes so the on-disk log ends at the
-  // durable prefix. If the device is gone this fails silently and the
-  // next Open salvages instead.
+  // Best effort: clip any torn or unfsynced bytes so the on-disk log
+  // ends at the durable prefix. If the device is gone this fails
+  // silently and the next Open salvages instead.
   (void)fs_->TruncateFile(path_, log_bytes_);
-  if (!rollback) return;
-  // The failed mutation already executed in memory; rebuild the engine
-  // from the durable statement prefix so it is not visible as committed.
-  auto fresh = std::make_unique<Engine>();
-  fresh->options() = engine_->options();
-  fresh->SetSessionUser(engine_->session_user());
-  auto replay = fresh->ExecuteScript(Join(durable_statements_, "\n"));
-  if (replay.ok()) {
-    engine_ = std::move(fresh);
-  } else {
-    degraded_reason_ += "; in-memory rollback failed (" +
-                        replay.status().ToString() +
-                        "), the uncommitted mutation may remain visible";
-  }
+  pending_buffer_.clear();
+  pending_lines_.clear();
+  // The aborted mutations already executed against the engine's staged
+  // head; discard it so they are not visible as committed. Readers keep
+  // the last published (durable) snapshot.
+  if (rollback) engine_->DiscardStaged();
+  cv_.notify_all();
 }
 
 Result<std::string> DurableEngine::Execute(
@@ -428,100 +543,267 @@ Result<std::string> DurableEngine::ExecuteScript(
 
 Result<std::string> DurableEngine::ExecuteParsedDurable(
     const Statement& stmt) {
-  const bool mutating = IsMutating(stmt);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (mutating && degraded_) {
-    return Status::Unavailable("statement log '" + path_ +
-                               "' is in read-only degraded mode: " +
-                               degraded_reason_);
+  if (!IsMutating(stmt)) {
+    // Lock-free reader path: retrieves and analyses pin the engine's
+    // published snapshot and never touch mu_, so they make progress even
+    // while a mutation batch is parked on a slow (or blocked) fsync, and
+    // they keep working in degraded mode against the last durable state.
+    return engine_->ExecuteParsed(stmt);
   }
-  VIEWAUTH_ASSIGN_OR_RETURN(std::string output,
-                            engine_->ExecuteParsed(stmt));
-  if (mutating) {
-    const std::string line = StatementToString(stmt);
-    Status appended = AppendRecord(line);
-    if (!appended.ok()) {
-      EnterDegraded("log append failed: " + appended.ToString(),
-                    /*rollback=*/true);
-      return Status::Unavailable(
-          "mutation was not committed (log append failed: " +
-          appended.ToString() + "); the engine is now read-only");
-    }
-    durable_statements_.push_back(line);
-  }
-  return output;
-}
-
-Status DurableEngine::Compact() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // Entry gate: wait out compaction and any batch mid-fsync. Blocking
+  // execution while a batch commits keeps the engine's staged head equal
+  // to exactly the sealed batch, so a successful publish can never leak
+  // a later, not-yet-durable mutation to readers.
+  cv_.wait(lock, [this] { return !compacting_ && !committing_; });
   if (degraded_) {
     return Status::Unavailable("statement log '" + path_ +
                                "' is in read-only degraded mode: " +
                                degraded_reason_);
   }
-  VIEWAUTH_ASSIGN_OR_RETURN(std::string script, engine_->DumpScript());
-  VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Statement> statements,
-                            ParseProgram(script));
-  std::string buffer(kMagic);
-  std::vector<std::string> lines;
-  lines.reserve(statements.size());
-  uint64_t seq = 0;
-  for (const Statement& stmt : statements) {
-    std::string line = StatementToString(stmt);
-    buffer += FrameRecord(++seq, line);
-    lines.push_back(std::move(line));
-  }
+  // Executes against the private head (deferred publication): readers
+  // cannot see the mutation until its commit is durable.
+  VIEWAUTH_ASSIGN_OR_RETURN(std::string output,
+                            engine_->ExecuteParsed(stmt));
+  const bool batched =
+      format_ == LogFormat::kFramedV3 && options_.group_commit;
+  return batched ? CommitBatchedLocked(lock, stmt, std::move(output))
+                 : CommitSingleLocked(lock, stmt, std::move(output));
+}
 
-  // Stage the replacement; any failure here leaves the original log and
-  // the open append handle untouched.
-  const std::string tmp_path = path_ + ".tmp";
-  Status written;
-  {
-    auto file = fs_->NewWritableFile(tmp_path, WriteMode::kTruncate);
-    if (!file.ok()) {
-      return Status::Internal("compaction of '" + path_ +
-                              "' failed to stage: " +
-                              file.status().ToString());
+Result<std::string> DurableEngine::CommitSingleLocked(
+    std::unique_lock<std::mutex>& lock, const Statement& stmt,
+    std::string output) {
+  (void)lock;
+  const std::string line = StatementToString(stmt);
+  Status appended = [&]() -> Status {
+    if (log_ == nullptr) {
+      return Status::Internal("statement log '" + path_ + "' is closed");
     }
-    written = (*file)->Append(buffer);
-    if (written.ok()) written = (*file)->Sync();
-    Status closed = (*file)->Close();
-    if (written.ok()) written = closed;
-  }
-  if (!written.ok()) {
-    (void)fs_->RemoveFile(tmp_path);
-    return Status::Internal("compaction of '" + path_ + "' failed: " +
-                            written.ToString());
-  }
-  Status renamed = fs_->RenameFile(tmp_path, path_);
-  if (!renamed.ok()) {
-    (void)fs_->RemoveFile(tmp_path);
-    return Status::Internal("compaction of '" + path_ +
-                            "' failed to commit: " + renamed.ToString());
-  }
-
-  // The rename committed: the compact log is the live one. The old
-  // append handle points at the unlinked previous file; swap it out.
-  if (log_ != nullptr) (void)log_->Close();
-  log_.reset();
-  durable_statements_ = std::move(lines);
-  next_seq_ = seq + 1;
-  format_ = LogFormat::kFramedV2;
-  log_bytes_ = buffer.size();
-  ++compactions_;
-  auto reopened = fs_->NewWritableFile(path_, WriteMode::kAppend);
-  if (!reopened.ok()) {
-    // The compacted state is fully durable, but nothing more can be
-    // appended: fail stop without rolling back.
-    EnterDegraded("cannot reopen statement log after compaction: " +
-                      reopened.status().ToString(),
-                  /*rollback=*/false);
+    std::string record;
+    switch (format_) {
+      case LogFormat::kLegacyText:
+        record = line + "\n";
+        break;
+      case LogFormat::kFramedV2:
+        record = FrameRecord(next_seq_, line);
+        break;
+      case LogFormat::kFramedV3:
+        // A batch of one: record plus its commit marker, one fsync.
+        record = FrameRecord(next_seq_, line);
+        record += FrameMarker(next_seq_, next_seq_);
+        break;
+    }
+    VIEWAUTH_RETURN_NOT_OK(log_->Append(record));
+    if (options_.sync_every_append) VIEWAUTH_RETURN_NOT_OK(log_->Sync());
+    if (format_ != LogFormat::kLegacyText) ++next_seq_;
+    log_bytes_ += record.size();
+    ++appends_;
+    append_bytes_ += record.size();
+    return Status::OK();
+  }();
+  if (!appended.ok()) {
+    EnterDegradedLocked("log append failed: " + appended.ToString(),
+                        /*rollback=*/true);
     return Status::Unavailable(
-        "compaction committed but the log could not be reopened; the "
-        "engine is now read-only: " + reopened.status().ToString());
+        "mutation was not committed (log append failed: " +
+        appended.ToString() + "); the engine is now read-only");
   }
-  log_ = std::move(*reopened);
-  return Status::OK();
+  durable_statements_.push_back(line);
+  engine_->PublishStaged();
+  return output;
+}
+
+Result<std::string> DurableEngine::CommitBatchedLocked(
+    std::unique_lock<std::mutex>& lock, const Statement& stmt,
+    std::string output) {
+  // Stage this mutation's frame into the forming batch.
+  const std::string line = StatementToString(stmt);
+  const uint64_t seq = next_seq_++;
+  if (pending_lines_.empty()) pending_first_seq_ = seq;
+  pending_buffer_ += FrameRecord(seq, line);
+  pending_lines_.push_back(line);
+  const uint64_t my_epoch = pending_epoch_;
+  cv_.notify_all();
+
+  for (;;) {
+    if (resolved_epoch_ >= my_epoch) {
+      if (durable_epoch_ >= my_epoch) return output;
+      return Status::Unavailable(
+          "mutation was not committed (its commit batch aborted: " +
+          degraded_reason_ + "); the engine is now read-only");
+    }
+    if (degraded_) {
+      // Defensive: an earlier failure drained the queue before this
+      // batch could elect a leader.
+      return Status::Unavailable(
+          "mutation was not committed (statement log '" + path_ +
+          "' entered degraded mode: " + degraded_reason_ + ")");
+    }
+    if (!leader_active_) {
+      // Leader: gather stragglers, seal the batch, commit it with one
+      // append and one fsync, then resolve every waiter.
+      leader_active_ = true;
+      WaitForStragglersLocked(lock);
+      std::string batch = std::move(pending_buffer_);
+      pending_buffer_.clear();
+      std::vector<std::string> lines = std::move(pending_lines_);
+      pending_lines_.clear();
+      batch += FrameMarker(pending_first_seq_, next_seq_ - 1);
+      const uint64_t epoch = pending_epoch_++;
+      committing_ = true;
+      lock.unlock();
+      // Leader exclusivity: only the leader touches log_ with mu_
+      // released, and Compact() quiesces the queue before swapping the
+      // handle, so this unlocked I/O never races.
+      Status written =
+          log_ == nullptr
+              ? Status::Internal("statement log '" + path_ + "' is closed")
+              : log_->Append(batch);
+      if (written.ok() && options_.sync_every_append) {
+        written = log_->Sync();
+      }
+      lock.lock();
+      committing_ = false;
+      resolved_epoch_ = epoch;
+      if (written.ok()) {
+        durable_epoch_ = epoch;
+        for (std::string& committed : lines) {
+          durable_statements_.push_back(std::move(committed));
+        }
+        log_bytes_ += batch.size();
+        ++appends_;
+        append_bytes_ += batch.size();
+        ++commit_batches_;
+        batched_records_ += lines.size();
+        fsyncs_saved_ += lines.size() - 1;
+        engine_->PublishStaged();
+      } else {
+        // The whole batch aborts: no waiter is acknowledged, the staged
+        // engine state rolls back, and the torn append (if any bytes
+        // reached the file) is clipped back to the durable prefix.
+        ++batch_aborts_;
+        EnterDegradedLocked("batch commit failed: " + written.ToString(),
+                            /*rollback=*/true);
+      }
+      leader_active_ = false;
+      cv_.notify_all();
+      continue;  // resolve through the checks at the top
+    }
+    cv_.wait(lock);
+  }
+}
+
+void DurableEngine::WaitForStragglersLocked(
+    std::unique_lock<std::mutex>& lock) {
+  const long long window_us = options_.group_commit_window_us;
+  if (window_us <= 0) return;
+  const int max_batch = std::max(1, options_.group_commit_max_batch);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(window_us);
+  const auto slice = std::chrono::microseconds(
+      std::max<long long>(1, window_us / 4));
+  size_t seen = pending_lines_.size();
+  while (static_cast<int>(pending_lines_.size()) < max_batch &&
+         std::chrono::steady_clock::now() < deadline) {
+    cv_.wait_for(lock, slice);
+    if (pending_lines_.size() == seen) break;  // arrivals dried up
+    seen = pending_lines_.size();
+  }
+}
+
+Status DurableEngine::Compact() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // One compaction at a time; a second caller queues behind the first.
+  cv_.wait(lock, [this] { return !compacting_; });
+  if (degraded_) {
+    return Status::Unavailable("statement log '" + path_ +
+                               "' is in read-only degraded mode: " +
+                               degraded_reason_);
+  }
+  // Quiesce the commit queue: mutations arriving from here on block at
+  // the entry gate; the in-flight batch (if any) resolves and staged
+  // frames drain through their leader before the rewrite starts.
+  compacting_ = true;
+  cv_.wait(lock, [this] { return !leader_active_ && pending_lines_.empty(); });
+
+  auto compact_locked = [&]() -> Status {
+    if (degraded_) {
+      return Status::Unavailable("statement log '" + path_ +
+                                 "' is in read-only degraded mode: " +
+                                 degraded_reason_);
+    }
+    VIEWAUTH_ASSIGN_OR_RETURN(std::string script, engine_->DumpScript());
+    VIEWAUTH_ASSIGN_OR_RETURN(std::vector<Statement> statements,
+                              ParseProgram(script));
+    std::string buffer(kMagicV3);
+    std::vector<std::string> lines;
+    lines.reserve(statements.size());
+    uint64_t seq = 0;
+    for (const Statement& stmt : statements) {
+      std::string line = StatementToString(stmt);
+      buffer += FrameRecord(++seq, line);
+      lines.push_back(std::move(line));
+    }
+    // One marker commits the whole dump.
+    if (seq > 0) buffer += FrameMarker(1, seq);
+
+    // Stage the replacement; any failure here leaves the original log
+    // and the open append handle untouched.
+    const std::string tmp_path = path_ + ".tmp";
+    Status written;
+    {
+      auto file = fs_->NewWritableFile(tmp_path, WriteMode::kTruncate);
+      if (!file.ok()) {
+        return Status::Internal("compaction of '" + path_ +
+                                "' failed to stage: " +
+                                file.status().ToString());
+      }
+      written = (*file)->Append(buffer);
+      if (written.ok()) written = (*file)->Sync();
+      Status closed = (*file)->Close();
+      if (written.ok()) written = closed;
+    }
+    if (!written.ok()) {
+      (void)fs_->RemoveFile(tmp_path);
+      return Status::Internal("compaction of '" + path_ + "' failed: " +
+                              written.ToString());
+    }
+    Status renamed = fs_->RenameFile(tmp_path, path_);
+    if (!renamed.ok()) {
+      (void)fs_->RemoveFile(tmp_path);
+      return Status::Internal("compaction of '" + path_ +
+                              "' failed to commit: " + renamed.ToString());
+    }
+
+    // The rename committed: the compact log is the live one. The old
+    // append handle points at the unlinked previous file; swap it out.
+    if (log_ != nullptr) (void)log_->Close();
+    log_.reset();
+    durable_statements_ = std::move(lines);
+    next_seq_ = seq + 1;
+    format_ = LogFormat::kFramedV3;
+    log_bytes_ = buffer.size();
+    ++compactions_;
+    auto reopened = fs_->NewWritableFile(path_, WriteMode::kAppend);
+    if (!reopened.ok()) {
+      // The compacted state is fully durable, but nothing more can be
+      // appended: fail stop without rolling back.
+      EnterDegradedLocked("cannot reopen statement log after compaction: " +
+                              reopened.status().ToString(),
+                          /*rollback=*/false);
+      return Status::Unavailable(
+          "compaction committed but the log could not be reopened; the "
+          "engine is now read-only: " + reopened.status().ToString());
+    }
+    log_ = std::move(*reopened);
+    return Status::OK();
+  };
+
+  Status result = compact_locked();
+  compacting_ = false;
+  cv_.notify_all();
+  return result;
 }
 
 bool DurableEngine::degraded() const {
@@ -538,6 +820,11 @@ DurableStats DurableEngine::stats() const {
   stats.append_bytes = append_bytes_;
   stats.compactions = compactions_;
   stats.log_bytes = log_bytes_;
+  stats.commit_batches = commit_batches_;
+  stats.batched_records = batched_records_;
+  stats.fsyncs_saved = fsyncs_saved_;
+  stats.batch_aborts = batch_aborts_;
+  stats.snapshots_live = engine_->snapshots_live();
   stats.recovery = recovery_;
   return stats;
 }

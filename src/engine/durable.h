@@ -8,21 +8,47 @@
 // audit log covers them).
 //
 // Log formats
-//   Framed V2 (written by this version): the file starts with the magic
-//   line "#viewauth-log v2", followed by one framed record per
-//   statement:
+//   Framed V3 (written by this version): the file starts with the magic
+//   line "#viewauth-log v3", followed by framed records and batch
+//   commit markers:
 //
 //       @<seq> <payload-length> <crc32-hex>\n
 //       <normalized statement text>\n
+//       ...
+//       =<first-seq> <last-seq> <crc32-hex>\n
 //
 //   `seq` increases by exactly 1 per record and the CRC32 covers the
 //   payload bytes, so torn tails, bit flips, and lost records are all
-//   detected on replay.
+//   detected on replay. Records are *provisional* until a commit marker
+//   covering them appears: the marker's CRC32 covers "<first> <last>",
+//   and recovery replays only marker-covered records. A batch that
+//   crashed mid-append — partial record, records without their marker,
+//   torn marker — is an uncommitted tail: fatal in kStrict, truncated
+//   to the last committed boundary in kSalvage. The group-commit
+//   protocol appends each batch's records and marker as one write and
+//   acknowledges after one fsync, so an acknowledged mutation is always
+//   behind a durable marker.
+//
+//   Framed V2: the same framed records without markers; every record is
+//   committed individually. V2 logs are still replayed and appended to
+//   per-record (group commit needs markers), and are upgraded to V3 by
+//   the first Compact().
 //
 //   Legacy V1 (plain text): one normalized statement per line, exactly
-//   what Engine::DumpScript emits. Legacy logs are still replayed and
-//   appended to in their own format, and are upgraded to framed V2 by
-//   the first Compact().
+//   what Engine::DumpScript emits. Replayed and appended to in its own
+//   format; upgraded to framed V3 by the first Compact().
+//
+// Group commit
+//   Concurrent mutations batch: the first waiter becomes the batch
+//   leader, waits a bounded straggler window for followers, then writes
+//   every staged frame plus the commit marker with a single append and
+//   a single fsync. Followers block until their batch resolves. If the
+//   append or fsync fails the *whole batch* aborts: every waiter gets
+//   Status::Unavailable, the staged engine state rolls back, and the
+//   engine enters degraded mode — no acknowledged-then-lost commit, in
+//   either direction. Retrieves never touch the commit path: they pin
+//   the engine's published snapshot and run lock-free even while a
+//   batch is parked on a slow fsync.
 //
 // Recovery
 //   Open() takes a RecoveryMode. kStrict fails on any damage. kSalvage
@@ -33,22 +59,25 @@
 //   dropping interior records would silently change the catalog.
 //
 // Fail-stop
-//   If an append (or its fsync) fails, the engine rolls its in-memory
-//   state back to the durable prefix and enters a read-only degraded
-//   state: the failed mutation is NOT visible as committed, further
-//   mutations and compactions return Status::Unavailable, and retrieves
-//   keep working against the last durable state.
+//   If a batch commit (append or fsync) fails, the engine rolls its
+//   in-memory state back to the durable prefix and enters a read-only
+//   degraded state: the failed batch is NOT visible as committed,
+//   further mutations and compactions return Status::Unavailable, and
+//   retrieves keep working against the last durable snapshot.
 //
 // Compaction
-//   Compact() dumps the current state as framed V2 into `<path>.tmp`,
-//   fsyncs it, atomically renames it over the log, and fsyncs the
-//   directory. On any failure before the rename commits, the original
-//   log and the open append handle are left untouched, so the engine
-//   remains fully usable.
+//   Compact() quiesces the commit queue (waits for the in-flight batch
+//   and drains staged frames; mutations arriving mid-compaction block),
+//   dumps the current state as framed V3 into `<path>.tmp`, fsyncs it,
+//   atomically renames it over the log, and fsyncs the directory. On
+//   any failure before the rename commits, the original log and the
+//   open append handle are left untouched, so the engine remains fully
+//   usable.
 
 #ifndef VIEWAUTH_ENGINE_DURABLE_H_
 #define VIEWAUTH_ENGINE_DURABLE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -64,12 +93,14 @@ namespace viewauth {
 enum class LogFormat {
   kLegacyText,  // plain statement-per-line (pre-V2)
   kFramedV2,    // magic header + framed, checksummed records
+  kFramedV3,    // framed records + batch commit markers (group commit)
 };
 
 std::string_view LogFormatToString(LogFormat format);
 
 enum class RecoveryMode {
-  // Any damage — torn tail, checksum mismatch, sequence gap — fails Open.
+  // Any damage — torn tail, checksum mismatch, sequence gap, uncommitted
+  // batch tail — fails Open.
   kStrict,
   // A damaged tail is truncated and reported; the valid prefix replays.
   // Mid-log corruption (valid records after the damage) is still fatal.
@@ -78,12 +109,12 @@ enum class RecoveryMode {
 
 // What Open() found and did while replaying the log.
 struct RecoveryReport {
-  LogFormat format = LogFormat::kFramedV2;
+  LogFormat format = LogFormat::kFramedV3;
   // True when salvage dropped a damaged tail (always false in kStrict:
   // damage fails the open instead).
   bool salvaged = false;
   uint64_t records_replayed = 0;
-  // Sequence number of the last valid record (framed logs only).
+  // Sequence number of the last valid committed record (framed logs).
   uint64_t last_good_seq = 0;
   uint64_t dropped_records = 0;
   uint64_t dropped_bytes = 0;
@@ -95,12 +126,23 @@ struct RecoveryReport {
 
 // Counters surfaced by the REPL's \stats command.
 struct DurableStats {
-  LogFormat format = LogFormat::kFramedV2;
+  LogFormat format = LogFormat::kFramedV3;
   bool degraded = false;
   uint64_t appends = 0;
   uint64_t append_bytes = 0;
   uint64_t compactions = 0;
   uint64_t log_bytes = 0;
+  // Group-commit batches fsynced (each is one append + one fsync).
+  uint64_t commit_batches = 0;
+  // Mutations committed through those batches; frames_per_batch in the
+  // rendered stats is batched_records / commit_batches.
+  uint64_t batched_records = 0;
+  // Fsyncs avoided relative to one-fsync-per-mutation.
+  uint64_t fsyncs_saved = 0;
+  // Whole-batch aborts (fsync failure → every waiter Unavailable).
+  uint64_t batch_aborts = 0;
+  // Engine-state versions currently alive (head + published + pinned).
+  long long snapshots_live = 0;
   RecoveryReport recovery;
 
   std::string ToString() const;
@@ -111,9 +153,19 @@ struct DurableOptions {
   // Defaults to FileSystem::Default(); tests inject faults here. The
   // filesystem must outlive the engine.
   FileSystem* fs = nullptr;
-  // fsync after every appended record. Disable only for bulk loads where
-  // losing the tail on a crash is acceptable.
+  // fsync each commit (per batch under group commit, per record
+  // otherwise). Disable only for bulk loads where losing the tail on a
+  // crash is acceptable.
   bool sync_every_append = true;
+  // Batch concurrent mutations into single append+fsync commits (V3
+  // logs only; V2/legacy logs always commit per record). Disabling
+  // falls back to one append+fsync per mutation — the baseline the
+  // group-commit bench compares against.
+  bool group_commit = true;
+  // How long a batch leader waits for stragglers to join before
+  // sealing, and the hard cap on records per batch.
+  long long group_commit_window_us = 50;
+  int group_commit_max_batch = 128;
 };
 
 class DurableEngine {
@@ -127,26 +179,31 @@ class DurableEngine {
       const std::string& path, const DurableOptions& options);
 
   // Executes one statement; successful mutating statements are appended
-  // to the log (and fsynced) before the result is returned. In degraded
-  // mode mutating statements return Status::Unavailable.
+  // to the log (and fsynced, possibly as part of a batch) before the
+  // result is returned. In degraded mode mutating statements return
+  // Status::Unavailable. Safe to call from many threads: mutations
+  // serialize/batch, retrieves run lock-free on the published snapshot.
   Result<std::string> Execute(const std::string& statement_text);
 
   // Parses and executes a whole script through the same durable path.
   Result<std::string> ExecuteScript(const std::string& script_text);
 
-  // Rewrites the log as the compact framed-V2 DumpScript of the current
-  // state (compaction: dropped rows and revoked grants disappear; legacy
-  // logs are upgraded to the framed format). Crash-safe: the original
-  // log is replaced atomically or not at all.
+  // Rewrites the log as the compact framed-V3 DumpScript of the current
+  // state (compaction: dropped rows and revoked grants disappear; V2
+  // and legacy logs are upgraded to the framed-V3 format). Crash-safe:
+  // the original log is replaced atomically or not at all. Quiesces the
+  // group-commit queue first; mutations arriving mid-compaction block
+  // until it finishes.
   Status Compact();
 
-  // The underlying engine. A fail-stop rollback (degraded-mode entry)
-  // replaces the Engine object, so do not cache this reference across
-  // Execute calls — re-fetch it instead.
+  // The underlying engine. Stable across Execute calls and fail-stop
+  // transitions (a rollback discards the engine's staged snapshot, it
+  // does not replace the Engine object). Mutating directly through this
+  // reference bypasses the log — setup/test use only.
   Engine& engine() { return *engine_; }
   const std::string& path() const { return path_; }
 
-  // True after an append failure: mutations return Unavailable,
+  // True after a commit failure: mutations return Unavailable,
   // retrieves still work against the last durable state.
   bool degraded() const;
   std::string degraded_reason() const {
@@ -167,30 +224,38 @@ class DurableEngine {
         engine_(std::move(engine)) {}
 
   Result<std::string> ExecuteParsedDurable(const Statement& statement);
+  // The two commit paths for a mutation that already executed (staged,
+  // unpublished) under mu_. Both publish on success and roll back into
+  // degraded mode on failure.
+  Result<std::string> CommitSingleLocked(std::unique_lock<std::mutex>& lock,
+                                         const Statement& stmt,
+                                         std::string output);
+  Result<std::string> CommitBatchedLocked(std::unique_lock<std::mutex>& lock,
+                                          const Statement& stmt,
+                                          std::string output);
+  // Leader-side straggler wait: sleeps in short slices until the window
+  // elapses, the batch hits its cap, or arrivals stop.
+  void WaitForStragglersLocked(std::unique_lock<std::mutex>& lock);
 
-  // Replays a framed-V2 / legacy plain-text log body, applying the
+  // Replays a framed (V2/V3) / legacy plain-text log body, applying the
   // configured recovery mode (salvage truncates a damaged tail on disk)
   // and filling in recovery_, durable_statements_, next_seq_, log_bytes_.
-  Status RecoverFramed(const std::string& contents);
+  Status RecoverFramed(const std::string& contents, LogFormat format);
   Status RecoverLegacy(const std::string& contents);
 
-  // Frames (or legacy-renders) and appends one statement record,
-  // fsyncing when configured. Updates counters on success only.
-  Status AppendRecord(const std::string& statement_text);
-
   // Transitions to read-only degraded mode. When `rollback` is set the
-  // in-memory engine is rebuilt from the durable statement prefix so an
-  // unlogged mutation does not remain visible.
-  void EnterDegraded(const std::string& reason, bool rollback);
+  // engine's staged (acknowledged-but-not-durable) snapshot is
+  // discarded so an uncommitted mutation does not remain visible.
+  // Requires mu_.
+  void EnterDegradedLocked(const std::string& reason, bool rollback);
 
   std::string path_;
   DurableOptions options_;
   FileSystem* fs_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<WritableFile> log_;
-  LogFormat format_ = LogFormat::kFramedV2;
-  // Normalized text of every statement durably in the log, in order —
-  // the replay source for fail-stop rollback.
+  LogFormat format_ = LogFormat::kFramedV3;
+  // Normalized text of every statement durably in the log, in order.
   std::vector<std::string> durable_statements_;
   uint64_t next_seq_ = 1;
   // Bytes of the log known to be durable (the append offset).
@@ -201,8 +266,38 @@ class DurableEngine {
   uint64_t appends_ = 0;
   uint64_t append_bytes_ = 0;
   uint64_t compactions_ = 0;
-  // Guards the log handle, counters and degraded flag; Engine has its
-  // own finer-grained state lock for concurrent retrieves.
+  uint64_t commit_batches_ = 0;
+  uint64_t batched_records_ = 0;
+  uint64_t fsyncs_saved_ = 0;
+  uint64_t batch_aborts_ = 0;
+
+  // --- group-commit state (all under mu_) -------------------------------
+  // Frames and statement texts staged for the next batch.
+  std::string pending_buffer_;
+  std::vector<std::string> pending_lines_;
+  uint64_t pending_first_seq_ = 0;
+  // Epoch of the batch currently forming; each waiter remembers the
+  // epoch it staged into. resolved advances when a leader finishes a
+  // batch (either way); durable advances only when the fsync succeeded,
+  // so a waiter's verdict is `durable_epoch_ >= my_epoch`.
+  uint64_t pending_epoch_ = 1;
+  uint64_t resolved_epoch_ = 0;
+  uint64_t durable_epoch_ = 0;
+  // A leader exists (forming or committing a batch).
+  bool leader_active_ = false;
+  // The leader has sealed its batch and is doing I/O with mu_ released.
+  // New mutations block at entry while set, so the engine's staged head
+  // always equals exactly the sealed batch — a successful publish can
+  // never leak a later, not-yet-fsynced mutation to readers.
+  bool committing_ = false;
+  // Compact() is quiescing/rewriting; mutations block at entry.
+  bool compacting_ = false;
+  // One condition variable for every wait (stragglers, followers,
+  // entry gates, compaction drain); notify_all keeps it race-free.
+  mutable std::condition_variable cv_;
+
+  // Guards the log handle, counters, flags and the staging buffers;
+  // Engine has its own snapshot machinery for concurrent retrieves.
   mutable std::mutex mu_;
 };
 

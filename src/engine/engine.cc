@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "authz/update_guard.h"
 #include "common/str_util.h"
@@ -11,9 +12,88 @@
 namespace viewauth {
 
 Engine::Engine() {
-  catalog_ = std::make_unique<ViewCatalog>(&db_.schema());
-  authorizer_ =
-      std::make_unique<Authorizer>(&db_, catalog_.get(), &authz_cache_);
+  auto db = std::make_shared<DatabaseInstance>();
+  auto catalog = std::make_shared<ViewCatalog>(db->schema_ptr());
+  live_ = MakeState(std::move(db), std::move(catalog), 0);
+  published_ = live_;
+  authorizer_ = std::make_unique<Authorizer>(
+      published_->db.get(), published_->catalog.get(), &authz_cache_);
+}
+
+std::shared_ptr<Engine::EngineState> Engine::MakeState(
+    std::shared_ptr<DatabaseInstance> db, std::shared_ptr<ViewCatalog> catalog,
+    uint64_t version) {
+  // The counter rides in the deleter so a reader releasing the last pin
+  // of an old version decrements it no matter when that happens.
+  std::shared_ptr<std::atomic<long long>> counter = state_count_;
+  counter->fetch_add(1, std::memory_order_relaxed);
+  return std::shared_ptr<EngineState>(
+      new EngineState{std::move(db), std::move(catalog), version},
+      [counter](EngineState* state) {
+        counter->fetch_sub(1, std::memory_order_relaxed);
+        delete state;
+      });
+}
+
+std::shared_ptr<const Engine::EngineState> Engine::SnapshotNow() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return published_;
+}
+
+void Engine::PublishLocked() {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  published_ = live_;
+  *authorizer_ = Authorizer(published_->db.get(), published_->catalog.get(),
+                            &authz_cache_);
+}
+
+uint64_t Engine::published_version() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return published_->version;
+}
+
+void Engine::SetDeferPublication(bool defer) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  defer_publication_ = defer;
+}
+
+void Engine::PublishStaged() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  PublishLocked();
+}
+
+void Engine::DiscardStaged() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::shared_ptr<EngineState> published;
+  {
+    std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+    published = published_;
+  }
+  if (live_ == published) return;
+  live_ = std::move(published);
+  // The cache's journal sync advanced into the discarded catalog
+  // versions; their sequence numbers must not be reused underneath it.
+  // The engine is entering fail-stop degraded mode anyway, so the
+  // over-approximate wipe costs nothing.
+  authz_cache_.Invalidate();
+}
+
+DatabaseInstance& Engine::MutableDb() {
+  if (live_->db.use_count() > 1) {
+    live_->db = std::make_shared<DatabaseInstance>(*live_->db);
+  }
+  return *live_->db;
+}
+
+ViewCatalog& Engine::MutableCatalog() {
+  if (live_->catalog.use_count() > 1) {
+    live_->catalog = live_->catalog->Clone(live_->db->schema_ptr());
+  } else {
+    // Already private; just make sure it points at the head's schema
+    // (DDL in this same statement may have cloned it).
+    live_->catalog->RebindSchema(live_->db->schema_ptr());
+  }
+  return *live_->catalog;
 }
 
 Result<std::string> Engine::Execute(const std::string& statement_text) {
@@ -22,24 +102,30 @@ Result<std::string> Engine::Execute(const std::string& statement_text) {
 }
 
 Result<std::string> Engine::ExecuteParsed(const Statement& statement) {
-  // Retrieves run under the shared state lock, so concurrent sessions
-  // evaluate in parallel; every other statement may mutate engine state
-  // and takes the lock exclusively.
+  // Retrieves and analyses pin the published snapshot and run lock-free;
+  // every other statement may mutate engine state and serializes on the
+  // state mutex.
   if (std::holds_alternative<RetrieveStmt>(statement)) {
-    // Admission happens before the state lock so a queued retrieve never
-    // blocks mutating statements; the ticket outlives the lock, freeing
+    // Admission happens before the snapshot pin so a queued retrieve
+    // holds no version alive; the ticket outlives the statement, freeing
     // the slot only after the retrieve fully unwinds.
     VIEWAUTH_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
                               admission_.Admit(options_));
-    std::shared_lock<std::shared_mutex> lock(state_mutex_);
-    return ExecuteRetrieve(std::get<RetrieveStmt>(statement));
+    std::shared_ptr<const EngineState> snapshot = SnapshotNow();
+    return ExecuteRetrieve(std::get<RetrieveStmt>(statement), *snapshot);
   }
   if (std::holds_alternative<AnalyzeStmt>(statement)) {
-    std::shared_lock<std::shared_mutex> lock(state_mutex_);
-    return ExecuteAnalyze(std::get<AnalyzeStmt>(statement));
+    std::shared_ptr<const EngineState> snapshot = SnapshotNow();
+    return ExecuteAnalyze(std::get<AnalyzeStmt>(statement), *snapshot);
   }
-  std::unique_lock<std::shared_mutex> lock(state_mutex_);
-  return std::visit(
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  // Fork the head: the fork shares the database and catalog objects, and
+  // the statement clones what it writes (MutableDb / MutableCatalog). On
+  // failure the fork is dropped whole — even a statement that fails
+  // halfway through its writes leaves no trace.
+  const std::shared_ptr<EngineState> prev = live_;
+  live_ = MakeState(prev->db, prev->catalog, prev->version);
+  Result<std::string> out = std::visit(
       [this](const auto& stmt) -> Result<std::string> {
         using T = std::decay_t<decltype(stmt)>;
         if constexpr (std::is_same_v<T, RelationStmt>) {
@@ -61,12 +147,19 @@ Result<std::string> Engine::ExecuteParsed(const Statement& statement) {
         } else if constexpr (std::is_same_v<T, MemberStmt>) {
           return ExecuteMember(stmt);
         } else if constexpr (std::is_same_v<T, AnalyzeStmt>) {
-          return ExecuteAnalyze(stmt);
+          return ExecuteAnalyze(stmt, *live_);
         } else {
-          return ExecuteRetrieve(stmt);
+          return ExecuteRetrieve(stmt, *live_);
         }
       },
       statement);
+  if (!out.ok()) {
+    live_ = prev;
+    return out;
+  }
+  live_->version = next_version_++;
+  if (!defer_publication_) PublishLocked();
+  return out;
 }
 
 Result<std::string> Engine::ExecuteScript(const std::string& script_text) {
@@ -121,24 +214,28 @@ Result<std::string> Engine::ExplainRetrieve(
   if (retrieve == nullptr) {
     return Status::InvalidArgument("explain expects a retrieve statement");
   }
-  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  const std::shared_ptr<const EngineState> snapshot = SnapshotNow();
   const std::string& user =
       retrieve->as_user.empty() ? session_user_ : retrieve->as_user;
   VIEWAUTH_ASSIGN_OR_RETURN(
       ConjunctiveQuery query,
-      ConjunctiveQuery::FromRetrieve(db_.schema(), *retrieve));
+      ConjunctiveQuery::FromRetrieve(snapshot->db->schema(), *retrieve));
+  const Authorizer authorizer(snapshot->db.get(), snapshot->catalog.get(),
+                              &authz_cache_);
   VIEWAUTH_ASSIGN_OR_RETURN(MaskTrace trace,
-                            authorizer_->Explain(user, query, options_));
+                            authorizer.Explain(user, query, options_));
   return "explain for " + user + ":\n" + trace.ToString();
 }
 
 Result<std::string> Engine::DumpScript() const {
-  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  const std::shared_ptr<const EngineState> snapshot = SnapshotNow();
+  const DatabaseInstance& db = *snapshot->db;
+  const ViewCatalog& catalog = *snapshot->catalog;
   std::ostringstream out;
   // Schema.
-  for (const std::string& name : db_.schema().relation_names()) {
+  for (const std::string& name : db.schema().relation_names()) {
     VIEWAUTH_ASSIGN_OR_RETURN(const RelationSchema* schema,
-                              db_.schema().GetRelation(name));
+                              db.schema().GetRelation(name));
     std::vector<std::string> attrs;
     for (int i = 0; i < schema->arity(); ++i) {
       const Attribute& attr = schema->attribute(i);
@@ -151,8 +248,8 @@ Result<std::string> Engine::DumpScript() const {
     out << "relation " << name << " (" << Join(attrs, ", ") << ")\n";
   }
   // Data.
-  for (const std::string& name : db_.schema().relation_names()) {
-    VIEWAUTH_ASSIGN_OR_RETURN(const Relation* rel, db_.GetRelation(name));
+  for (const std::string& name : db.schema().relation_names()) {
+    VIEWAUTH_ASSIGN_OR_RETURN(const Relation* rel, db.GetRelation(name));
     for (const Tuple& row : rel->SortedRows()) {
       std::vector<std::string> values;
       for (const Value& v : row.values()) {
@@ -163,9 +260,9 @@ Result<std::string> Engine::DumpScript() const {
     }
   }
   // Views (disjunctive groups re-assemble their branches with `or`).
-  for (const std::string& name : catalog_->view_names()) {
+  for (const std::string& name : catalog.view_names()) {
     VIEWAUTH_ASSIGN_OR_RETURN(std::vector<const ViewDefinition*> branches,
-                              catalog_->GetViewBranches(name));
+                              catalog.GetViewBranches(name));
     const ConjunctiveQuery& first = branches.front()->query;
     std::vector<std::string> targets;
     for (const ColumnRef& target : first.targets()) {
@@ -185,13 +282,13 @@ Result<std::string> Engine::DumpScript() const {
     out << "\n";
   }
   // Group membership.
-  for (const auto& [group, members] : catalog_->group_members()) {
+  for (const auto& [group, members] : catalog.group_members()) {
     for (const std::string& member : members) {
       out << "member " << member << " of " << group << "\n";
     }
   }
   // Grants.
-  for (const ViewCatalog::Grant& grant : catalog_->grants()) {
+  for (const ViewCatalog::Grant& grant : catalog.grants()) {
     out << "permit " << grant.view << " to " << grant.user;
     if (grant.mode != AccessMode::kRetrieve) {
       out << " for " << AccessModeToString(grant.mode);
@@ -212,14 +309,17 @@ Result<std::string> Engine::ExecuteRelation(const RelationStmt& stmt) {
   VIEWAUTH_ASSIGN_OR_RETURN(
       RelationSchema schema,
       RelationSchema::Make(stmt.name, std::move(attributes), std::move(key)));
-  VIEWAUTH_RETURN_NOT_OK(db_.CreateRelation(std::move(schema)));
+  VIEWAUTH_RETURN_NOT_OK(MutableDb().CreateRelation(std::move(schema)));
+  // The create cloned the schema under any live snapshot; repoint the
+  // head catalog at the new schema object.
+  MutableCatalog();
   authz_cache_.Invalidate();
   return "created relation " + stmt.name;
 }
 
 Result<std::string> Engine::ExecuteInsert(const InsertStmt& stmt) {
   VIEWAUTH_ASSIGN_OR_RETURN(const Relation* rel,
-                            db_.GetRelation(stmt.relation));
+                            std::as_const(*live_->db).GetRelation(stmt.relation));
   // Coerce parsed literals toward the declared attribute types (bare
   // identifiers arrive as strings; numeric columns re-parse them).
   const RelationSchema& schema = rel->schema();
@@ -247,7 +347,7 @@ Result<std::string> Engine::ExecuteInsert(const InsertStmt& stmt) {
   // With an `as USER` clause, the insert is subject to insert-mode
   // permissions; without it the statement is an administrative load.
   if (!stmt.as_user.empty()) {
-    UpdateGuard guard(&db_, catalog_.get());
+    UpdateGuard guard(live_->db.get(), live_->catalog.get());
     AuditEntry audit;
     audit.user = stmt.as_user;
     audit.statement = stmt.ToString();
@@ -261,12 +361,13 @@ Result<std::string> Engine::ExecuteInsert(const InsertStmt& stmt) {
     audit.affected = 1;
     audit_log_.Record(std::move(audit));
   }
-  VIEWAUTH_RETURN_NOT_OK(db_.Insert(stmt.relation, std::move(tuple)));
+  VIEWAUTH_RETURN_NOT_OK(MutableDb().Insert(stmt.relation, std::move(tuple)));
   return std::string();  // silent, like bulk loads
 }
 
 Result<std::string> Engine::ExecuteDelete(const DeleteStmt& stmt) {
-  VIEWAUTH_ASSIGN_OR_RETURN(Relation * rel, db_.GetRelation(stmt.relation));
+  VIEWAUTH_ASSIGN_OR_RETURN(Relation * rel,
+                            MutableDb().GetRelation(stmt.relation));
   if (stmt.as_user.empty()) {
     // Administrative delete: remove every matching row.
     ConjunctivePredicate predicate;
@@ -302,7 +403,7 @@ Result<std::string> Engine::ExecuteDelete(const DeleteStmt& stmt) {
     return "deleted " + std::to_string(matching.size()) + " row(s)";
   }
 
-  UpdateGuard guard(&db_, catalog_.get());
+  UpdateGuard guard(live_->db.get(), live_->catalog.get());
   VIEWAUTH_ASSIGN_OR_RETURN(
       UpdateGuard::DeleteDecision decision,
       guard.AuthorizeDelete(stmt.as_user, stmt.relation, stmt.conditions));
@@ -324,8 +425,9 @@ Result<std::string> Engine::ExecuteDelete(const DeleteStmt& stmt) {
 }
 
 Result<std::string> Engine::ExecuteModify(const ModifyStmt& stmt) {
-  VIEWAUTH_ASSIGN_OR_RETURN(Relation * rel, db_.GetRelation(stmt.relation));
-  UpdateGuard guard(&db_, catalog_.get());
+  VIEWAUTH_ASSIGN_OR_RETURN(Relation * rel,
+                            MutableDb().GetRelation(stmt.relation));
+  UpdateGuard guard(live_->db.get(), live_->catalog.get());
   UpdateGuard::ModifyDecision decision;
   if (stmt.as_user.empty()) {
     // Administrative modify: authorize as an all-powerful pseudo window
@@ -426,23 +528,27 @@ Result<std::string> Engine::ExecuteModify(const ModifyStmt& stmt) {
 
 Result<std::string> Engine::ExecuteDrop(const DropStmt& stmt) {
   if (stmt.is_view) {
-    VIEWAUTH_RETURN_NOT_OK(catalog_->DropView(stmt.name));
+    ViewCatalog& catalog = MutableCatalog();
+    VIEWAUTH_RETURN_NOT_OK(catalog.DropView(stmt.name));
     // Selective: the drop's journal record names exactly the grant
     // holders and the view's relation scopes.
-    authz_cache_.SyncCatalog(*catalog_);
+    authz_cache_.SyncCatalog(catalog);
     return "dropped view " + stmt.name;
   }
   // Restrict semantics: a relation referenced by any stored view cannot
   // be dropped (the views would silently dangle otherwise).
   const std::vector<std::string> referencing =
-      catalog_->ViewsReferencingRelation(stmt.name);
+      live_->catalog->ViewsReferencingRelation(stmt.name);
   if (!referencing.empty()) {
     return Status::InvalidArgument("relation '" + stmt.name +
                                    "' is referenced by view '" +
                                    referencing.front() +
                                    "'; drop the view first");
   }
-  VIEWAUTH_RETURN_NOT_OK(db_.DropRelation(stmt.name));
+  VIEWAUTH_RETURN_NOT_OK(MutableDb().DropRelation(stmt.name));
+  // The drop cloned the schema under any live snapshot; repoint the head
+  // catalog at the new schema object.
+  MutableCatalog();
   // DDL changes coverage decisions for any user; no per-entry dependency
   // test applies, so this is the over-approximate full wipe.
   authz_cache_.Invalidate();
@@ -452,21 +558,23 @@ Result<std::string> Engine::ExecuteDrop(const DropStmt& stmt) {
 Result<std::string> Engine::ExecuteMember(const MemberStmt& stmt) {
   // Membership changes invalidate only the joining/leaving user's
   // entries, over the scopes of the group's grants.
+  ViewCatalog& catalog = MutableCatalog();
   if (stmt.remove) {
-    VIEWAUTH_RETURN_NOT_OK(catalog_->RemoveMember(stmt.user, stmt.group));
-    authz_cache_.SyncCatalog(*catalog_);
+    VIEWAUTH_RETURN_NOT_OK(catalog.RemoveMember(stmt.user, stmt.group));
+    authz_cache_.SyncCatalog(catalog);
     return "removed " + stmt.user + " from " + stmt.group;
   }
-  VIEWAUTH_RETURN_NOT_OK(catalog_->AddMember(stmt.user, stmt.group));
-  authz_cache_.SyncCatalog(*catalog_);
+  VIEWAUTH_RETURN_NOT_OK(catalog.AddMember(stmt.user, stmt.group));
+  authz_cache_.SyncCatalog(catalog);
   return "added " + stmt.user + " to " + stmt.group;
 }
 
 Result<std::string> Engine::ExecuteView(const ViewStmt& stmt) {
-  VIEWAUTH_RETURN_NOT_OK(catalog_->DefineView(stmt));
+  ViewCatalog& catalog = MutableCatalog();
+  VIEWAUTH_RETURN_NOT_OK(catalog.DefineView(stmt));
   // A fresh view carries no grants, so this drops nothing; the sync
   // just advances the cache's journal position.
-  authz_cache_.SyncCatalog(*catalog_);
+  authz_cache_.SyncCatalog(catalog);
   return "defined view " + stmt.name;
 }
 
@@ -489,11 +597,12 @@ AccessMode ToAccessMode(GrantMode mode) {
 }  // namespace
 
 Result<std::string> Engine::ExecutePermit(const PermitStmt& stmt) {
+  ViewCatalog& catalog = MutableCatalog();
   VIEWAUTH_RETURN_NOT_OK(
-      catalog_->Permit(stmt.view, stmt.user, ToAccessMode(stmt.mode)));
+      catalog.Permit(stmt.view, stmt.user, ToAccessMode(stmt.mode)));
   // Selective: drops only the grantee's (or, for a group, the members')
   // entries whose relation set covers the view.
-  authz_cache_.SyncCatalog(*catalog_);
+  authz_cache_.SyncCatalog(catalog);
   std::string out = "permitted " + stmt.view + " to " + stmt.user;
   if (stmt.mode != GrantMode::kRetrieve) {
     out += " for " + std::string(GrantModeToString(stmt.mode));
@@ -505,9 +614,10 @@ Result<std::string> Engine::ExecutePermit(const PermitStmt& stmt) {
 }
 
 Result<std::string> Engine::ExecuteDeny(const DenyStmt& stmt) {
+  ViewCatalog& catalog = MutableCatalog();
   VIEWAUTH_RETURN_NOT_OK(
-      catalog_->Deny(stmt.view, stmt.user, ToAccessMode(stmt.mode)));
-  authz_cache_.SyncCatalog(*catalog_);
+      catalog.Deny(stmt.view, stmt.user, ToAccessMode(stmt.mode)));
+  authz_cache_.SyncCatalog(catalog);
   std::string out = "denied " + stmt.view + " to " + stmt.user;
   if (stmt.mode != GrantMode::kRetrieve) {
     out += " for " + std::string(GrantModeToString(stmt.mode));
@@ -518,39 +628,30 @@ Result<std::string> Engine::ExecuteDeny(const DenyStmt& stmt) {
   return out;
 }
 
-Result<std::string> Engine::ExecuteAnalyze(const AnalyzeStmt& stmt) {
-  AnalysisReport report = AnalyzeCatalogLocked();
+Result<std::string> Engine::ExecuteAnalyze(const AnalyzeStmt& stmt,
+                                           const EngineState& state) {
+  AnalysisReport report = CatalogAnalyzer(state.catalog.get()).Analyze({});
   if (stmt.audit) {
-    report.Merge(AuditCatalogLocked());
+    report.Merge(DisclosureAuditor(state.catalog.get()).Audit({}));
   }
   return report.ToString(/*include_coverage=*/true);
 }
 
 AnalysisReport Engine::AnalyzeCatalog(const AnalysisOptions& options) const {
-  std::shared_lock<std::shared_mutex> lock(state_mutex_);
-  return AnalyzeCatalogLocked(options);
-}
-
-AnalysisReport Engine::AnalyzeCatalogLocked(
-    const AnalysisOptions& options) const {
-  return CatalogAnalyzer(catalog_.get()).Analyze(options);
+  const std::shared_ptr<const EngineState> snapshot = SnapshotNow();
+  return CatalogAnalyzer(snapshot->catalog.get()).Analyze(options);
 }
 
 AnalysisReport Engine::AuditCatalog(
     const DisclosureAuditOptions& options) const {
-  std::shared_lock<std::shared_mutex> lock(state_mutex_);
-  return AuditCatalogLocked(options);
-}
-
-AnalysisReport Engine::AuditCatalogLocked(
-    const DisclosureAuditOptions& options) const {
-  return DisclosureAuditor(catalog_.get()).Audit(options);
+  const std::shared_ptr<const EngineState> snapshot = SnapshotNow();
+  return DisclosureAuditor(snapshot->catalog.get()).Audit(options);
 }
 
 std::string Engine::GrantAnalysisNotes(const std::string& view,
                                        const std::string& user) const {
   if (!options_.analyze_grants) return {};
-  CatalogAnalyzer analyzer(catalog_.get());
+  CatalogAnalyzer analyzer(live_->catalog.get());
   std::string out;
   for (const Diagnostic& diagnostic : analyzer.AnalyzeGrant(view, user)) {
     out += "\n" + diagnostic.ToString();
@@ -563,7 +664,7 @@ std::string Engine::GrantAuditNotes(const std::string& view,
                                     bool is_deny) const {
   // Only retrieve grants change the disclosure closure.
   if (!options_.audit_grants || mode != AccessMode::kRetrieve) return {};
-  DisclosureAuditor auditor(catalog_.get());
+  DisclosureAuditor auditor(live_->catalog.get());
   const DisclosureAuditOptions audit_options;
   std::string out;
   if (is_deny) {
@@ -580,7 +681,7 @@ std::string Engine::GrantAuditNotes(const std::string& view,
   for (const DisclosureFact& fact : marginal) {
     if (emitted >= audit_options.max_drift_facts_per_grant) break;
     ++emitted;
-    out += "\n  discloses " + RenderFact(*catalog_, fact);
+    out += "\n  discloses " + RenderFact(*live_->catalog, fact);
     if (fact.depth() > 1) out += " (in composition " + fact.SourceLabel() + ")";
   }
   if (static_cast<int>(marginal.size()) > emitted) {
@@ -634,9 +735,17 @@ int Engine::CancelActiveRetrieves() {
   return static_cast<int>(active_contexts_.size());
 }
 
-Result<std::string> Engine::ExecuteRetrieve(const RetrieveStmt& stmt) {
+Result<std::string> Engine::ExecuteRetrieve(const RetrieveStmt& stmt,
+                                            const EngineState& state) {
   const std::string& user =
       stmt.as_user.empty() ? session_user_ : stmt.as_user;
+
+  // The whole statement runs against the pinned snapshot: an Authorizer
+  // is three pointers, so binding one per retrieve costs nothing and
+  // keeps the mask pipeline, data evaluation and cache fills all keyed
+  // to the same state version even while mutations publish newer ones.
+  const Authorizer authorizer(state.db.get(), state.catalog.get(),
+                              &authz_cache_);
 
   // One context spans the whole statement — every or-branch draws on the
   // same deadline and budgets. Created even when no limits are set so
@@ -648,9 +757,9 @@ Result<std::string> Engine::ExecuteRetrieve(const RetrieveStmt& stmt) {
   if (stmt.or_branches.empty()) {
     VIEWAUTH_ASSIGN_OR_RETURN(
         ConjunctiveQuery query,
-        ConjunctiveQuery::FromRetrieve(db_.schema(), stmt));
+        ConjunctiveQuery::FromRetrieve(state.db->schema(), stmt));
     VIEWAUTH_ASSIGN_OR_RETURN(
-        result, authorizer_->Retrieve(user, query, options_, &ctx));
+        result, authorizer.Retrieve(user, query, options_, &ctx));
   } else {
     // Disjunctive retrieve: each conjunctive branch is authorized and
     // evaluated independently; the delivery is the union. Denied only
@@ -667,11 +776,11 @@ Result<std::string> Engine::ExecuteRetrieve(const RetrieveStmt& stmt) {
     for (const std::vector<Condition>& branch : branches) {
       VIEWAUTH_ASSIGN_OR_RETURN(
           ConjunctiveQuery query,
-          ConjunctiveQuery::Build(db_.schema(), "retrieve", stmt.targets,
-                                  branch));
+          ConjunctiveQuery::Build(state.db->schema(), "retrieve",
+                                  stmt.targets, branch));
       VIEWAUTH_ASSIGN_OR_RETURN(
           AuthorizationResult branch_result,
-          authorizer_->Retrieve(user, query, options_, &ctx));
+          authorizer.Retrieve(user, query, options_, &ctx));
       if (first) {
         result = branch_result;
         first = false;
@@ -735,7 +844,7 @@ Result<std::string> Engine::ExecuteRetrieve(const RetrieveStmt& stmt) {
   audit.affected = result.answer.size();
   audit.withheld = result.raw_answer.size() - result.answer.size();
   if (audit.withheld < 0) audit.withheld = 0;
-  // Retrieves hold the state lock shared, so concurrent sessions can
+  // Retrieves run lock-free on their snapshots, so concurrent sessions
   // reach this point together; the result mutex orders their updates.
   std::lock_guard<std::mutex> guard(result_mutex_);
   audit_log_.Record(std::move(audit));

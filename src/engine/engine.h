@@ -9,13 +9,29 @@
 // Engine owns the database instance, the view catalog and the authorizer,
 // and executes surface-language statements, returning rendered output.
 // Meta-relations and meta-tuple notation stay completely transparent.
+//
+// Concurrency model — versioned snapshots. Engine state (database
+// instance + view catalog) lives in an immutable, refcounted EngineState.
+// Retrieves (and explains, dumps, analyses) pin the published snapshot
+// with one shared_ptr copy and then run lock-free end to end; they can
+// never observe a half-applied mutation. Mutations serialize on the
+// state mutex, fork the head (copy-on-write: the fork shares the
+// database and catalog objects, and the statement clones only what it
+// writes), and atomically install the new version on success — a failed
+// statement simply drops the fork. The DurableEngine additionally defers
+// publication until a commit batch is fsynced (SetDeferPublication), so
+// readers also never observe an acknowledged-then-rolled-back state.
+// The authorization cache is shared across snapshots; entries are keyed
+// by catalog version so old-snapshot readers hit only entries their
+// catalog version already covers (authz/authz_cache.h).
 
 #ifndef VIEWAUTH_ENGINE_ENGINE_H_
 #define VIEWAUTH_ENGINE_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -64,21 +80,22 @@ class Engine {
 
   // Serializes the complete engine state — schema, data, views, grants —
   // as a statement script; feeding it to a fresh engine's ExecuteScript
-  // restores an equivalent state.
+  // restores an equivalent state. Reads the published snapshot (under
+  // deferred publication, the durable state).
   Result<std::string> DumpScript() const;
 
   // Runs the static catalog analyzer (src/analysis) over the current
-  // views, grants, group memberships and recorded denies. Read-only;
-  // takes the state lock shared. The surface-language `analyze`
-  // statement and the viewauth_lint tool both go through here.
+  // views, grants, group memberships and recorded denies. Read-only,
+  // lock-free against the published snapshot. The surface-language
+  // `analyze` statement and the viewauth_lint tool both go through here.
   AnalysisReport AnalyzeCatalog(const AnalysisOptions& options = {}) const;
 
   // Runs the disclosure auditor (src/analysis/disclosure_auditor.h) over
   // the current catalog: per-user disclosure closures, inference-channel
   // and deny-bypass findings, and — when options.drift_since_seq >= 0 —
-  // the journal-differential drift report. Read-only; takes the state
-  // lock shared. The surface-language `analyze audit` statement and
-  // viewauth_lint --audit both go through here.
+  // the journal-differential drift report. Read-only, lock-free against
+  // the published snapshot. The surface-language `analyze audit`
+  // statement and viewauth_lint --audit both go through here.
   AnalysisReport AuditCatalog(const DisclosureAuditOptions& options = {}) const;
 
   // Structured access to the most recent retrieve's result.
@@ -86,9 +103,13 @@ class Engine {
     return last_result_ ? &*last_result_ : nullptr;
   }
 
-  DatabaseInstance& db() { return db_; }
-  const DatabaseInstance& db() const { return db_; }
-  ViewCatalog& catalog() { return *catalog_; }
+  // Direct access to the head state, for setup scripts and tests. These
+  // bypass the snapshot fork: writing through db()/catalog() while a
+  // retrieve runs concurrently, or while a DurableEngine batch is
+  // staged, mutates shared objects in place — quiesced use only.
+  DatabaseInstance& db() { return *live_->db; }
+  const DatabaseInstance& db() const { return *live_->db; }
+  ViewCatalog& catalog() { return *live_->catalog; }
   const Authorizer& authorizer() const { return *authorizer_; }
   // The mask-pipeline cache and its observability counters (the REPL's
   // \stats command reads the snapshot).
@@ -96,6 +117,31 @@ class Engine {
   // Cache + governor counters merged with the admission controller's.
   AuthzStats authz_stats() const;
   void ResetAuthzStats();
+
+  // Number of engine-state versions currently alive: the head, the
+  // published snapshot when it differs, and every older version still
+  // pinned by an in-flight retrieve. 1 when idle — the leak check the
+  // concurrency tests assert after cancelled/aborted retrieves unwind.
+  long long snapshots_live() const {
+    return state_count_->load(std::memory_order_relaxed);
+  }
+  // Monotonic version number of the published snapshot.
+  uint64_t published_version() const;
+
+  // --- deferred publication (DurableEngine group commit) ----------------
+  // With deferred publication on, a committed mutation advances only the
+  // private head; retrieves keep reading the last published snapshot
+  // until PublishStaged() installs the head. This is what keeps
+  // not-yet-fsynced (and, after a batch abort, rolled-back) mutations
+  // invisible to readers.
+  void SetDeferPublication(bool defer);
+  // Publishes the staged head (after the batch fsync succeeded).
+  void PublishStaged();
+  // Drops every staged-but-unpublished mutation, restoring the head to
+  // the published snapshot (whole-batch abort). Wipes the authorization
+  // cache: its journal sync may have advanced into the discarded catalog
+  // versions, whose sequence numbers must never be reused underneath it.
+  void DiscardStaged();
 
   // Cooperatively cancels every retrieve currently executing: each one
   // aborts at its next governor probe with Status::Cancelled, leaving no
@@ -107,29 +153,51 @@ class Engine {
   AuditLog& audit_log() { return audit_log_; }
 
  private:
+  // One immutable version of engine state. Forked per mutation; shared
+  // members are cloned lazily (copy-on-write) by MutableDb /
+  // MutableCatalog when the statement actually writes them.
+  struct EngineState {
+    std::shared_ptr<DatabaseInstance> db;
+    std::shared_ptr<ViewCatalog> catalog;
+    uint64_t version = 0;
+  };
+
   Result<std::string> ExecuteRelation(const RelationStmt& stmt);
   Result<std::string> ExecuteInsert(const InsertStmt& stmt);
   Result<std::string> ExecuteView(const ViewStmt& stmt);
   Result<std::string> ExecutePermit(const PermitStmt& stmt);
   Result<std::string> ExecuteDeny(const DenyStmt& stmt);
-  Result<std::string> ExecuteRetrieve(const RetrieveStmt& stmt);
+  // The snapshot-pinned read path: `state` is the snapshot the retrieve
+  // runs against, kept alive by the caller.
+  Result<std::string> ExecuteRetrieve(const RetrieveStmt& stmt,
+                                      const EngineState& state);
   Result<std::string> ExecuteDelete(const DeleteStmt& stmt);
   Result<std::string> ExecuteModify(const ModifyStmt& stmt);
   Result<std::string> ExecuteDrop(const DropStmt& stmt);
   Result<std::string> ExecuteMember(const MemberStmt& stmt);
-  Result<std::string> ExecuteAnalyze(const AnalyzeStmt& stmt);
-  // AnalyzeCatalog without taking the state lock, for callers that
-  // already hold it (ExecuteParsed branches).
-  AnalysisReport AnalyzeCatalogLocked(const AnalysisOptions& options = {}) const;
-  // AuditCatalog without taking the state lock, for callers that already
-  // hold it.
-  AnalysisReport AuditCatalogLocked(
-      const DisclosureAuditOptions& options = {}) const;
+  Result<std::string> ExecuteAnalyze(const AnalyzeStmt& stmt,
+                                     const EngineState& state);
+
+  // Allocates a tracked EngineState (snapshots_live accounting).
+  std::shared_ptr<EngineState> MakeState(std::shared_ptr<DatabaseInstance> db,
+                                         std::shared_ptr<ViewCatalog> catalog,
+                                         uint64_t version);
+  // The published snapshot, pinned (the lock-free read entry point).
+  std::shared_ptr<const EngineState> SnapshotNow() const;
+  // published_ = live_ and rebinds the authorizer. Requires state_mutex_.
+  void PublishLocked();
+  // Copy-on-write accessors for the statement being executed under
+  // state_mutex_: clone the head's database / catalog if a snapshot
+  // still shares it, then return the private object.
+  DatabaseInstance& MutableDb();
+  ViewCatalog& MutableCatalog();
+
   // RAII registration of a retrieve's ExecContext in the cancellation
   // registry (defined in engine.cc).
   class ActiveContextGuard;
   // When options_.analyze_grants is set, the analyzer findings anchored
-  // to (view, user) rendered as report lines; empty otherwise.
+  // to (view, user) rendered as report lines; empty otherwise. Reads the
+  // head catalog; called only from mutations under state_mutex_.
   std::string GrantAnalysisNotes(const std::string& view,
                                  const std::string& user) const;
   // When options_.audit_grants is set, the disclosure auditor's verdict
@@ -143,23 +211,36 @@ class Engine {
                               const std::string& user, AccessMode mode,
                               bool is_deny) const;
 
-  DatabaseInstance db_;
-  std::unique_ptr<ViewCatalog> catalog_;
+  // Live count of EngineState objects (shared with their deleters, which
+  // may outlive a hypothetical engine teardown while a reader drains).
+  std::shared_ptr<std::atomic<long long>> state_count_ =
+      std::make_shared<std::atomic<long long>>(0);
+  // The mutation head. Equals published_ except while a DurableEngine
+  // batch is staged under deferred publication.
+  std::shared_ptr<EngineState> live_;
+  // What SnapshotNow() hands to readers.
+  std::shared_ptr<EngineState> published_;
+  // Guards published_ (and the authorizer rebind) against concurrent
+  // SnapshotNow readers; never held while executing anything.
+  mutable std::mutex publish_mutex_;
+  bool defer_publication_ = false;
+  uint64_t next_version_ = 1;
   AuthzCache authz_cache_;
+  // Bound to the published snapshot (the authorizer() accessor for
+  // standalone inspection); retrieves build their own cheap Authorizer
+  // over their pinned snapshot instead.
   std::unique_ptr<Authorizer> authorizer_;
   AuthorizationOptions options_;
   std::string session_user_ = "admin";
   std::optional<AuthorizationResult> last_result_;
   AuditLog audit_log_;
-  // Statement-level locking: retrieves (and explains/dumps) take the
-  // state lock shared, so concurrent sessions read in parallel; every
-  // mutating statement takes it exclusive. Mutable so const reads
-  // (DumpScript) can lock.
-  mutable std::shared_mutex state_mutex_;
+  // Serializes mutating statements (fork → execute → install). Retrieves
+  // do not touch it — they read the published snapshot.
+  std::mutex state_mutex_;
   // Serializes audit/last_result_ updates between concurrent retrieves.
   std::mutex result_mutex_;
   // Bounds concurrent retrieves per options_.max_concurrent; mutating
-  // statements bypass it (they serialize on state_mutex_ exclusively).
+  // statements bypass it (they serialize on state_mutex_).
   AdmissionController admission_;
   // Execution contexts of in-flight retrieves, for CancelActiveRetrieves.
   std::mutex cancel_mutex_;

@@ -21,6 +21,7 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -103,10 +104,36 @@ struct ViewDefinition {
 
 class ViewCatalog {
  public:
-  explicit ViewCatalog(const DatabaseSchema* schema) : schema_(schema) {}
+  // Non-owning binding: the caller guarantees `schema` outlives the
+  // catalog (the standalone-test idiom `ViewCatalog catalog(&db.schema())`).
+  // The engine uses the owning overload so catalog snapshots keep their
+  // schema alive on their own.
+  explicit ViewCatalog(const DatabaseSchema* schema)
+      : schema_(schema, [](const DatabaseSchema*) {}) {}
+  explicit ViewCatalog(std::shared_ptr<const DatabaseSchema> schema)
+      : schema_(std::move(schema)) {}
 
-  ViewCatalog(const ViewCatalog&) = delete;
   ViewCatalog& operator=(const ViewCatalog&) = delete;
+
+  // A deep copy bound to `schema` — how the engine forks the catalog for
+  // a copy-on-write snapshot before a catalog mutation. The synthetic
+  // variable allocator is intentionally *shared* between the clone and
+  // the original: cached masks embed synthetic VarIds, and those ids
+  // must stay unique across every catalog version the cache has ever
+  // seen (the allocator is atomic, so sharing is thread-safe).
+  std::shared_ptr<ViewCatalog> Clone(
+      std::shared_ptr<const DatabaseSchema> schema) const {
+    auto copy = std::shared_ptr<ViewCatalog>(new ViewCatalog(*this));
+    copy->schema_ = std::move(schema);
+    return copy;
+  }
+
+  // Points an unshared catalog at a (possibly re-created) schema object
+  // after DDL cloned it. Definitions are unaffected — the schema's
+  // content for already-compiled views is identical.
+  void RebindSchema(std::shared_ptr<const DatabaseSchema> schema) {
+    schema_ = std::move(schema);
+  }
 
   // Compiles and registers a view. Fails on name clashes, schema errors,
   // or views that provably define the empty relation. A view statement
@@ -151,7 +178,7 @@ class ViewCatalog {
   // order; synthetic mid-pipeline variables render as "w<k>").
   std::string VarName(VarId var) const;
 
-  VarAllocator* synthetic_allocator() { return &synthetic_alloc_; }
+  VarAllocator* synthetic_allocator() const { return synthetic_alloc_.get(); }
 
   // Which view and relation each membership atom (by global AtomId)
   // belongs to. Used for early pruning of meta-products: a combined tuple
@@ -236,6 +263,9 @@ class ViewCatalog {
       std::string_view relation) const;
 
  private:
+  // Deep copy used by Clone(); shares synthetic_alloc_ (see Clone).
+  ViewCatalog(const ViewCatalog&) = default;
+
   // Compiles one conjunctive definition without registering it.
   Result<ViewDefinition> CompileView(const std::string& display_name,
                                      const ConjunctiveQuery& query);
@@ -256,7 +286,8 @@ class ViewCatalog {
   std::vector<std::set<std::string>> GroupGrantScopes(
       std::string_view group) const;
 
-  const DatabaseSchema* schema_;
+  // Owning or non-owning (no-op deleter) handle; see the constructors.
+  std::shared_ptr<const DatabaseSchema> schema_;
   // Storage keys: the view name for conjunctive views, "name@i" for the
   // branches of disjunctive views.
   std::map<std::string, ViewDefinition, std::less<>> views_;
@@ -270,7 +301,10 @@ class ViewCatalog {
   VarId next_var_ = 1;
   AtomId next_atom_ = 1;
   std::map<AtomId, AtomInfo> atom_info_;
-  VarAllocator synthetic_alloc_{1000000};
+  // Shared across every clone of this catalog (see Clone); ids must be
+  // globally unique across catalog versions, not per version.
+  std::shared_ptr<VarAllocator> synthetic_alloc_ =
+      std::make_shared<VarAllocator>(1000000);
   // Group name -> members.
   std::map<std::string, std::set<std::string>, std::less<>> group_members_;
   long long catalog_version_ = 0;

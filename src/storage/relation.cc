@@ -171,18 +171,26 @@ bool Relation::SameTuples(const Relation& other) const {
   return true;
 }
 
+DatabaseSchema& DatabaseInstance::MutableSchema() {
+  if (schema_.use_count() > 1) {
+    schema_ = std::make_shared<DatabaseSchema>(*schema_);
+  }
+  return *schema_;
+}
+
 Status DatabaseInstance::CreateRelation(RelationSchema schema) {
-  VIEWAUTH_RETURN_NOT_OK(schema_.AddRelation(schema));
+  VIEWAUTH_RETURN_NOT_OK(MutableSchema().AddRelation(schema));
   // Copy the name out first: argument evaluation order is unspecified, so
   // passing schema.name() and std::move(schema) in one call would race.
   std::string name = schema.name();
-  relations_.emplace(std::move(name), Relation(std::move(schema)));
+  relations_.emplace(std::move(name),
+                     std::make_shared<Relation>(std::move(schema)));
   ++ddl_version_;
   return Status::OK();
 }
 
 Status DatabaseInstance::DropRelation(std::string_view name) {
-  VIEWAUTH_RETURN_NOT_OK(schema_.DropRelation(name));
+  VIEWAUTH_RETURN_NOT_OK(MutableSchema().DropRelation(name));
   relations_.erase(relations_.find(name));
   ++ddl_version_;
   return Status::OK();
@@ -194,7 +202,16 @@ Result<Relation*> DatabaseInstance::GetRelation(std::string_view name) {
     return Status::NotFound("relation '" + std::string(name) +
                             "' does not exist");
   }
-  return &it->second;
+  // Copy-on-write: a use count above one means a snapshot still reads
+  // this relation object; give the writer its own clone. (Refcounts only
+  // move under the engine's exclusive mutation lock or when a reader
+  // releases its snapshot — a concurrent release can at worst leave the
+  // count momentarily high, causing a spurious clone, never a shared
+  // mutation.)
+  if (it->second.use_count() > 1) {
+    it->second = std::make_shared<Relation>(*it->second);
+  }
+  return it->second.get();
 }
 
 Result<const Relation*> DatabaseInstance::GetRelation(
@@ -204,7 +221,7 @@ Result<const Relation*> DatabaseInstance::GetRelation(
     return Status::NotFound("relation '" + std::string(name) +
                             "' does not exist");
   }
-  return &it->second;
+  return it->second.get();
 }
 
 Status DatabaseInstance::Insert(std::string_view relation_name, Tuple tuple) {

@@ -6,6 +6,7 @@
 #define VIEWAUTH_STORAGE_RELATION_H_
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -95,22 +96,42 @@ class Relation {
 
 // A database instance: one relation per relation scheme of the database
 // scheme, addressable by name.
+//
+// Copies are shallow and copy-on-write: a copy shares the schema object
+// and every relation with the original, and the first mutation through
+// either instance clones just the touched relation (or the schema, for
+// DDL) before writing. This is what makes forking an engine snapshot
+// O(#relations) pointer copies instead of a deep copy of all data —
+// readers pinning the old instance keep an immutable view.
 class DatabaseInstance {
  public:
+  DatabaseInstance() : schema_(std::make_shared<DatabaseSchema>()) {}
+  DatabaseInstance(const DatabaseInstance&) = default;
+  DatabaseInstance& operator=(const DatabaseInstance&) = default;
+  DatabaseInstance(DatabaseInstance&&) = default;
+  DatabaseInstance& operator=(DatabaseInstance&&) = default;
+
   // Creates a relation for `schema`, registering it in the database
   // scheme as well.
   Status CreateRelation(RelationSchema schema);
   Status DropRelation(std::string_view name);
 
+  // The non-const lookup is the write path: if the relation is shared
+  // with another instance (a pinned snapshot), it is cloned first so the
+  // mutation stays invisible to the sharer.
   Result<Relation*> GetRelation(std::string_view name);
   Result<const Relation*> GetRelation(std::string_view name) const;
   bool HasRelation(std::string_view name) const {
-    return schema_.HasRelation(name);
+    return schema_->HasRelation(name);
   }
 
   Status Insert(std::string_view relation_name, Tuple tuple);
 
-  const DatabaseSchema& schema() const { return schema_; }
+  const DatabaseSchema& schema() const { return *schema_; }
+  // The schema as a shareable handle — the ViewCatalog binds to this so
+  // catalog snapshots keep their schema alive independently of the
+  // instance that created it.
+  std::shared_ptr<const DatabaseSchema> schema_ptr() const { return schema_; }
 
   // Bumped on every relation create/drop; the authorization cache folds
   // it into its generation so DDL invalidates cached masks (data
@@ -118,8 +139,11 @@ class DatabaseInstance {
   long long ddl_version() const { return ddl_version_; }
 
  private:
-  DatabaseSchema schema_;
-  std::map<std::string, Relation, std::less<>> relations_;
+  // Clones the schema first when it is shared with a snapshot.
+  DatabaseSchema& MutableSchema();
+
+  std::shared_ptr<DatabaseSchema> schema_;
+  std::map<std::string, std::shared_ptr<Relation>, std::less<>> relations_;
   long long ddl_version_ = 0;
 };
 

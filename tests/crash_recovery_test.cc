@@ -255,7 +255,7 @@ TEST_F(CrashTortureTest, CompactionCrashAtEveryFaultPoint) {
   }
 
   // And the no-fault run: compaction commits atomically, the compacted
-  // log is framed V2 and reproduces the full state.
+  // log is framed V3 and reproduces the full state.
   {
     WriteAll(path_, pristine);
     FaultInjectingFileSystem fs(FileSystem::Default());

@@ -1,15 +1,19 @@
-// Tests for the durable (statement-logged) engine: framed-V2 logging,
-// legacy replay + upgrade, salvage recovery, crash-safe compaction and
-// fail-stop degraded mode.
+// Tests for the durable (statement-logged) engine: framed-V3 logging
+// with batch commit markers, group commit, legacy replay + upgrade,
+// salvage recovery, crash-safe compaction and fail-stop degraded mode.
 
 #include "engine/durable.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "common/file.h"
+#include "test_fs_util.h"
 
 namespace viewauth {
 namespace {
@@ -158,27 +162,70 @@ TEST_F(DurableTest, CorruptLogFailsToOpen) {
   EXPECT_TRUE(durable.status().IsInternal());
 }
 
-TEST_F(DurableTest, NewLogsAreFramedV2) {
+TEST_F(DurableTest, NewLogsAreFramedV3) {
   {
     auto durable = DurableEngine::Open(path_);
     ASSERT_TRUE(durable.ok()) << durable.status();
-    EXPECT_EQ((*durable)->format(), LogFormat::kFramedV2);
+    EXPECT_EQ((*durable)->format(), LogFormat::kFramedV3);
     ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
     ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
   }
   const std::string contents = ReadAll(path_);
-  EXPECT_TRUE(contents.rfind("#viewauth-log v2\n", 0) == 0) << contents;
+  EXPECT_TRUE(contents.rfind("#viewauth-log v3\n", 0) == 0) << contents;
   EXPECT_NE(contents.find("@1 "), std::string::npos);
   EXPECT_NE(contents.find("@2 "), std::string::npos);
+  // Every acknowledged record is covered by a batch commit marker.
+  EXPECT_NE(contents.find("=1 1 "), std::string::npos) << contents;
+  EXPECT_NE(contents.find("=2 2 "), std::string::npos) << contents;
 
   auto reopened = DurableEngine::Open(path_);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
   const RecoveryReport& report = (*reopened)->recovery_report();
-  EXPECT_EQ(report.format, LogFormat::kFramedV2);
+  EXPECT_EQ(report.format, LogFormat::kFramedV3);
   EXPECT_FALSE(report.salvaged);
   EXPECT_EQ(report.records_replayed, 2u);
   EXPECT_EQ(report.last_good_seq, 2u);
   EXPECT_EQ((*reopened)->engine().db().GetRelation("T").value()->size(), 1);
+}
+
+TEST_F(DurableTest, UncommittedBatchTailIsInvisibleAfterSalvage) {
+  {
+    auto durable = DurableEngine::Open(path_);
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+    ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+  }
+  // Build a structurally valid framed record with a correct CRC but no
+  // commit marker after it — a batch whose frames hit the disk but whose
+  // marker didn't. Such a record must not replay.
+  {
+    auto durable = DurableEngine::Open(path_);
+    ASSERT_TRUE(durable.ok());
+    ASSERT_TRUE((*durable)->Execute("insert into T values (2)").ok());
+  }
+  // Chop off the final commit marker line, leaving the framed record.
+  std::string contents = ReadAll(path_);
+  size_t marker = contents.rfind("=3 3 ");
+  ASSERT_NE(marker, std::string::npos) << contents;
+  WriteAll(path_, contents.substr(0, marker));
+
+  auto strict = DurableEngine::Open(path_);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("salvage"), std::string::npos);
+
+  auto salvaged = DurableEngine::Open(path_, Salvage());
+  ASSERT_TRUE(salvaged.ok()) << salvaged.status();
+  const RecoveryReport& report = (*salvaged)->recovery_report();
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_EQ(report.records_replayed, 2u);
+  EXPECT_EQ(report.dropped_records, 1u);
+  EXPECT_NE(report.detail.find("uncommitted batch tail"),
+            std::string::npos);
+  // Exactly the committed prefix: the unmarked insert is gone.
+  EXPECT_EQ((*salvaged)->engine().db().GetRelation("T").value()->size(), 1);
+  // The salvage physically truncated to the last committed boundary.
+  auto strict_again = DurableEngine::Open(path_);
+  ASSERT_TRUE(strict_again.ok()) << strict_again.status();
 }
 
 TEST_F(DurableTest, TornHeaderTailSalvages) {
@@ -336,14 +383,14 @@ TEST_F(DurableTest, LegacyLogUpgradesToFramedOnCompact) {
   auto durable = DurableEngine::Open(path_);
   ASSERT_TRUE(durable.ok()) << durable.status();
   ASSERT_TRUE((*durable)->Compact().ok());
-  EXPECT_EQ((*durable)->format(), LogFormat::kFramedV2);
-  EXPECT_TRUE(ReadAll(path_).rfind("#viewauth-log v2\n", 0) == 0);
+  EXPECT_EQ((*durable)->format(), LogFormat::kFramedV3);
+  EXPECT_TRUE(ReadAll(path_).rfind("#viewauth-log v3\n", 0) == 0);
 
-  // Post-upgrade appends are framed and the log replays as V2.
+  // Post-upgrade appends are framed and the log replays as V3.
   ASSERT_TRUE((*durable)->Execute("insert into T values (3)").ok());
   auto reopened = DurableEngine::Open(path_);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
-  EXPECT_EQ((*reopened)->recovery_report().format, LogFormat::kFramedV2);
+  EXPECT_EQ((*reopened)->recovery_report().format, LogFormat::kFramedV3);
   EXPECT_EQ((*reopened)->engine().db().GetRelation("T").value()->size(), 3);
 }
 
@@ -472,14 +519,140 @@ TEST_F(DurableTest, StatsReflectDurabilityState) {
   ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
   ASSERT_TRUE((*durable)->Compact().ok());
   DurableStats stats = (*durable)->stats();
-  EXPECT_EQ(stats.format, LogFormat::kFramedV2);
+  EXPECT_EQ(stats.format, LogFormat::kFramedV3);
   EXPECT_FALSE(stats.degraded);
   EXPECT_EQ(stats.appends, 2u);
   EXPECT_EQ(stats.compactions, 1u);
   EXPECT_GT(stats.log_bytes, 0u);
+  EXPECT_EQ(stats.commit_batches, 2u);
+  EXPECT_EQ(stats.batched_records, 2u);
+  EXPECT_EQ(stats.fsyncs_saved, 0u);
+  EXPECT_EQ(stats.batch_aborts, 0u);
+  EXPECT_EQ(stats.snapshots_live, 1);
   const std::string rendered = stats.ToString();
-  EXPECT_NE(rendered.find("framed-v2"), std::string::npos);
+  EXPECT_NE(rendered.find("framed-v3"), std::string::npos);
   EXPECT_NE(rendered.find("compactions"), std::string::npos);
+  EXPECT_NE(rendered.find("commit batches"), std::string::npos);
+  EXPECT_NE(rendered.find("snapshots live"), std::string::npos);
+}
+
+TEST_F(DurableTest, TransientFsyncFailureAbortsTheWholeBatch) {
+  FaultInjectingFileSystem fs(FileSystem::Default());
+  DurableOptions options;
+  options.fs = &fs;
+  auto durable = DurableEngine::Open(path_, options);
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+  ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+
+  // One EIO on the next fsync — the device hiccups, the machine stays
+  // up. The batch must abort whole: no waiter acknowledged, staged state
+  // rolled back, engine fail-stop.
+  fs.ScheduleSyncFailure(1);
+  auto failed = (*durable)->Execute("insert into T values (2)");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsUnavailable());
+  EXPECT_NE(failed.status().message().find("commit batch aborted"),
+            std::string::npos)
+      << failed.status();
+  EXPECT_TRUE((*durable)->degraded());
+  EXPECT_FALSE(fs.crashed());
+  EXPECT_EQ((*durable)->stats().batch_aborts, 1u);
+
+  // The aborted insert is invisible to readers...
+  EXPECT_EQ((*durable)->engine().db().GetRelation("T").value()->size(), 1);
+  EXPECT_TRUE((*durable)->Execute("retrieve (T.A) as nobody").ok());
+  // ...and further mutations report Unavailable.
+  EXPECT_TRUE(
+      (*durable)->Execute("insert into T values (3)").status()
+          .IsUnavailable());
+
+  // Degraded entry clipped the unfsynced batch back to the durable
+  // prefix, so even a STRICT reopen lands exactly there.
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_FALSE((*reopened)->recovery_report().salvaged);
+  EXPECT_EQ((*reopened)->engine().db().GetRelation("T").value()->size(), 1);
+}
+
+TEST_F(DurableTest, CompactionQuiescesGroupCommitQueue) {
+  GateFileSystem gate(FileSystem::Default());
+  DurableOptions options;
+  options.fs = &gate;
+  auto durable = DurableEngine::Open(path_, options);
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+
+  // Park a commit batch at its fsync.
+  gate.CloseGate();
+  std::thread writer([&] {
+    EXPECT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+  });
+  gate.AwaitWaiter();
+
+  // Compact() must quiesce: it waits for the in-flight batch to resolve
+  // before touching the log, and a mutation arriving mid-compaction
+  // blocks at the entry gate instead of staging into a doomed queue.
+  std::thread compactor([&] { EXPECT_TRUE((*durable)->Compact().ok()); });
+  std::thread late_writer([&] {
+    EXPECT_TRUE((*durable)->Execute("insert into T values (2)").ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.OpenGate();
+  writer.join();
+  compactor.join();
+  late_writer.join();
+
+  EXPECT_EQ((*durable)->engine().db().GetRelation("T").value()->size(), 2);
+  EXPECT_EQ((*durable)->stats().compactions, 1u);
+  EXPECT_FALSE((*durable)->degraded());
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->engine().db().GetRelation("T").value()->size(), 2);
+}
+
+TEST_F(DurableTest, MultiRecordBatchCommitsWithOneFsync) {
+  GateFileSystem gate(FileSystem::Default());
+  DurableOptions options;
+  options.fs = &gate;
+  options.group_commit_window_us = 500000;  // plenty for stragglers
+  auto durable = DurableEngine::Open(path_, options);
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+
+  // Leader parks at its batch fsync; three stragglers pile up at the
+  // entry gate behind it.
+  gate.CloseGate();
+  std::thread leader([&] {
+    EXPECT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+  });
+  gate.AwaitWaiter();
+  std::vector<std::thread> stragglers;
+  for (int i = 2; i <= 4; ++i) {
+    stragglers.emplace_back([&, i] {
+      EXPECT_TRUE(
+          (*durable)
+              ->Execute("insert into T values (" + std::to_string(i) + ")")
+              .ok());
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  gate.OpenGate();
+  leader.join();
+  for (std::thread& t : stragglers) t.join();
+
+  // relation = batch of 1, leader = batch of 1, stragglers = ONE batch
+  // of 3 (one append, one fsync for all three).
+  DurableStats stats = (*durable)->stats();
+  EXPECT_EQ(stats.commit_batches, 3u);
+  EXPECT_EQ(stats.batched_records, 5u);
+  EXPECT_EQ(stats.fsyncs_saved, 2u);
+  EXPECT_EQ(stats.appends, 3u);
+  EXPECT_EQ((*durable)->engine().db().GetRelation("T").value()->size(), 4);
+
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->engine().db().GetRelation("T").value()->size(), 4);
 }
 
 }  // namespace

@@ -158,6 +158,22 @@ TEST_F(FileTest, SyncDirectoryOf) {
   EXPECT_TRUE(faulty.SyncDirectoryOf(path_).ok());  // one-shot fault
 }
 
+TEST_F(FileTest, ScheduledSyncFailureHitsTheNthSyncOnce) {
+  FaultInjectingFileSystem fs(FileSystem::Default());
+  auto file = fs.NewWritableFile(path_, WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+
+  fs.ScheduleSyncFailure(2);
+  EXPECT_TRUE((*file)->Sync().ok());          // 1st sync: before the fault
+  EXPECT_TRUE((*file)->Sync().IsInternal());  // 2nd sync: the casualty
+  EXPECT_TRUE((*file)->Sync().ok());          // 3rd sync: fault is spent
+  EXPECT_FALSE(fs.crashed());                 // a hiccup, not a crash
+  // Only successful syncs count.
+  EXPECT_EQ(fs.sync_count(), 2u);
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
 TEST_F(FileTest, ByteBudgetSpansMultipleFiles) {
   FaultInjectingFileSystem fs(FileSystem::Default());
   fs.set_crash_after_bytes(10);

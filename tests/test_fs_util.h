@@ -1,0 +1,116 @@
+// Shared filesystem test doubles for the concurrency tiers.
+//
+// GateFileSystem wraps a base FileSystem so that every file Sync() parks
+// at a gate until the test opens it. This freezes a DurableEngine commit
+// batch exactly at its fsync — the window in which reader liveness,
+// straggler batching and compaction quiescence are interesting — without
+// any timing dependence: the test closes the gate, starts threads, waits
+// until a syncer is provably parked (AwaitWaiter), observes, then opens
+// the gate and joins.
+
+#ifndef VIEWAUTH_TESTS_TEST_FS_UTIL_H_
+#define VIEWAUTH_TESTS_TEST_FS_UTIL_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/file.h"
+#include "common/result.h"
+
+namespace viewauth {
+
+class GateFileSystem : public FileSystem {
+ public:
+  explicit GateFileSystem(FileSystem* base) : base_(base) {}
+
+  // Future Sync() calls park until OpenGate().
+  void CloseGate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = false;
+  }
+
+  void OpenGate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+  // Blocks until at least one thread is parked at the gate.
+  void AwaitWaiter() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return waiting_ > 0; });
+  }
+
+  int waiting() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return waiting_;
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override {
+    VIEWAUTH_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                              base_->NewWritableFile(path, mode));
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<GatedFile>(std::move(base), this));
+  }
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    return base_->ReadFileToString(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return base_->RemoveFile(path);
+  }
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    return base_->TruncateFile(path, size);
+  }
+  Status SyncDirectoryOf(const std::string& path) override {
+    return base_->SyncDirectoryOf(path);
+  }
+
+ private:
+  class GatedFile : public WritableFile {
+   public:
+    GatedFile(std::unique_ptr<WritableFile> base, GateFileSystem* fs)
+        : base_(std::move(base)), fs_(fs) {}
+    Status Append(std::string_view data) override {
+      return base_->Append(data);
+    }
+    Status Flush() override { return base_->Flush(); }
+    Status Sync() override {
+      fs_->WaitAtGate();
+      return base_->Sync();
+    }
+    Status Close() override { return base_->Close(); }
+
+   private:
+    std::unique_ptr<WritableFile> base_;
+    GateFileSystem* fs_;
+  };
+
+  void WaitAtGate() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++waiting_;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return open_; });
+    --waiting_;
+    cv_.notify_all();
+  }
+
+  FileSystem* base_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = true;
+  int waiting_ = 0;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_TESTS_TEST_FS_UTIL_H_

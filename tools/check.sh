@@ -9,27 +9,36 @@
 #      write-mix mutation scenarios)
 #   4. the crash-recovery torture tier (slow: a simulated crash at every
 #      byte boundary of log appends and compaction staging)
-#   5. the cache-coherence torture tier: randomized lockstep
+#   5. the concurrent crash-torture tier: mutator + retriever threads
+#      over the group-commit path, a crash at every byte boundary of the
+#      mutation stream — recovery must land on exactly a prefix of the
+#      acknowledged commit order
+#   6. the cache-coherence torture tier: randomized lockstep
 #      interleavings of mutations and retrieves, a cold no-cache oracle
 #      differencing every step
-#   6. a Release (-O2) build of bench_latemat and its --smoke gate: the
+#   7. a Release (-O2) build of bench_latemat and its --smoke gate: the
 #      late-materialized data pipeline must not be slower than the
 #      tuple-at-a-time optimizer on the reference join workload
-#   7. a Release build of bench_governor and its --smoke gate: governing
+#   8. a Release build of bench_governor and its --smoke gate: governing
 #      a non-tripping retrieve (generous deadline + budgets) must cost
 #      no more than 2% over the ungoverned pipeline
-#   8. a Release build of bench_invalidation and its --smoke gate: with
+#   9. a Release build of bench_invalidation and its --smoke gate: with
 #      dependency-tracked invalidation the cache must stay >= 2x faster
 #      than uncached at a 10% write mix (also fails if the committed
 #      BENCH_invalidation.json is missing)
-#   9. the disclosure-audit gate: viewauth_lint --audit over the seeded
+#  10. a Release build of bench_groupcommit and its --smoke gate: at 16
+#      concurrent writers group commit must be >= 2x faster than
+#      per-mutation fsync (also fails if the committed
+#      BENCH_groupcommit.json is missing)
+#  11. the disclosure-audit gate: viewauth_lint --audit over the seeded
 #      audit fixtures (clean catalog silent, seeded channel/bypass
 #      catalogs exit 1) plus a generated 100-view catalog that must
 #      finish under the auditor's enumeration cutoffs within 60s
-#  10. clang-tidy via tools/lint.sh (SKIPPED when not installed)
-#  11. the full suite under ThreadSanitizer
-#  12. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
-#      (both sanitizer tiers include the torture + coherence tests)
+#  12. clang-tidy via tools/lint.sh (SKIPPED when not installed)
+#  13. the full suite under ThreadSanitizer
+#  14. the full suite under AddressSanitizer + UndefinedBehaviorSanitizer
+#      (both sanitizer tiers include the torture + coherence tests and
+#      the group-commit path, which is on by default)
 #
 # Prints a summary table and exits nonzero if any step failed.
 #
@@ -79,7 +88,10 @@ if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
       -R Differential "$@"
   run_step "crash-recovery torture" \
     ctest --test-dir build --output-on-failure -j "$JOBS" \
-      -R CrashTorture "$@"
+      -R CrashTorture -E ConcurrentCrashTorture "$@"
+  run_step "concurrent crash torture" \
+    ctest --test-dir build --output-on-failure -j "$JOBS" \
+      -R ConcurrentCrashTorture "$@"
   run_step "cache-coherence torture" \
     ctest --test-dir build --output-on-failure -j "$JOBS" \
       -R CacheCoherence "$@"
@@ -106,6 +118,17 @@ if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
       ./build-release/bench/bench_invalidation --smoke
   }
   run_step "invalidation perf smoke (Release)" invalidation_smoke
+  groupcommit_smoke() {
+    if [ ! -f BENCH_groupcommit.json ]; then
+      echo "BENCH_groupcommit.json missing: run" \
+        "./build-release/bench/bench_groupcommit from the repo root"
+      return 1
+    fi
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null &&
+      cmake --build build-release -j "$JOBS" --target bench_groupcommit &&
+      ./build-release/bench/bench_groupcommit --smoke
+  }
+  run_step "group-commit perf smoke (Release)" groupcommit_smoke
   disclosure_audit() {
     local lint=./build/tools/viewauth_lint
     local status
