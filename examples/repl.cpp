@@ -49,8 +49,9 @@ void PrintHelp() {
                "self_joins,\n"
                "                         subsumption, extended_masks, "
                "cache,\n"
-               "                         parallel, latemat, analyze (warn "
-               "on permit/deny)\n"
+               "                         parallel, latemat, vectorized, "
+               "analyze (warn\n"
+               "                         on permit/deny)\n"
                "  set <option> <n>       governance knobs (0 = unlimited):"
                "\n"
                "                         deadline_ms, max_rows, max_bytes,\n"
@@ -73,6 +74,7 @@ void PrintOptions(const AuthorizationOptions& options) {
             << " cache=" << onoff(options.enable_authz_cache)
             << " parallel=" << onoff(options.parallel_meta_evaluation)
             << " latemat=" << onoff(options.use_latemat_data_plan)
+            << " vectorized=" << onoff(options.use_vectorized_data_plan)
             << " analyze=" << onoff(options.analyze_grants)
             << " audit=" << onoff(options.audit_grants)
             << "\n"
@@ -242,6 +244,7 @@ int main(int argc, char** argv) {
         else if (parts[0] == "cache") o.enable_authz_cache = on;
         else if (parts[0] == "parallel") o.parallel_meta_evaluation = on;
         else if (parts[0] == "latemat") o.use_latemat_data_plan = on;
+        else if (parts[0] == "vectorized") o.use_vectorized_data_plan = on;
         else if (parts[0] == "analyze") o.analyze_grants = on;
         else if (parts[0] == "audit") o.audit_grants = on;
         else if (parts[0] == "deadline_ms") parse_number(&o.deadline_ms);

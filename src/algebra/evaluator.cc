@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "algebra/scan.h"
+
 namespace viewauth {
 
 namespace {
@@ -18,10 +20,12 @@ Result<std::vector<Tuple>> EvalNode(const PlanNode& node,
     case PlanNodeKind::kScan: {
       VIEWAUTH_ASSIGN_OR_RETURN(const Relation* rel,
                                 db.GetRelation(node.relation));
-      if (stats != nullptr) stats->rows_scanned += rel->size();
-      if (ctx != nullptr &&
-          !ctx->Tick(rel->size(),
-                     rel->size() * ApproxTupleBytes(rel->schema().arity()))) {
+      ExecMeter meter(ctx);
+      if (!ChargeScannedRows(
+              stats, &meter, static_cast<long long>(rel->size()),
+              static_cast<long long>(rel->size()) *
+                  ApproxTupleBytes(rel->schema().arity())) ||
+          !meter.Flush()) {
         return ctx->status();
       }
       return rel->rows();

@@ -24,8 +24,8 @@ namespace viewauth {
 // strategy: a full scan counts every row of the relation, an index probe
 // or binary-searched range counts exactly the rows the index yields.
 // This makes the counter comparable across canonical / optimized /
-// late-materialized runs of the same query (asserted by
-// tests/latemat_test.cc).
+// late-materialized / vectorized runs of the same query (asserted by
+// tests/latemat_test.cc and tests/vectorized_test.cc).
 struct EvalStats {
   long long rows_scanned = 0;
   long long intermediate_rows = 0;  // rows produced by non-root operators
@@ -37,6 +37,12 @@ struct EvalStats {
   // Projected join-key Tuples that in-place key hashing did not allocate
   // (one per hash-join build row and one per probe row).
   long long join_key_allocs_avoided = 0;
+  // Column batches processed by the vectorized plan: scan windows,
+  // join-condition windows, and final-projection windows.
+  long long batches_evaluated = 0;
+  // Compiled-mask batch kernels applied by the fused mask path (one per
+  // relevant mask tuple per answer batch).
+  long long mask_batch_applies = 0;
 };
 
 // Cheap O(1) per-row byte estimate used by the execution governor's byte

@@ -4,6 +4,61 @@
 
 namespace viewauth {
 
+namespace {
+
+// True when the column's declared type matches the constant's concrete
+// type exactly, for the index-eligible types. (Double columns are
+// excluded: they may store int64 values that compare equal but hash
+// under a different strict type.)
+bool ExactIndexType(ValueType column_type, const Value& constant) {
+  return (column_type == ValueType::kInt64 && constant.is_int64()) ||
+         (column_type == ValueType::kString && constant.is_string());
+}
+
+// An equality-with-constant atom that can use the lazy hash index, or
+// -1. On a hit, *value is the probe constant.
+int FindProbeAtom(const RelationSchema& schema,
+                  const ConjunctivePredicate& pred, Value* value) {
+  for (const SelectionAtom& atom : pred.atoms()) {
+    if (atom.rhs_is_column || atom.op != Comparator::kEq) continue;
+    if (ExactIndexType(schema.attribute(atom.lhs_column).type,
+                       atom.rhs_const)) {
+      if (value != nullptr) *value = atom.rhs_const;
+      return atom.lhs_column;
+    }
+  }
+  return -1;
+}
+
+// A one-sided range atom that can binary-search the ordered index, or
+// -1. On a hit, *op / *value describe the bound.
+int FindRangeAtom(const RelationSchema& schema,
+                  const ConjunctivePredicate& pred, Comparator* op,
+                  Value* value) {
+  for (const SelectionAtom& atom : pred.atoms()) {
+    if (atom.rhs_is_column) continue;
+    if (atom.op != Comparator::kGe && atom.op != Comparator::kGt &&
+        atom.op != Comparator::kLe && atom.op != Comparator::kLt) {
+      continue;
+    }
+    if (ExactIndexType(schema.attribute(atom.lhs_column).type,
+                       atom.rhs_const)) {
+      if (op != nullptr) *op = atom.op;
+      if (value != nullptr) *value = atom.rhs_const;
+      return atom.lhs_column;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool HasIndexableAtom(const RelationSchema& schema,
+                      const ConjunctivePredicate& pred) {
+  return FindProbeAtom(schema, pred, nullptr) >= 0 ||
+         FindRangeAtom(schema, pred, nullptr, nullptr) >= 0;
+}
+
 std::vector<uint32_t> SelectRowIds(const Relation& rel,
                                    const RelationSchema& schema,
                                    const ConjunctivePredicate& pred,
@@ -11,58 +66,22 @@ std::vector<uint32_t> SelectRowIds(const Relation& rel,
   std::vector<uint32_t> out;
   ExecMeter meter(ctx);
 
-  // Index probe: an equality-with-constant atom whose constant type
-  // matches the column's declared type exactly can use the relation's
-  // lazy hash index instead of scanning. (Double columns are excluded:
-  // they may store int64 values that compare equal but hash under a
-  // different strict type.)
-  int probe_column = -1;
   Value probe_value;
-  for (const SelectionAtom& atom : pred.atoms()) {
-    if (atom.rhs_is_column || atom.op != Comparator::kEq) continue;
-    ValueType column_type = schema.attribute(atom.lhs_column).type;
-    const bool exact =
-        (column_type == ValueType::kInt64 && atom.rhs_const.is_int64()) ||
-        (column_type == ValueType::kString && atom.rhs_const.is_string());
-    if (exact) {
-      probe_column = atom.lhs_column;
-      probe_value = atom.rhs_const;
-      break;
-    }
-  }
+  const int probe_column = FindProbeAtom(schema, pred, &probe_value);
 
-  // Otherwise, a one-sided range atom can binary-search the ordered
-  // index (same exact-type restriction).
-  int range_column = -1;
   Comparator range_op = Comparator::kEq;
   Value range_value;
-  if (probe_column < 0) {
-    for (const SelectionAtom& atom : pred.atoms()) {
-      if (atom.rhs_is_column) continue;
-      if (atom.op != Comparator::kGe && atom.op != Comparator::kGt &&
-          atom.op != Comparator::kLe && atom.op != Comparator::kLt) {
-        continue;
-      }
-      ValueType column_type = schema.attribute(atom.lhs_column).type;
-      const bool exact =
-          (column_type == ValueType::kInt64 && atom.rhs_const.is_int64()) ||
-          (column_type == ValueType::kString && atom.rhs_const.is_string());
-      if (exact) {
-        range_column = atom.lhs_column;
-        range_op = atom.op;
-        range_value = atom.rhs_const;
-        break;
-      }
-    }
-  }
+  const int range_column =
+      probe_column >= 0
+          ? -1
+          : FindRangeAtom(schema, pred, &range_op, &range_value);
 
   if (probe_column >= 0) {
     const Relation::ColumnIndex& index = rel.IndexOn(probe_column);
     auto [lo, hi] = index.equal_range(probe_value);
     for (auto it = lo; it != hi; ++it) {
       const uint32_t id = static_cast<uint32_t>(it->second);
-      if (!meter.TickRows(1)) break;
-      if (stats != nullptr) ++stats->rows_scanned;
+      if (!ChargeScannedRows(stats, &meter, 1)) break;
       if (pred.Matches(rel.rows()[id])) out.push_back(id);
     }
   } else if (range_column >= 0) {
@@ -97,14 +116,12 @@ std::vector<uint32_t> SelectRowIds(const Relation& rel,
     }
     for (auto it = begin; it != end; ++it) {
       const uint32_t id = static_cast<uint32_t>(it->second);
-      if (!meter.TickRows(1)) break;
-      if (stats != nullptr) ++stats->rows_scanned;
+      if (!ChargeScannedRows(stats, &meter, 1)) break;
       if (pred.Matches(rel.rows()[id])) out.push_back(id);
     }
   } else {
     for (uint32_t id = 0; id < static_cast<uint32_t>(rel.size()); ++id) {
-      if (!meter.TickRows(1)) break;
-      if (stats != nullptr) ++stats->rows_scanned;
+      if (!ChargeScannedRows(stats, &meter, 1)) break;
       if (pred.Matches(rel.rows()[id])) out.push_back(id);
     }
   }

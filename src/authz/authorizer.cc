@@ -9,6 +9,8 @@
 
 #include "algebra/latemat.h"
 #include "algebra/optimizer.h"
+#include "algebra/vectorized.h"
+#include "storage/column_batch.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "meta/self_join.h"
@@ -58,6 +60,8 @@ TimedEval EvaluateData(const ConjunctiveQuery& query,
   const auto start = SteadyClock::now();
   if (!options.use_optimized_data_plan) {
     out.relation = EvaluateCanonical(query, db, name, &out.stats, ctx);
+  } else if (options.use_vectorized_data_plan) {
+    out.relation = EvaluateVectorized(query, db, name, &out.stats, ctx);
   } else if (options.use_latemat_data_plan) {
     out.relation = EvaluateLateMaterialized(query, db, name, &out.stats, ctx);
   } else {
@@ -660,6 +664,66 @@ Relation Authorizer::ApplyMask(const Relation& answer,
   return out;
 }
 
+Relation Authorizer::ApplyMaskVectorized(const Relation& answer,
+                                         const CompiledMask& mask,
+                                         bool drop_fully_masked_rows,
+                                         ExecContext* ctx, EvalStats* stats) {
+  Relation out(answer.schema());
+  if (mask.tuples.empty()) return out;
+  const int arity = answer.schema().arity();
+  const size_t num_tuples = mask.tuples.size();
+
+  // Per batch: one bitmap word-run per mask tuple recording which batch
+  // ordinals it accepted. The kernels run tuple-major (so each gathered
+  // column is reused across tuples), while delivery below runs row-major
+  // — identical delivery order to the tuple-at-a-time ApplyMask.
+  const size_t words = (kColumnBatchRows + 63) / 64;
+  std::vector<uint64_t> bits(num_tuples * words);
+  ColumnBatch batch;
+  std::vector<uint32_t> sel;
+  ExecMeter meter(ctx);
+  const std::vector<Tuple>& rows = answer.rows();
+  for (size_t wb = 0; wb < rows.size(); wb += kColumnBatchRows) {
+    const size_t n = std::min<size_t>(kColumnBatchRows, rows.size() - wb);
+    if (!meter.TickRows(static_cast<long long>(n))) break;
+    batch.ResetDense(rows, wb, n, arity);
+    std::fill(bits.begin(), bits.end(), 0);
+    bool any_delivery = false;
+    for (size_t t = 0; t < num_tuples; ++t) {
+      const CompiledMaskTuple& tuple = mask.tuples[t];
+      if (!tuple.any_projected()) continue;
+      ResetSelection(&sel, n);
+      tuple.FilterBatch(&batch, &sel);
+      if (stats != nullptr) ++stats->mask_batch_applies;
+      for (uint32_t i : sel) {
+        bits[t * words + i / 64] |= uint64_t{1} << (i % 64);
+        any_delivery = true;
+      }
+    }
+    if (!any_delivery && drop_fully_masked_rows) continue;
+    for (size_t i = 0; i < n; ++i) {
+      bool any = false;
+      const Tuple& row = rows[wb + i];
+      for (size_t t = 0; t < num_tuples; ++t) {
+        if (((bits[t * words + i / 64] >> (i % 64)) & 1) == 0) continue;
+        any = true;
+        const CompiledMaskTuple& tuple = mask.tuples[t];
+        std::vector<Value> values;
+        values.reserve(static_cast<size_t>(arity));
+        for (int c = 0; c < arity; ++c) {
+          values.push_back(tuple.IsProjected(c) ? row.at(c) : Value::Null());
+        }
+        out.InsertUnchecked(Tuple(std::move(values)));
+      }
+      if (!any && !drop_fully_masked_rows) {
+        out.InsertUnchecked(
+            Tuple(std::vector<Value>(static_cast<size_t>(arity))));
+      }
+    }
+  }
+  return out;
+}
+
 Relation Authorizer::ApplyWideMask(const Relation& wide_answer,
                                    const MetaRelation& wide_mask,
                                    const std::vector<int>& target_columns,
@@ -715,6 +779,79 @@ Relation Authorizer::ApplyWideMask(const Relation& wide_answer,
     if (!any && !drop_fully_masked_rows) {
       out.InsertUnchecked(
           Tuple(std::vector<Value>(static_cast<size_t>(width))));
+    }
+  }
+  return out;
+}
+
+Relation Authorizer::ApplyWideMaskVectorized(
+    const Relation& wide_answer, const CompiledMask& wide_mask,
+    const std::vector<int>& target_columns,
+    const RelationSchema& answer_schema, bool drop_fully_masked_rows,
+    ExecContext* ctx, EvalStats* stats) {
+  Relation out(answer_schema);
+  const int width = static_cast<int>(target_columns.size());
+  const int wide_arity = wide_answer.schema().arity();
+  const size_t num_tuples = wide_mask.tuples.size();
+
+  // Per tuple: which answer positions it grants (same precomputation as
+  // the tuple-at-a-time ApplyWideMask).
+  std::vector<std::vector<bool>> grants(num_tuples);
+  std::vector<bool> tuple_relevant(num_tuples, false);
+  for (size_t t = 0; t < num_tuples; ++t) {
+    const CompiledMaskTuple& tuple = wide_mask.tuples[t];
+    grants[t].assign(static_cast<size_t>(width), false);
+    for (int i = 0; i < width; ++i) {
+      if (tuple.IsProjected(target_columns[static_cast<size_t>(i)])) {
+        grants[t][static_cast<size_t>(i)] = true;
+        tuple_relevant[t] = true;
+      }
+    }
+  }
+
+  const size_t words = (kColumnBatchRows + 63) / 64;
+  std::vector<uint64_t> bits(num_tuples * words);
+  ColumnBatch batch;
+  std::vector<uint32_t> sel;
+  ExecMeter meter(ctx);
+  const std::vector<Tuple>& rows = wide_answer.rows();
+  for (size_t wb = 0; wb < rows.size(); wb += kColumnBatchRows) {
+    const size_t n = std::min<size_t>(kColumnBatchRows, rows.size() - wb);
+    if (!meter.TickRows(static_cast<long long>(n))) break;
+    batch.ResetDense(rows, wb, n, wide_arity);
+    std::fill(bits.begin(), bits.end(), 0);
+    bool any_delivery = false;
+    for (size_t t = 0; t < num_tuples; ++t) {
+      if (!tuple_relevant[t]) continue;
+      ResetSelection(&sel, n);
+      wide_mask.tuples[t].FilterBatch(&batch, &sel);
+      if (stats != nullptr) ++stats->mask_batch_applies;
+      for (uint32_t i : sel) {
+        bits[t * words + i / 64] |= uint64_t{1} << (i % 64);
+        any_delivery = true;
+      }
+    }
+    if (!any_delivery && drop_fully_masked_rows) continue;
+    for (size_t i = 0; i < n; ++i) {
+      bool any = false;
+      const Tuple& wide_row = rows[wb + i];
+      for (size_t t = 0; t < num_tuples; ++t) {
+        if (((bits[t * words + i / 64] >> (i % 64)) & 1) == 0) continue;
+        any = true;
+        std::vector<Value> values;
+        values.reserve(static_cast<size_t>(width));
+        for (int c = 0; c < width; ++c) {
+          values.push_back(grants[t][static_cast<size_t>(c)]
+                               ? wide_row.at(
+                                     target_columns[static_cast<size_t>(c)])
+                               : Value::Null());
+        }
+        out.InsertUnchecked(Tuple(std::move(values)));
+      }
+      if (!any && !drop_fully_masked_rows) {
+        out.InsertUnchecked(
+            Tuple(std::vector<Value>(static_cast<size_t>(width))));
+      }
     }
   }
   return out;
@@ -1007,9 +1144,14 @@ Result<AuthorizationResult> Authorizer::RetrieveExtended(
       gen, wide,
       use_cache ? CaptureReadSet(*catalog_, user, query)
                 : AuthzDependencies{});
-  result.answer = ApplyWideMask(wide_answer, *compiled, target_columns,
-                                answer_schema,
-                                options.drop_fully_masked_rows, ctx);
+  result.answer =
+      options.use_optimized_data_plan && options.use_vectorized_data_plan
+          ? ApplyWideMaskVectorized(wide_answer, *compiled, target_columns,
+                                    answer_schema,
+                                    options.drop_fully_masked_rows, ctx,
+                                    &result.data_stats)
+          : ApplyWideMask(wide_answer, *compiled, target_columns,
+                          answer_schema, options.drop_fully_masked_rows, ctx);
   if (ctx != nullptr && !ctx->ok()) return ctx->status();
   result.permits = DescribeWideMask(wide, query);
   times->apply_micros = MicrosSince(apply_start);
@@ -1046,6 +1188,8 @@ Result<AuthorizationResult> Authorizer::Retrieve(
   }
   if (result.ok()) {
     txn.CountRetrieve(options.parallel_meta_evaluation);
+    txn.CountBatches(result->data_stats.batches_evaluated,
+                     result->data_stats.mask_batch_applies);
     txn.AddStageTimes(times.mask_micros, times.data_micros,
                       times.apply_micros, MicrosSince(start));
     txn.Commit();
@@ -1141,8 +1285,13 @@ Result<AuthorizationResult> Authorizer::RetrieveStandard(
       use_cache ? CurrentGeneration() : AuthzGeneration{}, result.mask,
       use_cache ? CaptureReadSet(*catalog_, user, query)
                 : AuthzDependencies{});
-  result.answer = ApplyMask(result.raw_answer, *compiled,
-                            options.drop_fully_masked_rows, ctx);
+  result.answer =
+      options.use_optimized_data_plan && options.use_vectorized_data_plan
+          ? ApplyMaskVectorized(result.raw_answer, *compiled,
+                                options.drop_fully_masked_rows, ctx,
+                                &result.data_stats)
+          : ApplyMask(result.raw_answer, *compiled,
+                      options.drop_fully_masked_rows, ctx);
   if (ctx != nullptr && !ctx->ok()) return ctx->status();
   result.permits = DescribeMask(result.mask);
   times->apply_micros = MicrosSince(apply_start);

@@ -55,6 +55,13 @@ struct AuthorizationOptions {
   // for bit — the differential tier asserts it. Effective only when
   // use_optimized_data_plan is true; the canonical plan ignores it.
   bool use_latemat_data_plan = true;
+  // Use the vectorized columnar pipeline (algebra/vectorized.h) as the
+  // optimized data plan and apply compiled masks batch-at-a-time through
+  // selection vectors (no per-row materialization of filtered rows).
+  // Same answers, bit for bit — the differential tier runs it as a
+  // fourth leg. Takes precedence over use_latemat_data_plan; effective
+  // only when use_optimized_data_plan is true.
+  bool use_vectorized_data_plan = true;
   // The paper's conclusion (3), implemented: when true, masks may be
   // "expressed with additional attributes" — a mask tuple whose
   // restriction sits on a non-requested column is kept, the answer is
@@ -263,6 +270,23 @@ class Authorizer {
                                 const RelationSchema& answer_schema,
                                 bool drop_fully_masked_rows,
                                 ExecContext* ctx = nullptr);
+
+  // Vectorized step 5 (options.use_vectorized_data_plan): the answer is
+  // walked in column batches, each relevant mask tuple runs its
+  // FilterBatch kernel over a selection vector, and only authorized
+  // (row, tuple) deliveries materialize. Row-for-row identical output
+  // and identical governor charging to the tuple-at-a-time overloads. A
+  // non-null `stats` counts mask_batch_applies.
+  static Relation ApplyMaskVectorized(const Relation& answer,
+                                      const CompiledMask& mask,
+                                      bool drop_fully_masked_rows,
+                                      ExecContext* ctx = nullptr,
+                                      EvalStats* stats = nullptr);
+  static Relation ApplyWideMaskVectorized(
+      const Relation& wide_answer, const CompiledMask& wide_mask,
+      const std::vector<int>& target_columns,
+      const RelationSchema& answer_schema, bool drop_fully_masked_rows,
+      ExecContext* ctx = nullptr, EvalStats* stats = nullptr);
 
   // True when `row` satisfies the selection predicate of `tuple`.
   static bool RowSatisfies(const MetaTuple& tuple, const Tuple& row);

@@ -38,6 +38,8 @@ std::string AuthzStats::ToString() const {
       << "  mask cache:       " << mask_hits << " hit(s), " << mask_misses
       << " miss(es)\n"
       << "  mask compiles:    " << mask_compiles << "\n"
+      << "  vectorized:       " << batches_evaluated << " batch(es), "
+      << mask_batch_applies << " mask kernel(s)\n"
       << "  invalidations:    " << invalidations << " entry(ies) ("
       << invalidations_exact << " exact event(s), " << invalidations_over
       << " over)\n"
@@ -403,6 +405,15 @@ void AuthzCache::CountMaskCompile() {
   mask_compiles_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void AuthzCache::CountBatches(long long batches, long long mask_applies) {
+  if (batches > 0) {
+    batches_evaluated_.fetch_add(batches, std::memory_order_relaxed);
+  }
+  if (mask_applies > 0) {
+    mask_batch_applies_.fetch_add(mask_applies, std::memory_order_relaxed);
+  }
+}
+
 void AuthzCache::CountPruned(long long tuples) {
   if (tuples > 0) {
     meta_tuples_pruned_.fetch_add(tuples, std::memory_order_relaxed);
@@ -427,6 +438,10 @@ void AuthzCache::ApplyTxnCounters(const AuthzTxnCounters& c) {
   mask_hits_.fetch_add(c.mask_hits, std::memory_order_relaxed);
   mask_misses_.fetch_add(c.mask_misses, std::memory_order_relaxed);
   mask_compiles_.fetch_add(c.mask_compiles, std::memory_order_relaxed);
+  batches_evaluated_.fetch_add(c.batches_evaluated,
+                               std::memory_order_relaxed);
+  mask_batch_applies_.fetch_add(c.mask_batch_applies,
+                                std::memory_order_relaxed);
   invalidations_.fetch_add(c.invalidations, std::memory_order_relaxed);
   meta_tuples_pruned_.fetch_add(c.meta_tuples_pruned,
                                 std::memory_order_relaxed);
@@ -470,6 +485,10 @@ AuthzStats AuthzCache::Snapshot() const {
   stats.mask_hits = mask_hits_.load(std::memory_order_relaxed);
   stats.mask_misses = mask_misses_.load(std::memory_order_relaxed);
   stats.mask_compiles = mask_compiles_.load(std::memory_order_relaxed);
+  stats.batches_evaluated =
+      batches_evaluated_.load(std::memory_order_relaxed);
+  stats.mask_batch_applies =
+      mask_batch_applies_.load(std::memory_order_relaxed);
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
   stats.entries_invalidated =
       entries_invalidated_.load(std::memory_order_relaxed);
@@ -502,6 +521,8 @@ void AuthzCache::ResetStats() {
   mask_hits_.store(0, std::memory_order_relaxed);
   mask_misses_.store(0, std::memory_order_relaxed);
   mask_compiles_.store(0, std::memory_order_relaxed);
+  batches_evaluated_.store(0, std::memory_order_relaxed);
+  mask_batch_applies_.store(0, std::memory_order_relaxed);
   invalidations_.store(0, std::memory_order_relaxed);
   entries_invalidated_.store(0, std::memory_order_relaxed);
   entries_retained_.store(0, std::memory_order_relaxed);
@@ -623,6 +644,13 @@ void AuthzCacheTxn::CountPruned(long long tuples) {
 void AuthzCacheTxn::CountMaskCompile() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++counters_.mask_compiles;
+}
+
+void AuthzCacheTxn::CountBatches(long long batches, long long mask_applies) {
+  if (batches <= 0 && mask_applies <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.batches_evaluated += batches;
+  counters_.mask_batch_applies += mask_applies;
 }
 
 void AuthzCacheTxn::AddStageTimes(long long mask_micros, long long data_micros,

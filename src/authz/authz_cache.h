@@ -109,6 +109,12 @@ struct AuthzStats {
   long long invalidations = 0;       // entries dropped as stale, any cause
   long long meta_tuples_pruned = 0;  // hopeless + dangling tuples removed
 
+  // --- vectorized plan --------------------------------------------------
+  // Column batches processed by the vectorized data plan, and compiled-
+  // mask batch kernels applied by the fused mask path.
+  long long batches_evaluated = 0;
+  long long mask_batch_applies = 0;
+
   // --- invalidation precision -------------------------------------------
   // How selective the dependency-tracked scheme is in practice.
   long long entries_invalidated = 0;  // dropped by catalog/DDL events
@@ -149,6 +155,8 @@ struct AuthzTxnCounters {
   long long mask_compiles = 0;
   long long invalidations = 0;  // stale entries observed via Peek
   long long meta_tuples_pruned = 0;
+  long long batches_evaluated = 0;
+  long long mask_batch_applies = 0;
   long long mask_derivation_micros = 0;
   long long data_eval_micros = 0;
   long long mask_apply_micros = 0;
@@ -225,6 +233,7 @@ class AuthzCache {
   void CountRetrieve(bool parallel);
   void CountPruned(long long tuples);
   void CountMaskCompile();
+  void CountBatches(long long batches, long long mask_applies);
   void AddStageTimes(long long mask_micros, long long data_micros,
                      long long apply_micros, long long total_micros);
   // Folds a committed transaction's buffered deltas into the live
@@ -307,6 +316,8 @@ class AuthzCache {
   std::atomic<long long> mask_hits_{0};
   std::atomic<long long> mask_misses_{0};
   std::atomic<long long> mask_compiles_{0};
+  std::atomic<long long> batches_evaluated_{0};
+  std::atomic<long long> mask_batch_applies_{0};
   std::atomic<long long> invalidations_{0};
   std::atomic<long long> entries_invalidated_{0};
   std::atomic<long long> entries_retained_{0};
@@ -359,6 +370,7 @@ class AuthzCacheTxn {
   void CountRetrieve(bool parallel);
   void CountPruned(long long tuples);
   void CountMaskCompile();
+  void CountBatches(long long batches, long long mask_applies);
   void AddStageTimes(long long mask_micros, long long data_micros,
                      long long apply_micros, long long total_micros);
 

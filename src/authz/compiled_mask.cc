@@ -1,5 +1,7 @@
 #include "authz/compiled_mask.h"
 
+#include "storage/column_batch.h"
+
 namespace viewauth {
 
 CompiledMaskTuple::CompiledMaskTuple(const MetaTuple& tuple) {
@@ -123,6 +125,63 @@ bool CompiledMaskTuple::Satisfies(const Tuple& row) const {
         row.at(var_cols_flat_[static_cast<size_t>(group_begin_[g])]));
   }
   return check.IsSatisfiable();
+}
+
+void CompiledMaskTuple::FilterBatch(ColumnBatch* batch,
+                                    std::vector<uint32_t>* sel) const {
+  // Mirrors Satisfies() check by check; the conjunction is the same
+  // whether it short-circuits per row or filters column at a time.
+  for (const ConstCheck& check : const_cells_) {
+    if (sel->empty()) return;
+    FilterColumnConst(batch->column(check.col), Comparator::kEq, check.value,
+                      sel);
+  }
+  if (trivially_true_) return;
+
+  for (size_t g = 0; g < group_vars_.size(); ++g) {
+    const int begin = group_begin_[g];
+    const int end = group_begin_[g + 1];
+    const int bind_col = var_cols_flat_[static_cast<size_t>(begin)];
+    if (sel->empty()) return;
+    FilterNotNull(batch->column(bind_col), sel);
+    for (int k = begin + 1; k < end; ++k) {
+      if (sel->empty()) return;
+      // Satisfies(kEq, ...) is false whenever either side is NULL, so
+      // this also enforces the non-null requirement on the group's
+      // other cells.
+      FilterColumnColumn(batch->column(bind_col), Comparator::kEq,
+                         batch->column(var_cols_flat_[static_cast<size_t>(k)]),
+                         sel);
+    }
+  }
+
+  if (constraints_total_) {
+    for (const CompiledAtom& atom : atoms_) {
+      if (sel->empty()) return;
+      if (atom.rhs_is_col) {
+        FilterColumnColumn(batch->column(atom.lhs_col), atom.op,
+                           batch->column(atom.rhs_col), sel);
+      } else {
+        FilterColumnConst(batch->column(atom.lhs_col), atom.op,
+                          atom.rhs_const, sel);
+      }
+    }
+    return;
+  }
+
+  // Store-only (existential) variables remain: solver per surviving row.
+  size_t out = 0;
+  for (uint32_t i : *sel) {
+    ConstraintSet check = fallback_constraints_;
+    for (size_t g = 0; g < group_vars_.size(); ++g) {
+      check.AddTermConst(
+          group_vars_[g], Comparator::kEq,
+          batch->value(i, var_cols_flat_[static_cast<size_t>(
+                              group_begin_[g])]));
+    }
+    if (check.IsSatisfiable()) (*sel)[out++] = i;
+  }
+  sel->resize(out);
 }
 
 CompiledMask CompiledMask::Compile(const MetaRelation& mask) {

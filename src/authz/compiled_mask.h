@@ -37,6 +37,8 @@
 
 namespace viewauth {
 
+class ColumnBatch;
+
 class CompiledMaskTuple {
  public:
   explicit CompiledMaskTuple(const MetaTuple& tuple);
@@ -45,6 +47,14 @@ class CompiledMaskTuple {
   // equivalent to Authorizer::RowSatisfies(tuple, row) for the source
   // tuple (the differential tier asserts the pipelines agree).
   bool Satisfies(const Tuple& row) const;
+
+  // Batch form of Satisfies for the vectorized mask-apply path: filters
+  // `sel` (ordinals into `batch`) in place, keeping exactly the rows
+  // Satisfies would accept. Each check runs as a per-column kernel over
+  // the batch's gathered columns (storage/column_batch.h); only tuples
+  // whose constraints mention store-only variables fall back to the
+  // solver, and only for rows surviving every kernel.
+  void FilterBatch(ColumnBatch* batch, std::vector<uint32_t>* sel) const;
 
   bool any_projected() const { return any_projected_; }
   const std::vector<int>& projected_cols() const { return projected_cols_; }

@@ -50,8 +50,13 @@ struct ExecLimits {
 
 class ExecContext {
  public:
-  // How many row-ticks elapse between wall-clock probes.
-  static constexpr long long kCheckStride = 1024;
+  // How many row-ticks elapse between wall-clock probes. Sized so that
+  // even the vectorized plan — whose per-row cost is a fraction of a
+  // nanosecond, making a clock read per 1024-row batch a measurable few
+  // percent — stays within the governance-overhead budget, while the
+  // slowest tuple-at-a-time plans still notice a deadline within a few
+  // milliseconds.
+  static constexpr long long kCheckStride = 8192;
 
   ExecContext() : ExecContext(ExecLimits{}) {}
   explicit ExecContext(const ExecLimits& limits);

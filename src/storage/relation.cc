@@ -19,6 +19,7 @@ Relation& Relation::operator=(const Relation& other) {
   indexed_version_ = -1;
   column_indexes_.clear();
   ordered_indexes_.clear();
+  column_cache_.clear();
   return *this;
 }
 
@@ -37,6 +38,7 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   indexed_version_ = -1;
   column_indexes_.clear();
   ordered_indexes_.clear();
+  column_cache_.clear();
   return *this;
 }
 
@@ -113,6 +115,7 @@ const Relation::ColumnIndex& Relation::IndexOn(int column) const {
   if (indexed_version_ != version_) {
     column_indexes_.clear();
     ordered_indexes_.clear();
+    column_cache_.clear();
     indexed_version_ = version_;
   }
   auto it = column_indexes_.find(column);
@@ -132,6 +135,7 @@ const Relation::OrderedIndex& Relation::OrderedIndexOn(int column) const {
   if (indexed_version_ != version_) {
     column_indexes_.clear();
     ordered_indexes_.clear();
+    column_cache_.clear();
     indexed_version_ = version_;
   }
   auto it = ordered_indexes_.find(column);
@@ -149,6 +153,23 @@ const Relation::OrderedIndex& Relation::OrderedIndexOn(int column) const {
                 return a.second < b.second;
               });
     it = ordered_indexes_.emplace(column, std::move(built)).first;
+  }
+  return it->second;
+}
+
+const ColumnVector& Relation::ColumnOn(int column) const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (indexed_version_ != version_) {
+    column_indexes_.clear();
+    ordered_indexes_.clear();
+    column_cache_.clear();
+    indexed_version_ = version_;
+  }
+  auto it = column_cache_.find(column);
+  if (it == column_cache_.end()) {
+    ColumnVector built;
+    built.GatherDense(rows_, 0, rows_.size(), column);
+    it = column_cache_.emplace(column, std::move(built)).first;
   }
   return it->second;
 }

@@ -15,6 +15,7 @@
 
 #include "common/result.h"
 #include "schema/schema.h"
+#include "storage/column_batch.h"
 #include "storage/tuple.h"
 
 namespace viewauth {
@@ -73,6 +74,16 @@ class Relation {
   using OrderedIndex = std::vector<std::pair<Value, int>>;
   const OrderedIndex& OrderedIndexOn(int column) const;
 
+  // The whole column gathered into a ColumnVector (a flat typed array
+  // when the column is uniform and null-free, boxed pointers
+  // otherwise). Built lazily like IndexOn and invalidated by the same
+  // version check; the vectorized plan's full scans run predicate
+  // kernels directly over this image — selection entries are row
+  // indices — instead of re-gathering cells tuple-by-tuple on every
+  // scan. Cell pointers alias rows(), so the same reader/mutator
+  // exclusion rules as the indexes apply.
+  const ColumnVector& ColumnOn(int column) const;
+
   // True if both relations hold the same set of tuples (schema names are
   // not compared; arity must match).
   bool SameTuples(const Relation& other) const;
@@ -92,6 +103,7 @@ class Relation {
   mutable long long indexed_version_ = -1;
   mutable std::map<int, ColumnIndex> column_indexes_;
   mutable std::map<int, OrderedIndex> ordered_indexes_;
+  mutable std::map<int, ColumnVector> column_cache_;
 };
 
 // A database instance: one relation per relation scheme of the database

@@ -4,7 +4,10 @@
 //
 //   * the CACHED engine runs with the default fast pipeline
 //     (authorization cache, meta cache, parallel meta evaluation,
-//     late-materialized data plan);
+//     vectorized columnar data plan with fused mask application);
+//   * the LATEMAT engine runs the same fast pipeline but with the
+//     tuple-at-a-time late-materialized data plan, so both optimized
+//     plans are tortured against the same statement stream;
 //   * the ORACLE engine runs cold — no caches, no parallelism,
 //     canonical data plan — so every one of its answers is derived
 //     from scratch against the current catalog.
@@ -83,6 +86,10 @@ class Torture {
     oracle_.options().parallel_meta_evaluation = false;
     oracle_.options().use_optimized_data_plan = false;
     oracle_.options().use_latemat_data_plan = false;
+    oracle_.options().use_vectorized_data_plan = false;
+    // cached_ keeps the defaults (vectorized); latemat_ pins the
+    // tuple-at-a-time late-materialized plan.
+    latemat_.options().use_vectorized_data_plan = false;
   }
 
   Engine& cached() { return cached_; }
@@ -95,11 +102,13 @@ class Torture {
   // succeed on both.
   ::testing::AssertionResult Load(const std::string& script) {
     auto fast = cached_.ExecuteScript(script);
+    auto late = latemat_.ExecuteScript(script);
     auto cold = oracle_.ExecuteScript(script);
-    if (!fast.ok() || !cold.ok()) {
+    if (!fast.ok() || !late.ok() || !cold.ok()) {
       return ::testing::AssertionFailure()
              << "setup script failed: cached "
-             << (fast.ok() ? "ok" : fast.status().ToString()) << ", oracle "
+             << (fast.ok() ? "ok" : fast.status().ToString()) << ", latemat "
+             << (late.ok() ? "ok" : late.status().ToString()) << ", oracle "
              << (cold.ok() ? "ok" : cold.status().ToString());
     }
     return ::testing::AssertionSuccess();
@@ -108,11 +117,13 @@ class Torture {
   // Executes one statement on both engines; the outcomes must agree.
   ::testing::AssertionResult Apply(const std::string& statement) {
     auto fast = cached_.Execute(statement);
+    auto late = latemat_.Execute(statement);
     auto cold = oracle_.Execute(statement);
-    if (fast.ok() != cold.ok()) {
+    if (fast.ok() != cold.ok() || late.ok() != cold.ok()) {
       return ::testing::AssertionFailure()
              << "statement outcome diverged on `" << statement
              << "`: cached " << (fast.ok() ? "ok" : fast.status().ToString())
+             << ", latemat " << (late.ok() ? "ok" : late.status().ToString())
              << ", oracle " << (cold.ok() ? "ok" : cold.status().ToString());
     }
     return ::testing::AssertionSuccess();
@@ -122,36 +133,48 @@ class Torture {
   // structured results.
   ::testing::AssertionResult Probe(const std::string& retrieve) {
     auto fast = cached_.Execute(retrieve);
+    auto late = latemat_.Execute(retrieve);
     auto cold = oracle_.Execute(retrieve);
-    if (fast.ok() != cold.ok()) {
+    if (fast.ok() != cold.ok() || late.ok() != cold.ok()) {
       return ::testing::AssertionFailure()
              << "probe outcome diverged on `" << retrieve << "`: cached "
-             << (fast.ok() ? "ok" : fast.status().ToString()) << ", oracle "
+             << (fast.ok() ? "ok" : fast.status().ToString()) << ", latemat "
+             << (late.ok() ? "ok" : late.status().ToString()) << ", oracle "
              << (cold.ok() ? "ok" : cold.status().ToString());
     }
     if (!fast.ok()) return ::testing::AssertionSuccess();
     ++successful_probes_;
-    if (cached_.last_result() == nullptr || oracle_.last_result() == nullptr) {
+    if (cached_.last_result() == nullptr || latemat_.last_result() == nullptr ||
+        oracle_.last_result() == nullptr) {
       return ::testing::AssertionFailure()
              << "probe produced no structured result: " << retrieve;
     }
-    const Observed got = Summarize(*cached_.last_result());
     const Observed want = Summarize(*oracle_.last_result());
-    if (!(got == want)) {
-      return ::testing::AssertionFailure()
-             << "cached engine diverged from oracle on `" << retrieve
-             << "`: denied " << want.denied << "/" << got.denied
-             << ", full_access " << want.full_access << "/" << got.full_access
-             << ", answer rows " << want.answer.size() << "/"
-             << got.answer.size() << ", mask tuples " << want.mask_keys.size()
-             << "/" << got.mask_keys.size() << ", permits "
-             << want.permits.size() << "/" << got.permits.size();
+    const struct {
+      const char* label;
+      const AuthorizationResult* result;
+    } legs[] = {{"cached (vectorized)", cached_.last_result()},
+                {"latemat", latemat_.last_result()}};
+    for (const auto& leg : legs) {
+      const Observed got = Summarize(*leg.result);
+      if (!(got == want)) {
+        return ::testing::AssertionFailure()
+               << leg.label << " engine diverged from oracle on `" << retrieve
+               << "`: denied " << want.denied << "/" << got.denied
+               << ", full_access " << want.full_access << "/"
+               << got.full_access << ", answer rows " << want.answer.size()
+               << "/" << got.answer.size() << ", mask tuples "
+               << want.mask_keys.size() << "/" << got.mask_keys.size()
+               << ", permits " << want.permits.size() << "/"
+               << got.permits.size();
+      }
     }
     return ::testing::AssertionSuccess();
   }
 
  private:
   Engine cached_;
+  Engine latemat_;
   Engine oracle_;
   int successful_probes_ = 0;
 };

@@ -91,17 +91,23 @@ struct ScenarioSetup {
   canonical_options.parallel_meta_evaluation = false;
   canonical_options.use_optimized_data_plan = false;
   canonical_options.use_latemat_data_plan = false;
+  canonical_options.use_vectorized_data_plan = false;
 
+  // The fast leg is the full default pipeline: vectorized columnar data
+  // plan with batch-fused compiled-mask application.
   AuthorizationOptions fast_options = options;
   fast_options.enable_authz_cache = true;
   fast_options.use_meta_cache = true;
   fast_options.parallel_meta_evaluation = true;
   fast_options.use_optimized_data_plan = true;
   fast_options.use_latemat_data_plan = true;
+  fast_options.use_vectorized_data_plan = true;
 
-  // The tuple-at-a-time optimizer, differencing the two optimized data
-  // plans against each other (and against canonical).
-  AuthorizationOptions tuple_options = fast_options;
+  // The late-materialized and tuple-at-a-time optimizers, differencing
+  // the three optimized data plans against each other (and canonical).
+  AuthorizationOptions latemat_options = fast_options;
+  latemat_options.use_vectorized_data_plan = false;
+  AuthorizationOptions tuple_options = latemat_options;
   tuple_options.use_latemat_data_plan = false;
 
   Authorizer canonical(setup.db, setup.canonical_catalog);
@@ -111,6 +117,7 @@ struct ScenarioSetup {
   auto canonical_result = canonical.Retrieve("u", query, canonical_options);
   auto cold = fast.Retrieve("u", query, fast_options);
   auto warm = fast.Retrieve("u", query, fast_options);  // cache-served
+  auto latemat_plan = fast.Retrieve("u", query, latemat_options);
   auto tuple_plan = fast.Retrieve("u", query, tuple_options);
   if (!canonical_result.ok()) {
     return ::testing::AssertionFailure()
@@ -120,6 +127,10 @@ struct ScenarioSetup {
     return ::testing::AssertionFailure()
            << "fast retrieve failed: "
            << (cold.ok() ? warm.status() : cold.status());
+  }
+  if (!latemat_plan.ok()) {
+    return ::testing::AssertionFailure()
+           << "latemat-plan retrieve failed: " << latemat_plan.status();
   }
   if (!tuple_plan.ok()) {
     return ::testing::AssertionFailure()
@@ -134,6 +145,7 @@ struct ScenarioSetup {
   const Observed expected = Summarize(*canonical_result);
   const Observed cold_obs = Summarize(*cold);
   const Observed warm_obs = Summarize(*warm);
+  const Observed latemat_obs = Summarize(*latemat_plan);
   const Observed tuple_obs = Summarize(*tuple_plan);
   auto describe = [&](const Observed& got, const char* label) {
     return ::testing::AssertionFailure()
@@ -146,8 +158,13 @@ struct ScenarioSetup {
            << ", permits " << expected.permits.size() << "/"
            << got.permits.size();
   };
-  if (!(cold_obs == expected)) return describe(cold_obs, "cold fast");
-  if (!(warm_obs == expected)) return describe(warm_obs, "warm (cached) fast");
+  if (!(cold_obs == expected)) {
+    return describe(cold_obs, "cold fast (vectorized)");
+  }
+  if (!(warm_obs == expected)) {
+    return describe(warm_obs, "warm (cached, vectorized) fast");
+  }
+  if (!(latemat_obs == expected)) return describe(latemat_obs, "latemat-plan");
   if (!(tuple_obs == expected)) return describe(tuple_obs, "tuple-plan");
   return ::testing::AssertionSuccess();
 }
@@ -376,8 +393,12 @@ TEST(DifferentialSoundness, WriteMixMutationScenarios) {
   canonical_options.parallel_meta_evaluation = false;
   canonical_options.use_optimized_data_plan = false;
   canonical_options.use_latemat_data_plan = false;
-  AuthorizationOptions latemat_options;  // defaults: cache + latemat
+  canonical_options.use_vectorized_data_plan = false;
+  AuthorizationOptions vectorized_options;  // defaults: cache + vectorized
+  AuthorizationOptions latemat_options;
+  latemat_options.use_vectorized_data_plan = false;
   AuthorizationOptions tuple_options;
+  tuple_options.use_vectorized_data_plan = false;
   tuple_options.use_latemat_data_plan = false;
 
   int compared = 0;
@@ -448,12 +469,17 @@ TEST(DifferentialSoundness, WriteMixMutationScenarios) {
 
       const ConjunctiveQuery& query = pool[rng() % pool.size()];
       auto want = canonical.Retrieve("u", query, canonical_options);
+      auto vectorized = fast.Retrieve("u", query, vectorized_options);
       auto latemat = fast.Retrieve("u", query, latemat_options);
       auto tuple_plan = fast.Retrieve("u", query, tuple_options);
       ASSERT_TRUE(want.ok()) << want.status();
+      ASSERT_TRUE(vectorized.ok()) << vectorized.status();
       ASSERT_TRUE(latemat.ok()) << latemat.status();
       ASSERT_TRUE(tuple_plan.ok()) << tuple_plan.status();
       const Observed expected = Summarize(*want);
+      EXPECT_TRUE(Summarize(*vectorized) == expected)
+          << "vectorized plan diverged: scenario " << scenario << " step "
+          << step << " query " << query.ToString();
       EXPECT_TRUE(Summarize(*latemat) == expected)
           << "latemat plan diverged: scenario " << scenario << " step "
           << step << " query " << query.ToString();

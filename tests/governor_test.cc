@@ -61,12 +61,14 @@ struct PlanConfig {
   const char* name;
   bool optimized;
   bool latemat;
+  bool vectorized;
 };
 
 constexpr PlanConfig kPlans[] = {
-    {"canonical", false, false},
-    {"optimized", true, false},
-    {"latemat", true, true},
+    {"canonical", false, false, false},
+    {"optimized", true, false, false},
+    {"latemat", true, true, false},
+    {"vectorized", true, true, true},
 };
 
 // A 1 ms deadline against the 10^6-pair product must abort well under a
@@ -79,6 +81,7 @@ TEST(GovernorTest, DeadlineAbortsCrossProductOnAllPlans) {
     LoadCrossProduct(&engine);
     engine.options().use_optimized_data_plan = plan.optimized;
     engine.options().use_latemat_data_plan = plan.latemat;
+    engine.options().use_vectorized_data_plan = plan.vectorized;
 
     engine.options().deadline_ms = 1;
     const Clock::time_point start = Clock::now();

@@ -312,6 +312,10 @@ TEST(LateMat, AuthorizedRetrievalIdenticalAcrossDataPlans) {
     for (const char* user : {"Brown", "Klein"}) {
       ConjunctiveQuery query = fixture.Query(text);
       AuthorizationOptions with, without;
+      // Pin latemat-vs-optimized: the vectorized plan (default on) would
+      // otherwise shadow both legs.
+      with.use_vectorized_data_plan = false;
+      without.use_vectorized_data_plan = false;
       with.use_latemat_data_plan = true;
       without.use_latemat_data_plan = false;
       auto a = authorizer.Retrieve(user, query, with);

@@ -19,6 +19,10 @@
 #   7. a Release (-O2) build of bench_latemat and its --smoke gate: the
 #      late-materialized data pipeline must not be slower than the
 #      tuple-at-a-time optimizer on the reference join workload
+#   7b. a Release build of bench_vectorized and its --smoke gate: the
+#      vectorized columnar plan must be >= 2x faster than the
+#      late-materialized plan on a selective 128K-row scan (also fails
+#      if the committed BENCH_vectorized.json is missing)
 #   8. a Release build of bench_governor and its --smoke gate: governing
 #      a non-tripping retrieve (generous deadline + budgets) must cost
 #      no more than 2% over the ungoverned pipeline
@@ -101,6 +105,17 @@ if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
       ./build-release/bench/bench_latemat --smoke
   }
   run_step "latemat perf smoke (Release)" latemat_smoke
+  vectorized_smoke() {
+    if [ ! -f BENCH_vectorized.json ]; then
+      echo "BENCH_vectorized.json missing: run" \
+        "./build-release/bench/bench_vectorized from the repo root"
+      return 1
+    fi
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null &&
+      cmake --build build-release -j "$JOBS" --target bench_vectorized &&
+      ./build-release/bench/bench_vectorized --smoke
+  }
+  run_step "vectorized perf smoke (Release)" vectorized_smoke
   governor_smoke() {
     cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null &&
       cmake --build build-release -j "$JOBS" --target bench_governor &&
