@@ -48,6 +48,24 @@ struct ExecLimits {
   }
 };
 
+// Composes two limit sets field by field, strictest wins: where both
+// sides set a budget the smaller applies; where only one does, that one;
+// 0 (unlimited) survives only when neither side sets the field. This is
+// how a per-request deadline from the wire protocol composes with the
+// engine's own AuthorizationOptions limits.
+inline ExecLimits TightenLimits(const ExecLimits& a, const ExecLimits& b) {
+  auto strictest = [](long long x, long long y) {
+    if (x <= 0) return y;
+    if (y <= 0) return x;
+    return x < y ? x : y;
+  };
+  ExecLimits out;
+  out.deadline_ms = strictest(a.deadline_ms, b.deadline_ms);
+  out.max_rows = strictest(a.max_rows, b.max_rows);
+  out.max_bytes = strictest(a.max_bytes, b.max_bytes);
+  return out;
+}
+
 class ExecContext {
  public:
   // How many row-ticks elapse between wall-clock probes. Sized so that

@@ -1,0 +1,476 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+namespace viewauth {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(ErrnoMessage("fcntl O_NONBLOCK"));
+  }
+  return Status::OK();
+}
+
+// Waits for `events` readiness; OK when ready, DeadlineExceeded on
+// timeout, Unavailable when the descriptor reports an error/hangup with
+// no readable data left.
+Status PollFor(int fd, short events, long long timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    int timeout = timeout_ms < 0
+                      ? -1
+                      : static_cast<int>(std::min<long long>(
+                            timeout_ms, std::numeric_limits<int>::max()));
+    int n = ::poll(&pfd, 1, timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoMessage("poll"));
+    }
+    if (n == 0) return Status::DeadlineExceeded("socket operation timed out");
+    // POLLHUP/POLLERR still allow a final read of buffered bytes; let
+    // the caller's recv/send observe the condition directly.
+    return Status::OK();
+  }
+}
+
+class PosixSocket : public Socket {
+ public:
+  explicit PosixSocket(int fd) : fd_(fd) {}
+
+  ~PosixSocket() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> Read(char* buf, size_t max, long long timeout_ms) override {
+    if (fd_ < 0) return Status::Internal("read on closed socket");
+    if (max == 0) return static_cast<size_t>(0);
+    for (;;) {
+      ssize_t n = ::recv(fd_, buf, max, 0);
+      if (n > 0) return static_cast<size_t>(n);
+      if (n == 0) return static_cast<size_t>(0);  // clean end-of-stream
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        VIEWAUTH_RETURN_NOT_OK(PollFor(fd_, POLLIN, timeout_ms));
+        continue;
+      }
+      if (errno == ECONNRESET) {
+        return Status::Unavailable("connection reset by peer");
+      }
+      return Status::Internal(ErrnoMessage("recv"));
+    }
+  }
+
+  Result<size_t> Write(std::string_view data, long long timeout_ms) override {
+    if (fd_ < 0) return Status::Internal("write on closed socket");
+    if (data.empty()) return static_cast<size_t>(0);
+    for (;;) {
+      ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+      if (n > 0) return static_cast<size_t>(n);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        VIEWAUTH_RETURN_NOT_OK(PollFor(fd_, POLLOUT, timeout_ms));
+        continue;
+      }
+      if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+        return Status::Unavailable("connection reset by peer");
+      }
+      return Status::Internal(ErrnoMessage("send"));
+    }
+  }
+
+  Status Shutdown() override {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::Internal(ErrnoMessage("close socket"));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
+
+Result<std::unique_ptr<Socket>> WrapConnected(int fd) {
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<Socket>(std::make_unique<PosixSocket>(fd));
+}
+
+// Finishes a nonblocking connect within the timeout.
+Result<std::unique_ptr<Socket>> FinishConnect(int fd, const sockaddr* addr,
+                                              socklen_t addr_len,
+                                              long long timeout_ms) {
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  if (::connect(fd, addr, addr_len) != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      Status err = Status::Unavailable(ErrnoMessage("connect"));
+      ::close(fd);
+      return err;
+    }
+    Status ready = PollFor(fd, POLLOUT, timeout_ms);
+    if (!ready.ok()) {
+      ::close(fd);
+      return ready;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      ::close(fd);
+      errno = so_error;
+      return Status::Unavailable(ErrnoMessage("connect"));
+    }
+  }
+  return std::unique_ptr<Socket>(std::make_unique<PosixSocket>(fd));
+}
+
+class PosixListenSocket : public ListenSocket {
+ public:
+  PosixListenSocket(int fd, int port, std::string unix_path)
+      : fd_(fd), port_(port), unix_path_(std::move(unix_path)) {}
+
+  ~PosixListenSocket() override {
+    Status ignored = Close();
+    (void)ignored;
+  }
+
+  Result<std::unique_ptr<Socket>> Accept(long long timeout_ms) override {
+    if (fd_ < 0) return Status::Internal("accept on closed listener");
+    for (;;) {
+      int client = ::accept(fd_, nullptr, nullptr);
+      if (client >= 0) return WrapConnected(client);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        VIEWAUTH_RETURN_NOT_OK(PollFor(fd_, POLLIN, timeout_ms));
+        continue;
+      }
+      return Status::Internal(ErrnoMessage("accept"));
+    }
+  }
+
+  int port() const override { return port_; }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    ::close(fd);
+    if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  int port_;
+  std::string unix_path_;
+};
+
+}  // namespace
+
+Status ReadFully(Socket& socket, char* buf, size_t n, long long timeout_ms) {
+  const auto deadline = timeout_ms < 0
+                            ? Clock::time_point::max()
+                            : Clock::now() + std::chrono::milliseconds(
+                                                 timeout_ms);
+  size_t got = 0;
+  while (got < n) {
+    long long remaining = -1;
+    if (timeout_ms >= 0) {
+      remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - Clock::now())
+                      .count();
+      if (remaining < 0) remaining = 0;
+    }
+    VIEWAUTH_ASSIGN_OR_RETURN(size_t chunk,
+                              socket.Read(buf + got, n - got, remaining));
+    if (chunk == 0) {
+      if (got == 0) return Status::NotFound("connection closed");
+      return Status::Unavailable("connection closed mid-transfer");
+    }
+    got += chunk;
+  }
+  return Status::OK();
+}
+
+Status WriteFully(Socket& socket, std::string_view data,
+                  long long timeout_ms) {
+  const auto deadline = timeout_ms < 0
+                            ? Clock::time_point::max()
+                            : Clock::now() + std::chrono::milliseconds(
+                                                 timeout_ms);
+  while (!data.empty()) {
+    long long remaining = -1;
+    if (timeout_ms >= 0) {
+      remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - Clock::now())
+                      .count();
+      if (remaining < 0) remaining = 0;
+    }
+    VIEWAUTH_ASSIGN_OR_RETURN(size_t chunk, socket.Write(data, remaining));
+    data.remove_prefix(chunk);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ListenSocket>> ListenSocket::ListenTcp(
+    const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoMessage("socket(AF_INET)"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen address '" + host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status err = Status::Internal(ErrnoMessage("bind " + host));
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, 128) != 0) {
+    Status err = Status::Internal(ErrnoMessage("listen"));
+    ::close(fd);
+    return err;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status err = Status::Internal(ErrnoMessage("getsockname"));
+    ::close(fd);
+    return err;
+  }
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<ListenSocket>(std::make_unique<PosixListenSocket>(
+      fd, ntohs(addr.sin_port), std::string()));
+}
+
+Result<std::unique_ptr<ListenSocket>> ListenSocket::ListenUnix(
+    const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoMessage("socket(AF_UNIX)"));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status err = Status::Internal(ErrnoMessage("bind " + path));
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, 128) != 0) {
+    Status err = Status::Internal(ErrnoMessage("listen " + path));
+    ::close(fd);
+    return err;
+  }
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<ListenSocket>(
+      std::make_unique<PosixListenSocket>(fd, 0, path));
+}
+
+Result<std::unique_ptr<Socket>> ConnectTcp(const std::string& host, int port,
+                                           long long timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoMessage("socket(AF_INET)"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad connect address '" + host + "'");
+  }
+  return FinishConnect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                       timeout_ms);
+}
+
+Result<std::unique_ptr<Socket>> ConnectUnix(const std::string& path,
+                                            long long timeout_ms) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoMessage("socket(AF_UNIX)"));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return FinishConnect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                       timeout_ms);
+}
+
+Result<std::pair<std::unique_ptr<Socket>, std::unique_ptr<Socket>>>
+MakeSocketPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::Internal(ErrnoMessage("socketpair"));
+  }
+  VIEWAUTH_ASSIGN_OR_RETURN(std::unique_ptr<Socket> a, WrapConnected(fds[0]));
+  auto b = WrapConnected(fds[1]);
+  if (!b.ok()) return b.status();
+  return std::make_pair(std::move(a), std::move(*b));
+}
+
+// --- SocketFaultPlan --------------------------------------------------------
+
+void SocketFaultPlan::set_max_read_chunk(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_read_chunk_ = n;
+}
+void SocketFaultPlan::set_max_write_chunk(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_write_chunk_ = n;
+}
+void SocketFaultPlan::set_fail_write_after_bytes(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_write_after_bytes_ = n;
+}
+void SocketFaultPlan::set_fail_read_after_bytes(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_read_after_bytes_ = n;
+}
+void SocketFaultPlan::set_corrupt_write_byte(int64_t offset, uint8_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  corrupt_write_offset_ = offset;
+  corrupt_write_mask_ = mask;
+}
+void SocketFaultPlan::set_read_stall_ms(long long ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_stall_ms_ = ms;
+}
+uint64_t SocketFaultPlan::bytes_read() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_read_;
+}
+uint64_t SocketFaultPlan::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+uint64_t SocketFaultPlan::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+// --- FaultInjectingSocket ---------------------------------------------------
+
+Result<size_t> FaultInjectingSocket::Read(char* buf, size_t max,
+                                          long long timeout_ms) {
+  long long stall_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(plan_->mu_);
+    stall_ms = plan_->read_stall_ms_;
+    if (plan_->fail_read_after_bytes_ >= 0 &&
+        static_cast<int64_t>(plan_->bytes_read_) >=
+            plan_->fail_read_after_bytes_) {
+      ++plan_->faults_injected_;
+      return Status::Unavailable("connection reset by peer (injected)");
+    }
+    if (plan_->max_read_chunk_ > 0) max = std::min(max, plan_->max_read_chunk_);
+  }
+  if (stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+  VIEWAUTH_ASSIGN_OR_RETURN(size_t n, base_->Read(buf, max, timeout_ms));
+  std::lock_guard<std::mutex> lock(plan_->mu_);
+  // Clip to the fault point so the cut never over-delivers.
+  if (plan_->fail_read_after_bytes_ >= 0) {
+    const uint64_t room = static_cast<uint64_t>(plan_->fail_read_after_bytes_) -
+                          std::min<uint64_t>(plan_->bytes_read_,
+                                             static_cast<uint64_t>(
+                                                 plan_->fail_read_after_bytes_));
+    n = std::min<size_t>(n, static_cast<size_t>(room));
+  }
+  plan_->bytes_read_ += n;
+  return n;
+}
+
+Result<size_t> FaultInjectingSocket::Write(std::string_view data,
+                                           long long timeout_ms) {
+  std::string scratch;
+  {
+    std::lock_guard<std::mutex> lock(plan_->mu_);
+    if (plan_->fail_write_after_bytes_ >= 0 &&
+        static_cast<int64_t>(plan_->bytes_written_) >=
+            plan_->fail_write_after_bytes_) {
+      ++plan_->faults_injected_;
+      return Status::Unavailable("connection reset by peer (injected)");
+    }
+    if (plan_->max_write_chunk_ > 0 && data.size() > plan_->max_write_chunk_) {
+      data = data.substr(0, plan_->max_write_chunk_);
+    }
+    if (plan_->fail_write_after_bytes_ >= 0) {
+      const uint64_t room =
+          static_cast<uint64_t>(plan_->fail_write_after_bytes_) -
+          plan_->bytes_written_;
+      if (data.size() > room) data = data.substr(0, static_cast<size_t>(room));
+    }
+    if (plan_->corrupt_write_offset_ >= 0) {
+      const int64_t start = static_cast<int64_t>(plan_->bytes_written_);
+      const int64_t off = plan_->corrupt_write_offset_ - start;
+      if (off >= 0 && off < static_cast<int64_t>(data.size())) {
+        scratch.assign(data);
+        scratch[static_cast<size_t>(off)] =
+            static_cast<char>(scratch[static_cast<size_t>(off)] ^
+                              plan_->corrupt_write_mask_);
+        data = scratch;
+        ++plan_->faults_injected_;
+      }
+    }
+  }
+  VIEWAUTH_ASSIGN_OR_RETURN(size_t n, base_->Write(data, timeout_ms));
+  std::lock_guard<std::mutex> lock(plan_->mu_);
+  plan_->bytes_written_ += n;
+  return n;
+}
+
+}  // namespace viewauth

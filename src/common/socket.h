@@ -1,0 +1,185 @@
+// A minimal injectable socket layer, the network sibling of file.h.
+//
+// The wire-protocol server (src/server) performs all network I/O through
+// the Socket interface instead of raw file descriptors, so that tests can
+// substitute a FaultInjectingSocket and exercise short reads, short
+// writes, mid-frame disconnects, byte-level corruption and stalled peers
+// deterministically. The real implementations are thin POSIX wrappers:
+//
+//   * PosixSocket    -- a connected stream socket (TCP or AF_UNIX),
+//                       nonblocking underneath, every call carries an
+//                       explicit timeout so a slow or dead peer can
+//                       never wedge a server thread
+//   * ListenSocket   -- bind/listen/accept, TCP loopback or a unix-
+//                       domain path (port 0 picks an ephemeral port)
+//
+// Timeout discipline: every Read/Write/Accept takes a timeout in
+// milliseconds (-1 blocks indefinitely) and returns DeadlineExceeded
+// when it elapses. A peer that vanished mid-operation yields
+// Unavailable; a clean end-of-stream yields a 0-byte read. Short reads
+// and writes are part of the contract — callers that need exact counts
+// use ReadFully/WriteFully, which keep an overall deadline across the
+// partial transfers.
+
+#ifndef VIEWAUTH_COMMON_SOCKET_H_
+#define VIEWAUTH_COMMON_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+
+namespace viewauth {
+
+// A connected bidirectional byte stream. One thread may read while
+// another writes; Shutdown() may be called from any thread to wake both
+// (the eviction path). Everything else is single-threaded per direction.
+class Socket {
+ public:
+  virtual ~Socket() = default;
+
+  // Reads up to `max` bytes into `buf`. Returns the count actually read
+  // (short reads allowed), 0 on a clean end-of-stream. Blocks for at
+  // most `timeout_ms` (-1 = indefinitely); DeadlineExceeded on timeout,
+  // Unavailable when the peer reset the connection.
+  virtual Result<size_t> Read(char* buf, size_t max, long long timeout_ms) = 0;
+
+  // Writes some prefix of `data`, returning how many bytes were
+  // accepted (short writes allowed, always >= 1 on success).
+  // DeadlineExceeded when the peer's receive window stayed full for
+  // `timeout_ms` — the slow-client signal the server evicts on.
+  virtual Result<size_t> Write(std::string_view data,
+                               long long timeout_ms) = 0;
+
+  // Disables further sends and receives and wakes any thread currently
+  // blocked in Read/Write on this socket. Safe to call from a thread
+  // other than the I/O threads; safe to call more than once.
+  virtual Status Shutdown() = 0;
+
+  // Releases the descriptor. Only the owning thread may Close, and only
+  // after no other thread can touch the socket.
+  virtual Status Close() = 0;
+};
+
+// Reads exactly `n` bytes within an overall `timeout_ms` budget.
+// A clean end-of-stream before any byte was read returns NotFound
+// ("connection closed"); end-of-stream after a partial read returns
+// Unavailable (the mid-frame disconnect shape).
+Status ReadFully(Socket& socket, char* buf, size_t n, long long timeout_ms);
+
+// Writes all of `data` within an overall `timeout_ms` budget.
+Status WriteFully(Socket& socket, std::string_view data,
+                  long long timeout_ms);
+
+// A bound, listening server socket.
+class ListenSocket {
+ public:
+  virtual ~ListenSocket() = default;
+
+  // TCP on `host` (e.g. "127.0.0.1"); port 0 binds an ephemeral port,
+  // readable afterwards via port().
+  static Result<std::unique_ptr<ListenSocket>> ListenTcp(
+      const std::string& host, int port);
+
+  // Unix-domain stream socket at `path` (an existing socket file at the
+  // path is removed first).
+  static Result<std::unique_ptr<ListenSocket>> ListenUnix(
+      const std::string& path);
+
+  // Accepts one connection; DeadlineExceeded after `timeout_ms` with no
+  // arrival (the accept loop's polling slice).
+  virtual Result<std::unique_ptr<Socket>> Accept(long long timeout_ms) = 0;
+
+  // The bound TCP port (0 for unix sockets).
+  virtual int port() const = 0;
+
+  virtual Status Close() = 0;
+};
+
+// Client-side connect; both honor `timeout_ms` for the handshake.
+Result<std::unique_ptr<Socket>> ConnectTcp(const std::string& host, int port,
+                                           long long timeout_ms);
+Result<std::unique_ptr<Socket>> ConnectUnix(const std::string& path,
+                                            long long timeout_ms);
+
+// A connected in-process socket pair (AF_UNIX), for tests that want a
+// peer without a listener.
+Result<std::pair<std::unique_ptr<Socket>, std::unique_ptr<Socket>>>
+MakeSocketPair();
+
+// Shared fault schedule for FaultInjectingSocket, in the idiom of
+// FaultInjectingFileSystem: every control and counter lives on the plan
+// object (guarded by one mutex) so a single plan can script a whole
+// connection's worth of I/O, and tests can read the counters afterwards.
+// Offsets are absolute positions in the direction's byte stream.
+class SocketFaultPlan {
+ public:
+  // Caps every read/write to at most this many bytes, forcing the peer
+  // to observe short reads / perform short writes. 0 disables the cap.
+  void set_max_read_chunk(size_t n);
+  void set_max_write_chunk(size_t n);
+
+  // After `n` bytes have passed in the given direction, the connection
+  // behaves as if the peer died: writes fail with Unavailable and reads
+  // report a reset. Negative disables. The cut can land mid-frame —
+  // that is the point.
+  void set_fail_write_after_bytes(int64_t n);
+  void set_fail_read_after_bytes(int64_t n);
+
+  // XORs the byte at absolute write-stream offset `offset` with `mask`
+  // as it passes through — byte-level frame corruption in flight.
+  // Negative offset disables.
+  void set_corrupt_write_byte(int64_t offset, uint8_t mask);
+
+  // Sleeps this long before every read — a stalled peer that trickles
+  // its bytes out slowly without ever disconnecting.
+  void set_read_stall_ms(long long ms);
+
+  uint64_t bytes_read() const;
+  uint64_t bytes_written() const;
+  uint64_t faults_injected() const;
+
+ private:
+  friend class FaultInjectingSocket;
+
+  mutable std::mutex mu_;
+  size_t max_read_chunk_ = 0;
+  size_t max_write_chunk_ = 0;
+  int64_t fail_write_after_bytes_ = -1;
+  int64_t fail_read_after_bytes_ = -1;
+  int64_t corrupt_write_offset_ = -1;
+  uint8_t corrupt_write_mask_ = 0;
+  long long read_stall_ms_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t faults_injected_ = 0;
+};
+
+// Forwards to a base socket while applying the plan's faults. Wraps
+// either side of a connection: wrapping a test client corrupts/chops
+// what the server receives; wrapping an accepted socket (via the
+// server's socket hook) does the same for replies.
+class FaultInjectingSocket : public Socket {
+ public:
+  FaultInjectingSocket(std::unique_ptr<Socket> base,
+                       std::shared_ptr<SocketFaultPlan> plan)
+      : base_(std::move(base)), plan_(std::move(plan)) {}
+
+  Result<size_t> Read(char* buf, size_t max, long long timeout_ms) override;
+  Result<size_t> Write(std::string_view data, long long timeout_ms) override;
+  Status Shutdown() override { return base_->Shutdown(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<Socket> base_;
+  std::shared_ptr<SocketFaultPlan> plan_;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_COMMON_SOCKET_H_

@@ -24,6 +24,11 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
   const int max_concurrent = options.max_concurrent;
   std::unique_lock<std::mutex> lock(mutex_);
   ++attempts_;
+  if (draining_) {
+    ++shed_;
+    return Status::Unavailable(
+        "admission control is draining for shutdown; retry later");
+  }
   if (max_concurrent <= 0 || in_flight_ < max_concurrent) {
     ++admitted_;
     ++in_flight_;
@@ -38,13 +43,18 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
   }
   ++waiting_;
   ++queued_;
-  const bool got_slot = slot_free_.wait_for(
+  const bool woke = slot_free_.wait_for(
       lock,
       std::chrono::milliseconds(std::max<long long>(
           0, options.admission_timeout_ms)),
-      [&] { return in_flight_ < max_concurrent; });
+      [&] { return draining_ || in_flight_ < max_concurrent; });
   --waiting_;
-  if (!got_slot) {
+  if (draining_) {
+    ++shed_;
+    return Status::Unavailable(
+        "admission control is draining for shutdown; retry later");
+  }
+  if (!woke) {
     ++queue_timeouts_;
     return Status::Unavailable(
         "timed out waiting for an admission slot after " +
@@ -53,6 +63,12 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
   ++admitted_;
   ++in_flight_;
   return Ticket(this);
+}
+
+void AdmissionController::SetDraining(bool draining) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = draining;
+  if (draining_) slot_free_.notify_all();
 }
 
 void AdmissionController::FillStats(AuthzStats* stats) const {

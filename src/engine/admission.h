@@ -62,6 +62,13 @@ class AdmissionController {
   // Unavailable when shed (queue full) or timed out.
   Result<Ticket> Admit(const AuthorizationOptions& options);
 
+  // Drain gate for graceful shutdown: while draining, new admissions
+  // shed immediately with Unavailable and every queued waiter is woken
+  // to the same verdict (counted as sheds), so a server can stop
+  // accepting work without stranding threads in the queue. Retrieves
+  // already admitted keep their tickets and finish normally.
+  void SetDraining(bool draining);
+
   // Copies the admission counters into the stats snapshot.
   void FillStats(AuthzStats* stats) const;
   void ResetCounters();
@@ -72,6 +79,7 @@ class AdmissionController {
 
   mutable std::mutex mutex_;
   std::condition_variable slot_free_;
+  bool draining_ = false;
   int in_flight_ = 0;
   int waiting_ = 0;
   long long attempts_ = 0;

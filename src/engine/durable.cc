@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <iomanip>
 #include <sstream>
+#include <thread>
 
 #include "common/crc32.h"
 #include "common/str_util.h"
@@ -312,6 +313,8 @@ std::string DurableStats::ToString() const {
   }
   out << "\n"
       << "  batch aborts        " << batch_aborts << "\n"
+      << "  transient retries   " << transient_retries << " ("
+      << transient_recoveries << " recovered)\n"
       << "  snapshots live      " << snapshots_live << "\n"
       << "  compactions         " << compactions << "\n"
       << "  log bytes           " << log_bytes << "\n"
@@ -541,14 +544,19 @@ Result<std::string> DurableEngine::ExecuteScript(
   return out.str();
 }
 
+Result<std::string> DurableEngine::ExecuteParsed(const Statement& statement,
+                                                 const ExecLimits* limits) {
+  return ExecuteParsedDurable(statement, limits);
+}
+
 Result<std::string> DurableEngine::ExecuteParsedDurable(
-    const Statement& stmt) {
+    const Statement& stmt, const ExecLimits* limits) {
   if (!IsMutating(stmt)) {
     // Lock-free reader path: retrieves and analyses pin the engine's
     // published snapshot and never touch mu_, so they make progress even
     // while a mutation batch is parked on a slow (or blocked) fsync, and
     // they keep working in degraded mode against the last durable state.
-    return engine_->ExecuteParsed(stmt);
+    return engine_->ExecuteParsed(stmt, limits);
   }
   std::unique_lock<std::mutex> lock(mu_);
   // Entry gate: wait out compaction and any batch mid-fsync. Blocking
@@ -571,15 +579,41 @@ Result<std::string> DurableEngine::ExecuteParsedDurable(
                  : CommitSingleLocked(lock, stmt, std::move(output));
 }
 
+Status DurableEngine::AppendDurably(const std::string& data,
+                                    uint64_t durable_offset, int* retries) {
+  const int attempts = std::max(0, options_.transient_retry_attempts);
+  Status last;
+  for (int attempt = 0;; ++attempt) {
+    if (log_ == nullptr) {
+      return Status::Internal("statement log '" + path_ + "' is closed");
+    }
+    last = log_->Append(data);
+    if (last.ok() && options_.sync_every_append) last = log_->Sync();
+    if (last.ok()) return last;
+    if (attempt >= attempts) return last;
+    if (retries != nullptr) ++(*retries);
+    // Clip whatever the failed attempt left behind — a torn append, or
+    // pages a failed fsync may have dropped from cache — back to the
+    // durable prefix, so the retry re-appends the whole commit onto a
+    // known-good file. If even the clip fails the device is gone:
+    // surface the original failure and let the caller fail-stop.
+    Status clipped = fs_->TruncateFile(path_, durable_offset);
+    if (!clipped.ok()) return last;
+    long long backoff_us = options_.transient_retry_backoff_us;
+    for (int i = 0; i < attempt; ++i) backoff_us *= 2;
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+  }
+}
+
 Result<std::string> DurableEngine::CommitSingleLocked(
     std::unique_lock<std::mutex>& lock, const Statement& stmt,
     std::string output) {
   (void)lock;
   const std::string line = StatementToString(stmt);
+  int retries = 0;
   Status appended = [&]() -> Status {
-    if (log_ == nullptr) {
-      return Status::Internal("statement log '" + path_ + "' is closed");
-    }
     std::string record;
     switch (format_) {
       case LogFormat::kLegacyText:
@@ -594,14 +628,15 @@ Result<std::string> DurableEngine::CommitSingleLocked(
         record += FrameMarker(next_seq_, next_seq_);
         break;
     }
-    VIEWAUTH_RETURN_NOT_OK(log_->Append(record));
-    if (options_.sync_every_append) VIEWAUTH_RETURN_NOT_OK(log_->Sync());
+    VIEWAUTH_RETURN_NOT_OK(AppendDurably(record, log_bytes_, &retries));
     if (format_ != LogFormat::kLegacyText) ++next_seq_;
     log_bytes_ += record.size();
     ++appends_;
     append_bytes_ += record.size();
     return Status::OK();
   }();
+  transient_retries_ += retries;
+  if (appended.ok() && retries > 0) ++transient_recoveries_;
   if (!appended.ok()) {
     EnterDegradedLocked("log append failed: " + appended.ToString(),
                         /*rollback=*/true);
@@ -651,20 +686,18 @@ Result<std::string> DurableEngine::CommitBatchedLocked(
       pending_lines_.clear();
       batch += FrameMarker(pending_first_seq_, next_seq_ - 1);
       const uint64_t epoch = pending_epoch_++;
+      const uint64_t durable_offset = log_bytes_;
       committing_ = true;
       lock.unlock();
       // Leader exclusivity: only the leader touches log_ with mu_
       // released, and Compact() quiesces the queue before swapping the
       // handle, so this unlocked I/O never races.
-      Status written =
-          log_ == nullptr
-              ? Status::Internal("statement log '" + path_ + "' is closed")
-              : log_->Append(batch);
-      if (written.ok() && options_.sync_every_append) {
-        written = log_->Sync();
-      }
+      int retries = 0;
+      Status written = AppendDurably(batch, durable_offset, &retries);
       lock.lock();
       committing_ = false;
+      transient_retries_ += retries;
+      if (written.ok() && retries > 0) ++transient_recoveries_;
       resolved_epoch_ = epoch;
       if (written.ok()) {
         durable_epoch_ = epoch;
@@ -824,6 +857,8 @@ DurableStats DurableEngine::stats() const {
   stats.batched_records = batched_records_;
   stats.fsyncs_saved = fsyncs_saved_;
   stats.batch_aborts = batch_aborts_;
+  stats.transient_retries = transient_retries_;
+  stats.transient_recoveries = transient_recoveries_;
   stats.snapshots_live = engine_->snapshots_live();
   stats.recovery = recovery_;
   return stats;

@@ -141,6 +141,10 @@ struct DurableStats {
   uint64_t fsyncs_saved = 0;
   // Whole-batch aborts (fsync failure → every waiter Unavailable).
   uint64_t batch_aborts = 0;
+  // Transient-fault self-healing: commit append/fsync failures retried,
+  // and commits that succeeded only thanks to a retry.
+  uint64_t transient_retries = 0;
+  uint64_t transient_recoveries = 0;
   // Engine-state versions currently alive (head + published + pinned).
   long long snapshots_live = 0;
   RecoveryReport recovery;
@@ -166,6 +170,14 @@ struct DurableOptions {
   // sealing, and the hard cap on records per batch.
   long long group_commit_window_us = 50;
   int group_commit_max_batch = 128;
+  // Transient-fault self-healing: how many times a failed commit append
+  // or fsync is retried before the engine fail-stops into degraded
+  // mode. Each retry clips the log back to the durable prefix (so a
+  // torn append or a page an fsync failure dropped from cache cannot
+  // linger), backs off exponentially, and re-appends the whole commit.
+  // 0 restores strict fail-stop-on-first-failure.
+  int transient_retry_attempts = 2;
+  long long transient_retry_backoff_us = 1000;
 };
 
 class DurableEngine {
@@ -187,6 +199,15 @@ class DurableEngine {
 
   // Parses and executes a whole script through the same durable path.
   Result<std::string> ExecuteScript(const std::string& script_text);
+
+  // Executes an already-parsed statement; `limits` (may be null)
+  // composes per-request budgets over the engine's own options for the
+  // governed read path — the wire server threads request deadlines
+  // through here. Mutating statements take the durable commit path
+  // (limits do not apply: once a mutation executes it must either
+  // commit or roll back whole).
+  Result<std::string> ExecuteParsed(const Statement& statement,
+                                    const ExecLimits* limits = nullptr);
 
   // Rewrites the log as the compact framed-V3 DumpScript of the current
   // state (compaction: dropped rows and revoked grants disappear; V2
@@ -223,7 +244,8 @@ class DurableEngine {
         fs_(fs),
         engine_(std::move(engine)) {}
 
-  Result<std::string> ExecuteParsedDurable(const Statement& statement);
+  Result<std::string> ExecuteParsedDurable(const Statement& statement,
+                                           const ExecLimits* limits = nullptr);
   // The two commit paths for a mutation that already executed (staged,
   // unpublished) under mu_. Both publish on success and roll back into
   // degraded mode on failure.
@@ -236,6 +258,17 @@ class DurableEngine {
   // Leader-side straggler wait: sleeps in short slices until the window
   // elapses, the batch hits its cap, or arrivals stop.
   void WaitForStragglersLocked(std::unique_lock<std::mutex>& lock);
+
+  // Appends `data` (a whole commit: records + marker) and syncs,
+  // retrying transient failures per options_.transient_retry_attempts:
+  // each retry truncates the file back to `durable_offset` — the known
+  // durable prefix — so a torn append or an fsync-dropped page cannot
+  // survive into the next attempt, then backs off and re-appends.
+  // `retries` counts attempts beyond the first. Caller must hold leader
+  // exclusivity over log_ (mu_ in the single path; committing_ in the
+  // batched path).
+  Status AppendDurably(const std::string& data, uint64_t durable_offset,
+                       int* retries);
 
   // Replays a framed (V2/V3) / legacy plain-text log body, applying the
   // configured recovery mode (salvage truncates a damaged tail on disk)
@@ -270,6 +303,8 @@ class DurableEngine {
   uint64_t batched_records_ = 0;
   uint64_t fsyncs_saved_ = 0;
   uint64_t batch_aborts_ = 0;
+  uint64_t transient_retries_ = 0;
+  uint64_t transient_recoveries_ = 0;
 
   // --- group-commit state (all under mu_) -------------------------------
   // Frames and statement texts staged for the next batch.

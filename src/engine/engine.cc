@@ -102,6 +102,11 @@ Result<std::string> Engine::Execute(const std::string& statement_text) {
 }
 
 Result<std::string> Engine::ExecuteParsed(const Statement& statement) {
+  return ExecuteParsed(statement, nullptr);
+}
+
+Result<std::string> Engine::ExecuteParsed(const Statement& statement,
+                                          const ExecLimits* limits) {
   // Retrieves and analyses pin the published snapshot and run lock-free;
   // every other statement may mutate engine state and serializes on the
   // state mutex.
@@ -112,7 +117,8 @@ Result<std::string> Engine::ExecuteParsed(const Statement& statement) {
     VIEWAUTH_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
                               admission_.Admit(options_));
     std::shared_ptr<const EngineState> snapshot = SnapshotNow();
-    return ExecuteRetrieve(std::get<RetrieveStmt>(statement), *snapshot);
+    return ExecuteRetrieve(std::get<RetrieveStmt>(statement), *snapshot,
+                           limits);
   }
   if (std::holds_alternative<AnalyzeStmt>(statement)) {
     std::shared_ptr<const EngineState> snapshot = SnapshotNow();
@@ -736,7 +742,8 @@ int Engine::CancelActiveRetrieves() {
 }
 
 Result<std::string> Engine::ExecuteRetrieve(const RetrieveStmt& stmt,
-                                            const EngineState& state) {
+                                            const EngineState& state,
+                                            const ExecLimits* limits) {
   const std::string& user =
       stmt.as_user.empty() ? session_user_ : stmt.as_user;
 
@@ -749,8 +756,12 @@ Result<std::string> Engine::ExecuteRetrieve(const RetrieveStmt& stmt,
 
   // One context spans the whole statement — every or-branch draws on the
   // same deadline and budgets. Created even when no limits are set so
-  // CancelActiveRetrieves always has a handle to signal.
-  ExecContext ctx(ExecLimitsOf(options_));
+  // CancelActiveRetrieves always has a handle to signal. A per-request
+  // override (the wire server's request deadline) composes with the
+  // engine limits, strictest wins.
+  ExecContext ctx(limits == nullptr
+                      ? ExecLimitsOf(options_)
+                      : TightenLimits(ExecLimitsOf(options_), *limits));
   ActiveContextGuard active(this, &ctx);
 
   AuthorizationResult result;

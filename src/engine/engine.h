@@ -70,6 +70,17 @@ class Engine {
   // inferred permit statements for retrieves.
   Result<std::string> Execute(const std::string& statement_text);
   Result<std::string> ExecuteParsed(const Statement& statement);
+  // As above, with per-statement limits composed over options() —
+  // strictest wins (TightenLimits). The wire server threads each
+  // request's deadline through here; `limits` applies to retrieves (the
+  // governed path) and may be null for "no override".
+  Result<std::string> ExecuteParsed(const Statement& statement,
+                                    const ExecLimits* limits);
+
+  // Drain gate for graceful shutdown: while draining, new retrieves are
+  // shed at admission with Unavailable (queued waiters wake to the same
+  // verdict); retrieves already running finish normally.
+  void SetDraining(bool draining) { admission_.SetDraining(draining); }
 
   // Executes a whole script, concatenating the statements' outputs.
   Result<std::string> ExecuteScript(const std::string& script_text);
@@ -170,7 +181,8 @@ class Engine {
   // The snapshot-pinned read path: `state` is the snapshot the retrieve
   // runs against, kept alive by the caller.
   Result<std::string> ExecuteRetrieve(const RetrieveStmt& stmt,
-                                      const EngineState& state);
+                                      const EngineState& state,
+                                      const ExecLimits* limits = nullptr);
   Result<std::string> ExecuteDelete(const DeleteStmt& stmt);
   Result<std::string> ExecuteModify(const ModifyStmt& stmt);
   Result<std::string> ExecuteDrop(const DropStmt& stmt);

@@ -1,0 +1,117 @@
+// Client side of the viewauth wire protocol.
+//
+// `Client` is one connection: connect, HELLO as a user, then Execute
+// statements (each a request/reply round trip) or fetch the server's
+// stats report. Any transport or protocol failure poisons the
+// connection — the client closes its socket and every later call fails
+// fast with the same kind of error.
+//
+// `RetryingClient` is the fault-tolerant wrapper the bench harness
+// uses: it owns a connect factory and replays retryable failures
+// (admission sheds, resets, server restarts) with capped exponential
+// backoff, reconnecting as needed. Non-retryable outcomes — permission
+// denials, parse errors, governed aborts — pass straight through.
+
+#ifndef VIEWAUTH_SERVER_CLIENT_H_
+#define VIEWAUTH_SERVER_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/socket.h"
+#include "server/frame.h"
+
+namespace viewauth {
+
+struct ClientOptions {
+  // Bounds each socket read/write; also the reply wait unless a request
+  // carries its own deadline (then deadline + io_timeout_ms applies).
+  long long io_timeout_ms = 10'000;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  // Connects, sends HELLO as `user`, and waits for the ack.
+  static Result<std::unique_ptr<Client>> ConnectTcp(
+      const std::string& host, int port, const std::string& user,
+      ClientOptions options = {});
+  static Result<std::unique_ptr<Client>> ConnectUnix(
+      const std::string& path, const std::string& user,
+      ClientOptions options = {});
+  // Runs the HELLO handshake over an already-connected socket (tests
+  // wrap fault-injecting sockets this way).
+  static Result<std::unique_ptr<Client>> Wrap(std::unique_ptr<Socket> socket,
+                                              const std::string& user,
+                                              ClientOptions options = {});
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // One statement; deadline_ms = 0 means the server default applies.
+  // A non-OK reply code comes back as a Status with that code.
+  Result<std::string> Execute(const std::string& statement,
+                              uint32_t deadline_ms = 0);
+  // The server's combined stats report.
+  Result<std::string> Stats();
+  // Best-effort goodbye frame + close; further calls fail.
+  void Goodbye();
+
+  // False once a transport/protocol failure has poisoned the connection.
+  bool alive() const { return socket_ != nullptr; }
+
+ private:
+  Client(std::unique_ptr<Socket> socket, ClientOptions options)
+      : socket_(std::move(socket)), options_(options) {}
+
+  Status Hello(const std::string& user);
+  // Sends one frame and reads the matching reply, enforcing ids.
+  Result<ReplyPayload> RoundTrip(FrameType type, const std::string& payload,
+                                 uint64_t expect_id, long long reply_wait_ms);
+  void Poison();
+
+  std::unique_ptr<Socket> socket_;
+  ClientOptions options_;
+  uint64_t next_id_ = 1;
+};
+
+struct RetryPolicy {
+  int max_attempts = 5;
+  long long base_backoff_ms = 5;
+  long long max_backoff_ms = 500;
+};
+
+// Is this failure worth a retry? Transport losses (Unavailable — shed,
+// reset, shutting down — and NotFound/Internal connection drops) are;
+// semantic failures and governed aborts are not.
+bool IsRetryable(const Status& status);
+
+class RetryingClient {
+ public:
+  using ConnectFn = std::function<Result<std::unique_ptr<Client>>()>;
+
+  RetryingClient(ConnectFn connect, RetryPolicy policy = {})
+      : connect_(std::move(connect)), policy_(policy) {}
+
+  // Executes with retries: a retryable failure reconnects if needed,
+  // backs off exponentially (base * 2^attempt, capped), and tries
+  // again up to max_attempts total attempts.
+  Result<std::string> Execute(const std::string& statement,
+                              uint32_t deadline_ms = 0);
+
+  long long retries() const { return retries_; }
+  long long reconnects() const { return reconnects_; }
+
+ private:
+  ConnectFn connect_;
+  RetryPolicy policy_;
+  std::unique_ptr<Client> client_;
+  long long retries_ = 0;
+  long long reconnects_ = 0;
+};
+
+}  // namespace viewauth
+
+#endif  // VIEWAUTH_SERVER_CLIENT_H_

@@ -540,6 +540,9 @@ TEST_F(DurableTest, TransientFsyncFailureAbortsTheWholeBatch) {
   FaultInjectingFileSystem fs(FileSystem::Default());
   DurableOptions options;
   options.fs = &fs;
+  // Retries disabled: this asserts the strict fail-stop behavior a
+  // single fault triggers when self-healing is off.
+  options.transient_retry_attempts = 0;
   auto durable = DurableEngine::Open(path_, options);
   ASSERT_TRUE(durable.ok()) << durable.status();
   ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
@@ -573,6 +576,44 @@ TEST_F(DurableTest, TransientFsyncFailureAbortsTheWholeBatch) {
   ASSERT_TRUE(reopened.ok()) << reopened.status();
   EXPECT_FALSE((*reopened)->recovery_report().salvaged);
   EXPECT_EQ((*reopened)->engine().db().GetRelation("T").value()->size(), 1);
+}
+
+TEST_F(DurableTest, TransientFsyncFailureSelfHealsWithRetries) {
+  FaultInjectingFileSystem fs(FileSystem::Default());
+  DurableOptions options;
+  options.fs = &fs;
+  options.transient_retry_backoff_us = 10;  // keep the test fast
+  auto durable = DurableEngine::Open(path_, options);
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  ASSERT_TRUE((*durable)->Execute("relation T (A int)").ok());
+  ASSERT_TRUE((*durable)->Execute("insert into T values (1)").ok());
+
+  // One EIO on the next fsync. With retries on (the default), the commit
+  // clips the log back to the durable prefix, re-appends, re-syncs and
+  // acknowledges — no degraded mode, no lost mutation.
+  fs.ScheduleSyncFailure(1);
+  auto healed = (*durable)->Execute("insert into T values (2)");
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_FALSE((*durable)->degraded());
+  EXPECT_FALSE(fs.crashed());
+  DurableStats stats = (*durable)->stats();
+  EXPECT_EQ(stats.batch_aborts, 0u);
+  EXPECT_EQ(stats.transient_retries, 1u);
+  EXPECT_EQ(stats.transient_recoveries, 1u);
+  EXPECT_NE(stats.ToString().find("transient retries"), std::string::npos);
+
+  // The acked mutation is durable: a STRICT reopen replays it.
+  auto reopened = DurableEngine::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_FALSE((*reopened)->recovery_report().salvaged);
+  EXPECT_EQ((*reopened)->engine().db().GetRelation("T").value()->size(), 2);
+
+  // A second healed commit through the batched path keeps counting.
+  fs.ScheduleSyncFailure(1);
+  ASSERT_TRUE((*durable)->Execute("insert into T values (3)").ok());
+  EXPECT_EQ((*durable)->stats().transient_retries, 2u);
+  EXPECT_EQ((*durable)->stats().transient_recoveries, 2u);
+  EXPECT_FALSE((*durable)->degraded());
 }
 
 TEST_F(DurableTest, CompactionQuiescesGroupCommitQueue) {

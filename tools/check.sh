@@ -3,8 +3,8 @@
 #
 #   1. configure + build with warnings-as-errors (and the compile
 #      database for clang-tidy)
-#   2. the regular test suite (differential + torture + coherence tiers
-#      excluded)
+#   2. the regular test suite (differential + torture + coherence +
+#      network tiers excluded)
 #   3. the differential-soundness tier (slow, randomized; includes the
 #      write-mix mutation scenarios)
 #   4. the crash-recovery torture tier (slow: a simulated crash at every
@@ -16,6 +16,11 @@
 #   6. the cache-coherence torture tier: randomized lockstep
 #      interleavings of mutations and retrieves, a cold no-cache oracle
 #      differencing every step
+#   6b. the network torture tier: the wire-protocol server under short
+#      reads/writes, mid-frame disconnects, in-flight corruption,
+#      stalled peers, a seeded protocol fuzzer, and a
+#      kill-the-durable-backend-under-concurrent-load crash whose acked
+#      responses must all survive recovery
 #   7. a Release (-O2) build of bench_latemat and its --smoke gate: the
 #      late-materialized data pipeline must not be slower than the
 #      tuple-at-a-time optimizer on the reference join workload
@@ -34,6 +39,11 @@
 #      concurrent writers group commit must be >= 2x faster than
 #      per-mutation fsync (also fails if the committed
 #      BENCH_groupcommit.json is missing)
+#  10b. a Release build of bench_server and its --smoke gate: 200
+#      concurrent wire connections against a small admission envelope —
+#      every request must eventually succeed through the retry client,
+#      with zero protocol errors and throughput above the floor (also
+#      fails if the committed BENCH_server.json is missing)
 #  11. the disclosure-audit gate: viewauth_lint --audit over the seeded
 #      audit fixtures (clean catalog silent, seeded channel/bypass
 #      catalogs exit 1) plus a generated 100-view catalog that must
@@ -86,7 +96,7 @@ run_step "build (Werror)" configure_and_build
 if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
   run_step "unit tests" \
     ctest --test-dir build --output-on-failure -j "$JOBS" \
-      -E 'Differential|CrashTorture|CacheCoherence' "$@"
+      -E 'Differential|CrashTorture|CacheCoherence|NetworkTorture' "$@"
   run_step "differential soundness" \
     ctest --test-dir build --output-on-failure -j "$JOBS" \
       -R Differential "$@"
@@ -99,6 +109,9 @@ if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
   run_step "cache-coherence torture" \
     ctest --test-dir build --output-on-failure -j "$JOBS" \
       -R CacheCoherence "$@"
+  run_step "network torture" \
+    ctest --test-dir build --output-on-failure -j "$JOBS" \
+      -R NetworkTorture "$@"
   latemat_smoke() {
     cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null &&
       cmake --build build-release -j "$JOBS" --target bench_latemat &&
@@ -144,6 +157,17 @@ if [ "${STEP_RESULTS[0]}" = "PASS" ]; then
       ./build-release/bench/bench_groupcommit --smoke
   }
   run_step "group-commit perf smoke (Release)" groupcommit_smoke
+  server_smoke() {
+    if [ ! -f BENCH_server.json ]; then
+      echo "BENCH_server.json missing: run" \
+        "./build-release/bench/bench_server from the repo root"
+      return 1
+    fi
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null &&
+      cmake --build build-release -j "$JOBS" --target bench_server &&
+      ./build-release/bench/bench_server --smoke
+  }
+  run_step "server load smoke (Release)" server_smoke
   disclosure_audit() {
     local lint=./build/tools/viewauth_lint
     local status

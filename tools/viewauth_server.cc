@@ -1,0 +1,184 @@
+// viewauth_server: the wire-protocol front end as a standalone tool.
+//
+//   viewauth_server --log db.log [--port N | --unix PATH] [options]
+//
+// Serves the viewauth wire protocol (src/server/frame.h) over TCP or a
+// unix-domain socket, backed by a DurableEngine on --log (or an
+// in-memory Engine without one). SIGINT/SIGTERM trigger a graceful
+// drain: the listener closes, in-flight requests finish, queued and
+// late requests get a structured shutting-down error, and the combined
+// stats report is printed on exit.
+//
+// Options:
+//   --log PATH        statement log (durable engine); omit for in-memory
+//   --salvage         open the log in salvage mode (truncate a torn tail)
+//   --port N          TCP port to listen on (0 = ephemeral; prints it)
+//   --unix PATH       unix-domain socket path (overrides --port)
+//   --seed PATH       execute a statement script before serving
+//   --max-conn N      connection cap             (default 256)
+//   --idle-ms N       idle eviction timeout      (default 60000)
+//   --io-ms N         read/write stall timeout   (default 10000)
+//   --drain-ms N      graceful drain window      (default 10000)
+//   --deadline-ms N   default per-request deadline (default none)
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "server/server.h"
+
+namespace {
+
+// Written by the signal handler, polled by the main loop.
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStop(int) { g_stop = 1; }
+
+long long ParseLong(const char* text, const char* flag) {
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "viewauth_server: %s expects an integer, got '%s'\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace viewauth;
+
+  std::string log_path;
+  std::string unix_path;
+  std::string seed_path;
+  bool salvage = false;
+  int port = 0;
+  ServerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "viewauth_server: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--log") {
+      log_path = need_value("--log");
+    } else if (arg == "--salvage") {
+      salvage = true;
+    } else if (arg == "--port") {
+      port = static_cast<int>(ParseLong(need_value("--port"), "--port"));
+    } else if (arg == "--unix") {
+      unix_path = need_value("--unix");
+    } else if (arg == "--seed") {
+      seed_path = need_value("--seed");
+    } else if (arg == "--max-conn") {
+      options.max_connections =
+          static_cast<int>(ParseLong(need_value("--max-conn"), "--max-conn"));
+    } else if (arg == "--idle-ms") {
+      options.idle_timeout_ms = ParseLong(need_value("--idle-ms"), "--idle-ms");
+    } else if (arg == "--io-ms") {
+      options.io_timeout_ms = ParseLong(need_value("--io-ms"), "--io-ms");
+    } else if (arg == "--drain-ms") {
+      options.drain_timeout_ms =
+          ParseLong(need_value("--drain-ms"), "--drain-ms");
+    } else if (arg == "--deadline-ms") {
+      options.default_deadline_ms =
+          ParseLong(need_value("--deadline-ms"), "--deadline-ms");
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: viewauth_server [--log PATH] [--port N | --unix PATH]\n"
+          "                       [--salvage] [--seed PATH] [--max-conn N]\n"
+          "                       [--idle-ms N] [--io-ms N] [--drain-ms N]\n"
+          "                       [--deadline-ms N]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "viewauth_server: unknown flag '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<DurableEngine> durable;
+  std::unique_ptr<Engine> memory;
+  if (!log_path.empty()) {
+    DurableOptions durable_options;
+    durable_options.recovery =
+        salvage ? RecoveryMode::kSalvage : RecoveryMode::kStrict;
+    auto opened = DurableEngine::Open(log_path, durable_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "viewauth_server: cannot open log: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    durable = std::move(*opened);
+    std::printf("log %s: %s\n", log_path.c_str(),
+                durable->recovery_report().ToString().c_str());
+  } else {
+    memory = std::make_unique<Engine>();
+  }
+
+  if (!seed_path.empty()) {
+    std::ifstream in(seed_path);
+    if (!in) {
+      std::fprintf(stderr, "viewauth_server: cannot read seed '%s'\n",
+                   seed_path.c_str());
+      return 1;
+    }
+    std::ostringstream script;
+    script << in.rdbuf();
+    auto seeded = durable != nullptr ? durable->ExecuteScript(script.str())
+                                     : memory->ExecuteScript(script.str());
+    if (!seeded.ok()) {
+      std::fprintf(stderr, "viewauth_server: seed failed: %s\n",
+                   seeded.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto server = durable != nullptr
+                    ? std::make_unique<Server>(durable.get(), options)
+                    : std::make_unique<Server>(memory.get(), options);
+
+  Result<std::unique_ptr<ListenSocket>> listener =
+      unix_path.empty() ? ListenSocket::ListenTcp("127.0.0.1", port)
+                        : ListenSocket::ListenUnix(unix_path);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "viewauth_server: cannot listen: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  Status started = server->Start(std::move(*listener));
+  if (!started.ok()) {
+    std::fprintf(stderr, "viewauth_server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  if (unix_path.empty()) {
+    std::printf("listening on 127.0.0.1:%d\n", server->port());
+  } else {
+    std::printf("listening on %s\n", unix_path.c_str());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+  while (g_stop == 0) {
+    struct timespec ts {0, 100'000'000};  // 100ms
+    nanosleep(&ts, nullptr);
+  }
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server->Stop();
+  std::printf("%s", server->StatsReport().c_str());
+  return 0;
+}
